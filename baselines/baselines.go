@@ -1,0 +1,71 @@
+// Package baselines exposes the two comparator schedulers of the paper's
+// evaluation — vanilla CUDA time-slicing and NVIDIA MPS with the leftover
+// policy — behind the same application-driver interface the Slate runtime
+// uses, so A/B experiments are one flag apart.
+package baselines
+
+import (
+	"slate/internal/cudart"
+	"slate/internal/daemon"
+	"slate/internal/engine"
+	"slate/internal/mps"
+	"slate/internal/run"
+	"slate/internal/vtime"
+
+	"slate/gpu"
+)
+
+// Re-exported driver types.
+type (
+	// Job is one application instance (workload + rep count).
+	Job = run.Job
+	// Result is one application's measured execution.
+	Result = run.Result
+	// Backend abstracts how kernels reach the GPU.
+	Backend = run.Backend
+)
+
+// Reps30s converts a solo kernel duration to the paper's loop-length
+// methodology rep count.
+func Reps30s(soloKernelSec, targetSec float64) int { return run.Reps30s(soloKernelSec, targetSec) }
+
+// Runner couples a clock, a backend, and the driver.
+type Runner struct {
+	Clock   *vtime.Clock
+	Backend run.Backend
+}
+
+// Run executes the jobs concurrently and returns per-app results.
+func (r *Runner) Run(jobs []Job) ([]Result, error) {
+	return run.NewDriver(r.Clock, r.Backend).Run(jobs)
+}
+
+// NewCUDA builds a vanilla-CUDA runner on a fresh clock (nil device selects
+// the Titan Xp).
+func NewCUDA(dev *gpu.Device) *Runner {
+	if dev == nil {
+		dev = gpu.TitanXp()
+	}
+	clk := vtime.NewClock()
+	return &Runner{Clock: clk, Backend: cudart.New(dev, clk, engine.NewTraceModel(dev))}
+}
+
+// NewMPS builds an MPS runner on a fresh clock.
+func NewMPS(dev *gpu.Device) *Runner {
+	if dev == nil {
+		dev = gpu.TitanXp()
+	}
+	clk := vtime.NewClock()
+	return &Runner{Clock: clk, Backend: mps.New(dev, clk, engine.NewTraceModel(dev))}
+}
+
+// NewSlate builds a Slate-runtime runner on a fresh clock (the simulated
+// daemon pipeline: command channel, injection cache, workload-aware
+// scheduler).
+func NewSlate(dev *gpu.Device) *Runner {
+	if dev == nil {
+		dev = gpu.TitanXp()
+	}
+	clk := vtime.NewClock()
+	return &Runner{Clock: clk, Backend: daemon.NewSim(dev, clk, engine.NewTraceModel(dev))}
+}

@@ -1,0 +1,96 @@
+package baselines
+
+import (
+	"testing"
+
+	"slate/gpu"
+	"slate/workloads"
+)
+
+func jobs(t *testing.T, codes []string, loop float64) []Job {
+	t.Helper()
+	var out []Job
+	for _, code := range codes {
+		app, err := workloads.ByCode(code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := gpu.NewSimulator(nil).RunSolo(app.Kernel, gpu.HardwareSched, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, Job{App: app, Reps: Reps30s(m.Duration().Seconds(), loop)})
+	}
+	return out
+}
+
+func meanApp(rs []Result) float64 {
+	s := 0.0
+	for _, r := range rs {
+		s += r.AppSec()
+	}
+	return s / float64(len(rs))
+}
+
+func TestThreeRunnersOnComplementaryPair(t *testing.T) {
+	// Loops long enough that Slate's one-time injection/compilation cost
+	// (~0.45 s per kernel, unscaled at this API level) amortizes, as in
+	// the paper's 30 s methodology.
+	js := jobs(t, []string{"BS", "RG"}, 2.0)
+	res := map[string]float64{}
+	for _, mk := range []struct {
+		name string
+		fn   func(*gpu.Device) *Runner
+	}{
+		{"cuda", NewCUDA}, {"mps", NewMPS}, {"slate", NewSlate},
+	} {
+		rs, err := mk.fn(nil).Run(js)
+		if err != nil {
+			t.Fatalf("%s: %v", mk.name, err)
+		}
+		if len(rs) != 2 {
+			t.Fatalf("%s: %d results", mk.name, len(rs))
+		}
+		for _, r := range rs {
+			if r.Launches == 0 {
+				t.Fatalf("%s: app %s never launched", mk.name, r.Code)
+			}
+		}
+		res[mk.name] = meanApp(rs)
+	}
+	// The paper's ordering: Slate < CUDA ≈ MPS on a complementary pair.
+	if res["slate"] >= res["mps"] || res["slate"] >= res["cuda"] {
+		t.Fatalf("ordering wrong: %v", res)
+	}
+}
+
+func TestOverheadFieldsBySched(t *testing.T) {
+	js := jobs(t, []string{"GS"}, 0.3)
+	cuda, err := NewCUDA(nil).Run(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cuda[0].CommSec != 0 || cuda[0].InjectSec != 0 {
+		t.Fatalf("CUDA charged daemon overheads: %+v", cuda[0])
+	}
+	mps, err := NewMPS(nil).Run(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mps[0].CommSec <= 0 || mps[0].InjectSec != 0 {
+		t.Fatalf("MPS overheads wrong: %+v", mps[0])
+	}
+	slate, err := NewSlate(nil).Run(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slate[0].CommSec <= 0 || slate[0].InjectSec <= 0 {
+		t.Fatalf("Slate overheads missing: %+v", slate[0])
+	}
+}
+
+func TestReps30sExported(t *testing.T) {
+	if Reps30s(0.001, 3) != 3000 {
+		t.Fatal("Reps30s facade broken")
+	}
+}

@@ -1,0 +1,43 @@
+package baselines_test
+
+import (
+	"fmt"
+
+	"slate/baselines"
+	"slate/gpu"
+	"slate/workloads"
+)
+
+// A/B a pairing across schedulers with the shared driver interface.
+func Example() {
+	bs, _ := workloads.ByCode("BS")
+	rg, _ := workloads.ByCode("RG")
+	jobs := []baselines.Job{}
+	for _, app := range []*workloads.App{bs, rg} {
+		m, err := gpu.NewSimulator(nil).RunSolo(app.Kernel, gpu.HardwareSched, 1)
+		if err != nil {
+			panic(err)
+		}
+		jobs = append(jobs, baselines.Job{
+			App:  app,
+			Reps: baselines.Reps30s(m.Duration().Seconds(), 1.0),
+		})
+	}
+	mps, err := baselines.NewMPS(nil).Run(jobs)
+	if err != nil {
+		panic(err)
+	}
+	slate, err := baselines.NewSlate(nil).Run(jobs)
+	if err != nil {
+		panic(err)
+	}
+	mean := func(rs []baselines.Result) float64 {
+		s := 0.0
+		for _, r := range rs {
+			s += r.AppSec()
+		}
+		return s / float64(len(rs))
+	}
+	fmt.Println("slate beats mps on BS-RG:", mean(slate) < mean(mps))
+	// Output: slate beats mps on BS-RG: true
+}

@@ -1,0 +1,50 @@
+// Command slated runs the Slate daemon on a Unix socket. Remote clients
+// (framework.Dial) get the full API: buffer management, transfer commands,
+// synchronization, and the source injection + runtime-compilation pipeline
+// (executable Go kernels require an in-process daemon).
+//
+// Usage:
+//
+//	slated -listen /tmp/slate.sock -budget 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+
+	"slate/framework"
+)
+
+func main() {
+	addr := flag.String("listen", "/tmp/slate.sock", "unix socket path")
+	budget := flag.Int("budget", 8, "executor worker budget (the host 'SM pool')")
+	flag.Parse()
+
+	_ = os.Remove(*addr)
+	l, err := net.Listen("unix", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "slated: %v\n", err)
+		os.Exit(1)
+	}
+	defer l.Close()
+	defer os.Remove(*addr)
+
+	srv := framework.NewDaemon(*budget)
+	fmt.Printf("slated: listening on %s (budget %d)\n", *addr, *budget)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		fmt.Println("\nslated: shutting down")
+		l.Close()
+	}()
+
+	if err := srv.Serve(l); err != nil {
+		fmt.Fprintf(os.Stderr, "slated: %v\n", err)
+		os.Exit(1)
+	}
+}

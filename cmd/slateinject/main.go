@@ -1,0 +1,57 @@
+// Command slateinject runs Slate's source-to-source kernel transformation
+// (the paper's Listings 1-3) on a CUDA file and prints the transformed
+// translation unit.
+//
+// Usage:
+//
+//	slateinject -in kernel.cu -task 10 -dispatcher
+//	cat kernel.cu | slateinject
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"slate/framework"
+)
+
+func main() {
+	in := flag.String("in", "", "input .cu file (default: stdin)")
+	task := flag.Int("task", 10, "SLATE_ITERS task size")
+	dispatcher := flag.Bool("dispatcher", true, "emit the Listing-3 dispatch kernel")
+	check := flag.Bool("check", false, "also run the transformed source through the runtime compiler")
+	flag.Parse()
+
+	var src []byte
+	var err error
+	if *in == "" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(*in)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "slateinject: %v\n", err)
+		os.Exit(1)
+	}
+
+	out, err := framework.InjectSource(string(src), framework.InjectOptions{
+		TaskSize:       *task,
+		EmitDispatcher: *dispatcher,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "slateinject: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+
+	if *check {
+		img, err := framework.NewCompiler().Compile(out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "slateinject: compile check failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "slateinject: compile check OK, entries: %v\n", img.Entries)
+	}
+}

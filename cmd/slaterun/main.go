@@ -1,0 +1,122 @@
+// Command slaterun executes one or more of the paper's applications
+// concurrently under a chosen scheduler on the simulated Titan Xp and
+// prints per-application results. With -trace it also writes the Slate
+// scheduler's decision timeline as JSONL.
+//
+// Usage:
+//
+//	slaterun -sched slate -apps BS,RG -loop 3
+//	slaterun -sched slate -apps GS,RG -trace timeline.jsonl
+//	slaterun -sched cuda  -apps GS
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"slate/internal/cudart"
+	"slate/internal/daemon"
+	"slate/internal/engine"
+	"slate/internal/mps"
+	"slate/internal/run"
+	"slate/internal/sched"
+	"slate/internal/trace"
+	"slate/internal/vtime"
+
+	"slate/gpu"
+	"slate/workloads"
+)
+
+func main() {
+	schedFlag := flag.String("sched", "slate", "scheduler: cuda|mps|slate")
+	apps := flag.String("apps", "BS,RG", "comma-separated application codes (BS,GS,MM,RG,TR)")
+	loop := flag.Float64("loop", 3.0, "solo kernel loop target in seconds")
+	traceOut := flag.String("trace", "", "write the scheduling timeline as JSONL (slate only)")
+	gantt := flag.Bool("gantt", false, "print an ASCII SM-occupancy timeline (slate only)")
+	flag.Parse()
+
+	dev := gpu.TitanXp()
+	clk := vtime.NewClock()
+	model := engine.NewTraceModel(dev)
+
+	var backend run.Backend
+	var decisions func() []sched.Decision
+	switch strings.ToLower(*schedFlag) {
+	case "cuda":
+		backend = cudart.New(dev, clk, model)
+	case "mps":
+		backend = mps.New(dev, clk, model)
+	case "slate":
+		sim := daemon.NewSim(dev, clk, model)
+		backend = sim
+		decisions = sim.Sched.Decisions
+	default:
+		fmt.Fprintf(os.Stderr, "slaterun: unknown scheduler %q\n", *schedFlag)
+		os.Exit(2)
+	}
+
+	var jobs []run.Job
+	for _, code := range strings.Split(*apps, ",") {
+		app, err := workloads.ByCode(strings.TrimSpace(code))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "slaterun: %v\n", err)
+			os.Exit(2)
+		}
+		m, err := gpu.NewSimulator(dev).RunSolo(app.Kernel, gpu.HardwareSched, 1)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "slaterun: %v\n", err)
+			os.Exit(1)
+		}
+		jobs = append(jobs, run.Job{App: app, Reps: run.Reps30s(m.Duration().Seconds(), *loop)})
+	}
+
+	results, err := run.NewDriver(clk, backend).Run(jobs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "slaterun: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("scheduler: %s\n", *schedFlag)
+	fmt.Printf("%-4s %10s %10s %10s %10s %10s %8s\n",
+		"app", "app(s)", "kernel(s)", "host(s)", "comm(s)", "inject(s)", "launches")
+	for _, r := range results {
+		fmt.Printf("%-4s %10.3f %10.3f %10.3f %10.3f %10.3f %8d\n",
+			r.Code, r.AppSec(), r.KernelSec, r.HostSec, r.CommSec, r.InjectSec, r.Launches)
+	}
+
+	if *gantt {
+		if decisions == nil {
+			fmt.Fprintln(os.Stderr, "slaterun: -gantt requires -sched slate")
+			os.Exit(2)
+		}
+		log := &trace.Log{}
+		log.AddDecisions(decisions())
+		fmt.Println("\nSM occupancy timeline (█ = whole device):")
+		fmt.Print(log.Gantt(100, dev.NumSMs))
+		fmt.Printf("spatial utilization: %.1f%%\n", log.Utilization(dev.NumSMs)*100)
+	}
+
+	if *traceOut != "" {
+		if decisions == nil {
+			fmt.Fprintln(os.Stderr, "slaterun: -trace requires -sched slate")
+			os.Exit(2)
+		}
+		log := &trace.Log{}
+		log.AddDecisions(decisions())
+		log.AddResults(results)
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "slaterun: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := log.WriteJSONL(f); err != nil {
+			fmt.Fprintf(os.Stderr, "slaterun: %v\n", err)
+			os.Exit(1)
+		}
+		sum := log.Summary()
+		fmt.Printf("trace: %d events → %s (%d corun, %d solo, %d grow)\n",
+			log.Len(), *traceOut, sum["corun"], sum["solo"], sum["grow"])
+	}
+}

@@ -1,0 +1,66 @@
+// Cloudtrace: the multi-tenant GPU-cloud setting — eight applications
+// arriving over time on one device — under vanilla CUDA, MPS, and Slate,
+// with an SM-occupancy timeline of the Slate run.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"slate/harness"
+
+	"slate/internal/daemon"
+	"slate/internal/engine"
+	"slate/internal/run"
+	"slate/internal/trace"
+	"slate/internal/vtime"
+
+	"slate/gpu"
+	"slate/workloads"
+)
+
+func main() {
+	h := harness.New(harness.Config{LoopSeconds: 1.0})
+
+	fmt.Println("running an 8-job arrival trace under CUDA, MPS, and Slate…")
+	r, err := h.CloudTrace(harness.CloudTraceConfig{Jobs: 8, MeanInterArrivalSec: 0.3, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(r.Render())
+
+	// Rerun the Slate case directly to extract its scheduling timeline.
+	dev := gpu.TitanXp()
+	clk := vtime.NewClock()
+	sim := daemon.NewSim(dev, clk, engine.NewTraceModel(dev))
+	sim.Costs.InjectSeconds /= 30
+	sim.Costs.CompileSeconds /= 30
+
+	var jobs []run.Job
+	delay := 0.0
+	for i, code := range []string{"GS", "RG", "BS", "RG"} {
+		app, err := workloads.ByCode(code)
+		if err != nil {
+			log.Fatal(err)
+		}
+		app.Kernel.Name = fmt.Sprintf("%s@%d", app.Kernel.Name, i)
+		m, err := gpu.NewSimulator(dev).RunSolo(app.Kernel, gpu.HardwareSched, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		jobs = append(jobs, run.Job{
+			App:           app,
+			Reps:          run.Reps30s(m.Duration().Seconds(), 0.5),
+			StartDelaySec: delay,
+		})
+		delay += 0.2
+	}
+	if _, err := run.NewDriver(clk, sim).Run(jobs); err != nil {
+		log.Fatal(err)
+	}
+	log2 := &trace.Log{}
+	log2.AddDecisions(sim.Sched.Decisions())
+	fmt.Println("\nSlate SM-occupancy timeline for a 4-job window (█ = whole device):")
+	fmt.Print(log2.Gantt(100, dev.NumSMs))
+}

@@ -1,0 +1,56 @@
+// Customdevice: define your own GPU model and watch the mechanisms move —
+// the stream-saturation knee follows the memory system, and the corun
+// benefit shrinks on a device whose bus has no headroom.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"slate/gpu"
+	"slate/workloads"
+)
+
+func main() {
+	// A hypothetical mid-range part: 20 SMs, narrow bus that 5 SMs saturate.
+	custom := gpu.TitanXp()
+	custom.Name = "Hypothetical mid-range (20 SM, 240 GB/s)"
+	custom.NumSMs = 20
+	custom.DRAM.PeakBandwidth = 240e9
+	custom.DRAM.KneeSMs = 5
+	if err := custom.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, dev := range []*gpu.Device{gpu.TitanXp(), gpu.TeslaV100(), custom} {
+		fmt.Printf("%s\n", dev.Name)
+
+		// Where does a streaming kernel stop scaling?
+		stream := workloads.Stream()
+		var prev float64
+		knee := dev.NumSMs
+		for sms := 1; sms <= dev.NumSMs; sms++ {
+			sim := gpu.NewSimulator(dev)
+			h, err := sim.Launch(stream, gpu.LaunchOpts{
+				Mode: gpu.SlateSched, TaskSize: 10, SMLow: 0, SMHigh: sms - 1,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := sim.Run(); err != nil {
+				log.Fatal(err)
+			}
+			bw := h.Metrics().DRAMBW()
+			if prev > 0 && bw < prev*1.005 {
+				knee = sms - 1
+				break
+			}
+			prev = bw
+		}
+		fmt.Printf("  stream saturates at %d SMs (%.0f GB/s)\n", knee, prev)
+
+		// How much compute is left over once the bus is saturated?
+		spare := float64(dev.NumSMs-knee) / float64(dev.NumSMs)
+		fmt.Printf("  %.0f%% of the device is free compute for a corun partner\n\n", spare*100)
+	}
+}

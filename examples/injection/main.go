@@ -1,0 +1,60 @@
+// Injection: the paper's code-injection pipeline (§IV-B, Listings 1-3) on
+// a real CUDA kernel. The user's saxpy is scanned, its grid flattened, the
+// built-in blockIdx/gridDim replaced, the SM-range guard and task-queue
+// loop wrapped around it, and the result pushed through the runtime
+// compiler — twice, to show the compile cache.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"slate/framework"
+)
+
+const userSource = `// user application code
+#include <cuda_runtime.h>
+
+__global__ void saxpy(const float a, const float *x, float *y, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i >= n) return;           // boundary guard keeps its meaning
+    y[i] = a * x[i] + y[i];
+}
+
+__global__ void stencil2d(float *out, const float *in, int w, int h) {
+    int cx = blockIdx.x * 16 + threadIdx.x;
+    int cy = blockIdx.y * 16 + threadIdx.y;
+    if (cx > 0 && cy > 0 && cx < w-1 && cy < h-1 && blockIdx.y < gridDim.y) {
+        out[cy*w + cx] = 0.25f * (in[cy*w+cx-1] + in[cy*w+cx+1] +
+                                  in[(cy-1)*w+cx] + in[(cy+1)*w+cx]);
+    }
+}
+`
+
+func main() {
+	out, err := framework.InjectSource(userSource, framework.InjectOptions{
+		TaskSize:       10,
+		EmitDispatcher: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== transformed translation unit ===")
+	fmt.Println(out)
+
+	compiler := framework.NewCompiler()
+	img, err := compiler.Compile(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== runtime compilation ===")
+	fmt.Printf("entry points: %v\n", img.Entries)
+
+	// A second launch of the same kernel hits the compile cache — the
+	// one-time cost behind Fig. 6's 1.5% injection bar.
+	if _, err := compiler.Compile(out); err != nil {
+		log.Fatal(err)
+	}
+	compiles, hits := compiler.Stats()
+	fmt.Printf("compiles=%d cacheHits=%d (second launch served from cache)\n", compiles, hits)
+}

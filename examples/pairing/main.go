@@ -1,0 +1,67 @@
+// Pairing: the paper's headline experiment on one pair — run BlackScholes
+// and the QuasiRandomGenerator concurrently under vanilla CUDA, MPS, and
+// Slate on the simulated Titan Xp, and watch the workload-aware corun win
+// (Table IV / Fig. 7's BS-RG bar, paper: Slate +30.55% over MPS).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"slate/baselines"
+	"slate/gpu"
+	"slate/workloads"
+)
+
+func main() {
+	const loopSec = 2.0
+
+	bs, _ := workloads.ByCode("BS")
+	rg, _ := workloads.ByCode("RG")
+
+	// Rep counts per the paper's methodology: loop each kernel to a fixed
+	// solo duration.
+	jobs := make([]baselines.Job, 0, 2)
+	for _, app := range []*workloads.App{bs, rg} {
+		m, err := gpu.NewSimulator(nil).RunSolo(app.Kernel, gpu.HardwareSched, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		jobs = append(jobs, baselines.Job{
+			App:  app,
+			Reps: baselines.Reps30s(m.Duration().Seconds(), loopSec),
+		})
+	}
+
+	type row struct {
+		name string
+		mean float64
+	}
+	var rows []row
+	for _, b := range []struct {
+		name string
+		mk   func(*gpu.Device) *baselines.Runner
+	}{
+		{"CUDA", baselines.NewCUDA},
+		{"MPS", baselines.NewMPS},
+		{"Slate", baselines.NewSlate},
+	} {
+		results, err := b.mk(nil).Run(jobs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mean := 0.0
+		fmt.Printf("%-6s", b.name)
+		for _, r := range results {
+			fmt.Printf("  %s=%.3fs", r.Code, r.AppSec())
+			mean += r.AppSec()
+		}
+		mean /= float64(len(results))
+		fmt.Printf("  mean=%.3fs\n", mean)
+		rows = append(rows, row{b.name, mean})
+	}
+
+	cuda, mps, slate := rows[0].mean, rows[1].mean, rows[2].mean
+	fmt.Printf("\nSlate vs MPS:  %+.1f%%  (paper: +30.55%% for BS-RG)\n", (mps/slate-1)*100)
+	fmt.Printf("Slate vs CUDA: %+.1f%%\n", (cuda/slate-1)*100)
+}

@@ -1,0 +1,40 @@
+package slate_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// Every example must build and run cleanly — examples are documentation,
+// and documentation that stops compiling is worse than none.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples take ~1 minute combined")
+	}
+	cases := []struct {
+		dir  string
+		want string // substring the output must contain
+	}{
+		{"./examples/quickstart", "OK"},
+		{"./examples/pairing", "Slate vs MPS"},
+		{"./examples/resizing", "progress carried over"},
+		{"./examples/injection", "cacheHits=1"},
+		{"./examples/multiprocess", "verify: OK"},
+		{"./examples/cloudtrace", "ANTT"},
+		{"./examples/customdevice", "saturates at 9 SMs"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.TrimPrefix(c.dir, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", c.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", c.dir, err, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Fatalf("%s output missing %q:\n%s", c.dir, c.want, out)
+			}
+		})
+	}
+}

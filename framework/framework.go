@@ -1,0 +1,103 @@
+// Package framework is the public face of the Slate runtime: the daemon
+// (server), the client library, the kernel transformation, and the source
+// injection pipeline. A typical embedded use:
+//
+//	srv, dial := framework.NewLocalDaemon(8)
+//	cli, _ := framework.Connect(srv, dial, "myproc")
+//	buf, _ := cli.Malloc(1 << 20)
+//	cli.Launch(mykernel, framework.DefaultTaskSize)
+//	cli.Synchronize()
+//
+// For separate processes, run cmd/slated and dial its Unix socket.
+package framework
+
+import (
+	"net"
+
+	"slate/internal/client"
+	"slate/internal/daemon"
+	"slate/internal/inject"
+	"slate/internal/kern"
+	"slate/internal/nvrtc"
+	"slate/internal/policy"
+	"slate/internal/transform"
+)
+
+// Re-exported runtime types.
+type (
+	// Daemon is the Slate server: sessions, context funneling, the
+	// workload-aware executor, and the injection/compilation pipeline.
+	Daemon = daemon.Server
+	// Client is one application process's connection to the daemon.
+	Client = client.Client
+	// Buffer is a device allocation (zero-copy for in-process clients).
+	Buffer = client.Buffer
+	// Kernel is an executable kernel descriptor.
+	Kernel = kern.Spec
+	// Dim3 mirrors CUDA launch geometry.
+	Dim3 = kern.Dim3
+	// Transformed is a flattened Slate grid.
+	Transformed = transform.Transformed
+	// Queue is the device task queue with the retreat signal.
+	Queue = transform.Queue
+	// RunResult summarizes one worker-set execution.
+	RunResult = transform.RunResult
+	// Class is a workload class (L_C .. H_M).
+	Class = policy.Class
+	// InjectOptions configures source transformation.
+	InjectOptions = inject.Options
+	// Compiler is the runtime compiler with its compile cache.
+	Compiler = nvrtc.Compiler
+)
+
+// DefaultTaskSize is the paper's SLATE_ITERS default of 10 user blocks per
+// task.
+const DefaultTaskSize = transform.DefaultTaskSize
+
+// NewDaemon builds a daemon whose executor owns the given worker budget.
+func NewDaemon(budget int) *Daemon { return daemon.NewServer(budget) }
+
+// NewLocalDaemon builds an in-process daemon and a dial function producing
+// connected transports.
+func NewLocalDaemon(budget int) (*Daemon, func() net.Conn) { return daemon.NewLocal(budget) }
+
+// Connect attaches a new in-process client to a local daemon.
+func Connect(srv *Daemon, dial func() net.Conn, proc string) (*Client, error) {
+	return client.Local(srv, dial, proc)
+}
+
+// Dial attaches a client over an arbitrary transport (e.g. a Unix socket to
+// cmd/slated). Remote clients move data through transfer commands and use
+// LaunchSource rather than executable specs.
+func Dial(conn net.Conn, proc string) (*Client, error) {
+	return client.New(conn, proc)
+}
+
+// Transform flattens a kernel grid for Slate scheduling.
+func Transform(grid Dim3, taskSize int) (*Transformed, error) {
+	return transform.Transform(grid, taskSize)
+}
+
+// NewQueue creates the task queue for a transformed grid.
+func NewQueue(t *Transformed) *Queue { return transform.NewQueue(t) }
+
+// RunParallel executes fn for every user block with persistent workers
+// pulling from q.
+func RunParallel(t *Transformed, q *Queue, workers int, fn func(glob int, id Dim3)) RunResult {
+	return transform.RunParallel(t, q, workers, fn)
+}
+
+// RunToCompletion repeatedly relaunches worker sets until the queue drains
+// (the dispatch-kernel loop).
+func RunToCompletion(t *Transformed, q *Queue, workers int, resize func(launch int) int, fn func(glob int, id Dim3)) RunResult {
+	return transform.RunToCompletion(t, q, workers, resize, fn)
+}
+
+// InjectSource rewrites every __global__ kernel in CUDA source into its
+// Slate form (Listings 1-3).
+func InjectSource(src string, opt InjectOptions) (string, error) {
+	return inject.Transform(src, opt)
+}
+
+// NewCompiler builds a runtime compiler with an empty cache.
+func NewCompiler() *Compiler { return nvrtc.New() }

@@ -1,0 +1,156 @@
+package framework
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"slate/internal/kern"
+	"slate/workloads"
+)
+
+func TestLocalDaemonEndToEnd(t *testing.T) {
+	srv, dial := NewLocalDaemon(4)
+	cli, err := Connect(srv, dial, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	buf, err := cli.Malloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Data == nil {
+		t.Fatal("in-process buffer should be zero-copy")
+	}
+	bs := workloads.NewBlackScholes(4096)
+	if err := cli.Launch(bs.Kernel(), DefaultTaskSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Synchronize(); err != nil {
+		t.Fatal(err)
+	}
+	c, p := bs.PriceOne(100)
+	if bs.Call[100] != c || bs.Put[100] != p {
+		t.Fatal("kernel result wrong through the framework facade")
+	}
+}
+
+func TestTransformAndQueueFacade(t *testing.T) {
+	tr, err := Transform(kern.D2(16, 16), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewQueue(tr)
+	var count atomic.Int64
+	res := RunParallel(tr, q, 4, func(int, Dim3) { count.Add(1) })
+	if res.BlocksExecuted != 256 || count.Load() != 256 {
+		t.Fatalf("executed %d blocks", res.BlocksExecuted)
+	}
+}
+
+func TestRunToCompletionFacade(t *testing.T) {
+	tr, _ := Transform(kern.D1(1000), 5)
+	q := NewQueue(tr)
+	var count atomic.Int64
+	var retreated atomic.Bool
+	res := RunToCompletion(tr, q, 2, func(launch int) int { return 2 + launch },
+		func(glob int, _ Dim3) {
+			count.Add(1)
+			if glob == 500 && !retreated.Swap(true) {
+				q.Retreat()
+			}
+		})
+	if res.BlocksExecuted != 1000 || count.Load() != 1000 {
+		t.Fatalf("executed %d blocks across relaunches", count.Load())
+	}
+}
+
+func TestInjectAndCompileFacade(t *testing.T) {
+	src := `__global__ void k(float *x, int n) {
+		int i = blockIdx.x * blockDim.x + threadIdx.x;
+		if (i < n) x[i] *= 2.0f;
+	}`
+	out, err := InjectSource(src, InjectOptions{TaskSize: 10, EmitDispatcher: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "slate_k") {
+		t.Fatal("injection produced no slate kernel")
+	}
+	img, err := NewCompiler().Compile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !img.HasEntry("slate_k") || !img.HasEntry("slate_kDispatcher") {
+		t.Fatalf("entries = %v", img.Entries)
+	}
+}
+
+func TestDialRemoteStyle(t *testing.T) {
+	// A client without shared tables behaves like a remote process:
+	// transfers copy through the command channel and Launch is rejected.
+	srv, dialFn := NewLocalDaemon(2)
+	_ = srv
+	cli, err := Dial(dialFn(), "remote")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	buf, err := cli.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Data != nil {
+		t.Fatal("remote buffer should not be zero-copy")
+	}
+	src := []byte("hello, device!")
+	if err := cli.MemcpyH2D(buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, len(src))
+	if err := cli.MemcpyD2H(dst, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(dst) != string(src) {
+		t.Fatalf("remote round trip = %q", dst)
+	}
+	spec := workloads.NewBlackScholes(128).Kernel()
+	if err := cli.Launch(spec, DefaultTaskSize); err == nil {
+		t.Fatal("executable launch accepted without shared spec table")
+	}
+	// The source pipeline works remotely.
+	entries, err := cli.LaunchSource(`__global__ void k(int n) { if (n) return; }`,
+		"k", kern.D1(4), kern.D1(32), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no entries compiled")
+	}
+}
+
+// Remote source launches execute end to end: after Synchronize, the daemon
+// has profiled and run the synthesized kernel through its scheduler.
+func TestLaunchSourceExecutesRemotely(t *testing.T) {
+	srv, dialFn := NewLocalDaemon(2)
+	cli, err := Dial(dialFn(), "remote")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	src := `__global__ void wave(float *x, int n) {
+		int i = blockIdx.x * blockDim.x + threadIdx.x;
+		if (i < n) x[i] += 1.0f;
+	}`
+	if _, err := cli.LaunchSource(src, "wave", kern.D1(64), kern.D1(128), 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Synchronize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := srv.Exec.Profile("src:wave"); !ok {
+		t.Fatal("source kernel never reached the executor")
+	}
+}

@@ -1,0 +1,3 @@
+module slate
+
+go 1.22

@@ -1,0 +1,151 @@
+// Package gpu is the public face of the device simulator: device presets,
+// kernel descriptors, and a Simulator that executes kernel launches on the
+// virtual clock and reports nvprof-style metrics. It exists so downstream
+// users never import internal packages directly.
+package gpu
+
+import (
+	"fmt"
+
+	"slate/internal/device"
+	"slate/internal/engine"
+	"slate/internal/kern"
+	"slate/internal/smsim"
+	"slate/internal/traces"
+	"slate/internal/vtime"
+)
+
+// Re-exported core types; the public names are the supported API.
+type (
+	// Device is a complete GPU model.
+	Device = device.Device
+	// SM describes one streaming multiprocessor.
+	SM = smsim.SM
+	// BlockShape is a kernel's per-block resource footprint.
+	BlockShape = smsim.BlockShape
+	// Kernel is a kernel descriptor (geometry, work model, access pattern,
+	// optional executable body).
+	Kernel = kern.Spec
+	// Dim3 mirrors CUDA launch geometry.
+	Dim3 = kern.Dim3
+	// Metrics carries a kernel execution's counters.
+	Metrics = engine.Metrics
+	// LaunchOpts configures a launch (mode, task size, SM range).
+	LaunchOpts = engine.LaunchOpts
+	// Handle identifies a running or completed kernel instance.
+	Handle = engine.Handle
+	// Mode selects hardware or Slate block scheduling.
+	Mode = engine.Mode
+	// Time is a point in virtual time (nanoseconds).
+	Time = vtime.Time
+	// Duration is a span of virtual time (nanoseconds).
+	Duration = vtime.Duration
+)
+
+// Scheduling modes.
+const (
+	// HardwareSched is the stock block-oriented hardware scheduler.
+	HardwareSched = engine.HardwareSched
+	// SlateSched runs transformed kernels with persistent workers bound to
+	// an SM range.
+	SlateSched = engine.SlateSched
+)
+
+// D1 builds 1D launch geometry.
+func D1(x int) Dim3 { return kern.D1(x) }
+
+// D2 builds 2D launch geometry.
+func D2(x, y int) Dim3 { return kern.D2(x, y) }
+
+// TitanXp returns the paper's evaluation platform model.
+func TitanXp() *Device { return device.TitanXp() }
+
+// TeslaP100 returns a GP100 (56 SM, HBM2) model.
+func TeslaP100() *Device { return device.TeslaP100() }
+
+// TeslaV100 returns a GV100 (80 SM, HBM2) model.
+func TeslaV100() *Device { return device.TeslaV100() }
+
+// JetsonTX2 returns an embedded 2-SM Pascal model.
+func JetsonTX2() *Device { return device.JetsonTX2() }
+
+// Devices returns every built-in device preset.
+func Devices() []*Device {
+	return []*Device{TitanXp(), TeslaP100(), TeslaV100(), JetsonTX2()}
+}
+
+// Pattern re-exports for custom kernels' access models.
+type (
+	// StreamingPattern models private contiguous per-block accesses.
+	StreamingPattern = traces.Streaming
+	// RowSweepPattern models a shared pivot row plus overlapping slices.
+	RowSweepPattern = traces.RowSweep
+	// TiledPattern models SGEMM-style panel reuse.
+	TiledPattern = traces.Tiled
+	// RandomPattern models scattered low-reuse accesses.
+	RandomPattern = traces.Random
+)
+
+// Simulator executes kernel launches on a private virtual clock with the
+// trace-driven performance model.
+type Simulator struct {
+	Dev    *Device
+	Clock  *vtime.Clock
+	Engine *engine.Engine
+	Model  *engine.TraceModel
+}
+
+// NewSimulator builds a simulator for the device (nil selects the Titan
+// Xp).
+func NewSimulator(dev *Device) *Simulator {
+	if dev == nil {
+		dev = TitanXp()
+	}
+	clk := vtime.NewClock()
+	model := engine.NewTraceModel(dev)
+	return &Simulator{Dev: dev, Clock: clk, Engine: engine.New(dev, clk, model), Model: model}
+}
+
+// Launch starts a kernel instance now.
+func (s *Simulator) Launch(spec *Kernel, opts LaunchOpts) (*Handle, error) {
+	return s.Engine.Launch(spec, opts)
+}
+
+// Resize changes a Slate-scheduled instance's designated SM range.
+func (s *Simulator) Resize(h *Handle, smLow, smHigh int) error {
+	return s.Engine.Resize(h, smLow, smHigh)
+}
+
+// OnComplete registers a completion callback.
+func (s *Simulator) OnComplete(h *Handle, fn func(Time)) { s.Engine.OnComplete(h, fn) }
+
+// Run drives the clock until all events drain.
+func (s *Simulator) Run() error {
+	if n := s.Clock.Run(50_000_000); n >= 50_000_000 {
+		return fmt.Errorf("gpu: simulation did not converge")
+	}
+	return nil
+}
+
+// RunSolo launches one kernel on the full device under the given mode,
+// drives it to completion, and returns its metrics.
+func (s *Simulator) RunSolo(spec *Kernel, mode Mode, taskSize int) (Metrics, error) {
+	opts := LaunchOpts{Mode: mode, TaskSize: taskSize}
+	if mode == SlateSched {
+		opts.SMLow, opts.SMHigh = 0, s.Dev.NumSMs-1
+	}
+	h, err := s.Launch(spec, opts)
+	if err != nil {
+		return Metrics{}, err
+	}
+	if err := s.Run(); err != nil {
+		return Metrics{}, err
+	}
+	if !h.Done() {
+		return Metrics{}, fmt.Errorf("gpu: kernel %q did not complete", spec.Name)
+	}
+	return h.Metrics(), nil
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.Clock.Now() }

@@ -1,0 +1,164 @@
+package gpu
+
+import (
+	"testing"
+
+	"slate/workloads"
+)
+
+func TestTitanXpPreset(t *testing.T) {
+	dev := TitanXp()
+	if err := dev.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if dev.NumSMs != 30 {
+		t.Fatalf("NumSMs = %d", dev.NumSMs)
+	}
+}
+
+func TestDimHelpers(t *testing.T) {
+	if D1(5).Count() != 5 || D2(3, 4).Count() != 12 {
+		t.Fatal("geometry helpers broken")
+	}
+}
+
+func TestRunSoloHardwareAndSlate(t *testing.T) {
+	spec := workloads.GS()
+	cuda, err := NewSimulator(nil).RunSolo(spec, HardwareSched, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slate, err := NewSimulator(nil).RunSolo(spec, SlateSched, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slate.Duration() >= cuda.Duration() {
+		t.Fatalf("Slate GS (%v) should beat CUDA GS (%v)", slate.Duration(), cuda.Duration())
+	}
+}
+
+func TestSimulatorLaunchResizeComplete(t *testing.T) {
+	sim := NewSimulator(nil)
+	h, err := sim.Launch(workloads.BS(), LaunchOpts{Mode: SlateSched, TaskSize: 10, SMLow: 0, SMHigh: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	sim.OnComplete(h, func(Time) { fired = true })
+	sim.Clock.After(100_000, func(Time) {
+		if err := sim.Resize(h, 0, 29); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired || !h.Done() {
+		t.Fatal("kernel did not complete")
+	}
+	if h.Metrics().Resizes != 1 {
+		t.Fatalf("resizes = %d", h.Metrics().Resizes)
+	}
+	if sim.Now() <= 0 {
+		t.Fatal("clock did not advance")
+	}
+}
+
+func TestCustomDevice(t *testing.T) {
+	dev := TitanXp()
+	dev.NumSMs = 20
+	dev.Name = "cut-down"
+	m20, err := NewSimulator(dev).RunSolo(workloads.MM(), HardwareSched, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m30, err := NewSimulator(nil).RunSolo(workloads.MM(), HardwareSched, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compute-bound SGEMM scales with SM count: 20 SMs ≈ 1.5× slower.
+	ratio := m20.Duration().Seconds() / m30.Duration().Seconds()
+	if ratio < 1.3 || ratio > 1.7 {
+		t.Fatalf("20-SM/30-SM ratio = %.2f, want ≈1.5", ratio)
+	}
+}
+
+func TestCustomKernelWithPattern(t *testing.T) {
+	spec := &Kernel{
+		Name:          "custom",
+		Grid:          D2(64, 64),
+		BlockDim:      D1(128),
+		FLOPsPerBlock: 1e6, InstrPerBlock: 1e5, L2BytesPerBlock: 1e5,
+		ComputeEff: 0.3, MemMLP: 4,
+		Pattern: StreamingPattern{Blocks: 4096, BytesPerBlock: 1e5, LineBytes: 64},
+	}
+	m, err := NewSimulator(nil).RunSolo(spec, SlateSched, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Duration() <= 0 || m.GFLOPS() <= 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestAllPresetsValidate(t *testing.T) {
+	for _, dev := range Devices() {
+		if err := dev.Validate(); err != nil {
+			t.Errorf("%s: %v", dev.Name, err)
+		}
+	}
+	if len(Devices()) < 4 {
+		t.Fatal("expected at least 4 presets")
+	}
+}
+
+// The stream-saturation knee moves with the device's memory system: V100's
+// HBM2 needs about twice the SMs the Titan Xp's GDDR5X does.
+func TestSaturationKneePerDevice(t *testing.T) {
+	knee := func(dev *Device) int {
+		var prev float64
+		for sms := 1; sms <= dev.NumSMs; sms++ {
+			bw := dev.DRAM.StreamCeiling(sms)
+			if prev > 0 && bw < prev*1.001 {
+				return sms - 1
+			}
+			prev = bw
+		}
+		return dev.NumSMs
+	}
+	xp, v100 := knee(TitanXp()), knee(TeslaV100())
+	if xp != 9 {
+		t.Errorf("Titan Xp knee = %d, want 9", xp)
+	}
+	if v100 <= xp {
+		t.Errorf("V100 knee (%d) should exceed Titan Xp's (%d)", v100, xp)
+	}
+	if jx := knee(JetsonTX2()); jx != 1 {
+		t.Errorf("Jetson knee = %d, want 1 (any SM saturates LPDDR4)", jx)
+	}
+}
+
+// Compute-bound SGEMM scales with each device's peak.
+func TestSGEMMScalesAcrossDevices(t *testing.T) {
+	spec := func() *Kernel { return workloads.MM() }
+	xp, err := NewSimulator(TitanXp()).RunSolo(spec(), HardwareSched, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v100, err := NewSimulator(TeslaV100()).RunSolo(spec(), HardwareSched, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// V100 peak ≈ 1.29× Titan Xp's.
+	speedup := xp.Duration().Seconds() / v100.Duration().Seconds()
+	if speedup < 1.1 || speedup > 1.5 {
+		t.Errorf("V100 SGEMM speedup = %.2f, want ≈1.29", speedup)
+	}
+	jet, err := NewSimulator(JetsonTX2()).RunSolo(spec(), HardwareSched, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jet.Duration().Seconds() < 10*xp.Duration().Seconds() {
+		t.Errorf("Jetson (2 SMs) should be ≥10× slower than the Titan Xp")
+	}
+}

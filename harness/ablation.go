@@ -1,0 +1,173 @@
+package harness
+
+import (
+	"fmt"
+
+	"slate/internal/daemon"
+	"slate/internal/policy"
+	"slate/internal/profile"
+	"slate/internal/run"
+	"slate/internal/sched"
+	"slate/internal/vtime"
+	"slate/workloads"
+)
+
+// AblationVariant is one scheduler-design variant evaluated over the
+// representative pairings.
+type AblationVariant struct {
+	Name string
+	// Desc explains what the variant changes.
+	Desc string
+	// GainVsMPS maps pair → Slate-variant gain over MPS (positive =
+	// variant faster).
+	GainVsMPS map[string]float64
+	// Mean is the average gain over the evaluated pairs.
+	Mean float64
+}
+
+// AblationResult holds the design-choice ablation of DESIGN.md §5: each
+// mechanism the paper's scheduler relies on is disabled or replaced, and
+// the throughput cost measured.
+type AblationResult struct {
+	Pairs    []string
+	Variants []AblationVariant
+}
+
+// ablationPairs are the representative pairings: two corun winners, the
+// non-complementary pair the policy must refuse, the software-scheduling
+// special case, and the imbalance regression.
+var ablationPairs = [][2]string{
+	{"BS", "RG"}, // flagship corun
+	{"GS", "RG"}, // corun with a compute-hungry survivor
+	{"BS", "TR"}, // must NOT corun (both memory-bound)
+	{"GS", "GS"}, // consecutive, software-scheduling gain
+}
+
+// mutator adjusts the simulated daemon before a variant run.
+type mutator func(*daemon.SimBackend)
+
+// Ablations evaluates scheduler-design variants against the same MPS
+// baseline:
+//
+//   - table-i (default): Table I policy + measured-scaling split + grace.
+//   - always-corun: pair anything with anything (no workload awareness).
+//   - never-corun: serialized Slate (software scheduling only).
+//   - even-split: ignore scaling profiles, always split 15/15.
+//   - no-grace: grow the survivor immediately on every completion
+//     (partition thrash on looped kernels).
+func (h *Harness) Ablations() (*AblationResult, error) {
+	variants := []struct {
+		name, desc string
+		mut        mutator
+	}{
+		{"table-i", "paper's policy + scaling split + grace", func(b *daemon.SimBackend) {}},
+		{"always-corun", "corun every pair (no workload awareness)", func(b *daemon.SimBackend) {
+			b.Sched.CorunFn = func(policy.Class, policy.Class) bool { return true }
+		}},
+		{"never-corun", "serialize every pair (software scheduling only)", func(b *daemon.SimBackend) {
+			b.Sched.CorunFn = func(policy.Class, policy.Class) bool { return false }
+		}},
+		{"even-split", "fixed 15/15 partition (no scaling profiles)", func(b *daemon.SimBackend) {
+			b.Sched.SplitFn = func(*profile.Profile, *profile.Profile) int { return b.Dev.NumSMs / 2 }
+		}},
+		{"no-grace", "grow survivor immediately (partition thrash)", func(b *daemon.SimBackend) {
+			b.Sched.GrowGraceSeconds = 0
+		}},
+		{"antt-predict", "§III-B ANTT criterion from scaling profiles", func(b *daemon.SimBackend) {
+			b.Sched.CorunProfiledFn = sched.ANTTPredictCorun(b.Sched, 0.10)
+		}},
+	}
+
+	res := &AblationResult{}
+	// MPS baselines per pair, computed once.
+	mpsMean := map[string]float64{}
+	for _, pc := range ablationPairs {
+		pair, err := h.pairApps(pc)
+		if err != nil {
+			return nil, err
+		}
+		key := pc[0] + "-" + pc[1]
+		res.Pairs = append(res.Pairs, key)
+		rs, err := h.runApps(MPS, pair)
+		if err != nil {
+			return nil, err
+		}
+		mpsMean[key] = meanAppSec(rs)
+	}
+
+	for _, v := range variants {
+		av := AblationVariant{Name: v.name, Desc: v.desc, GainVsMPS: map[string]float64{}}
+		sum := 0.0
+		for _, pc := range ablationPairs {
+			pair, err := h.pairApps(pc)
+			if err != nil {
+				return nil, err
+			}
+			key := pc[0] + "-" + pc[1]
+			mean, err := h.runSlateVariant(pair, v.mut)
+			if err != nil {
+				return nil, fmt.Errorf("ablation %s on %s: %w", v.name, key, err)
+			}
+			gain := mpsMean[key]/mean - 1
+			av.GainVsMPS[key] = gain
+			sum += gain
+		}
+		av.Mean = sum / float64(len(ablationPairs))
+		res.Variants = append(res.Variants, av)
+	}
+	return res, nil
+}
+
+// pairApps resolves a pair of application codes into fresh instances.
+func (h *Harness) pairApps(pc [2]string) ([]*workloads.App, error) {
+	a, err := workloads.ByCode(pc[0])
+	if err != nil {
+		return nil, err
+	}
+	b, err := workloads.ByCode(pc[1])
+	if err != nil {
+		return nil, err
+	}
+	return []*workloads.App{a, b}, nil
+}
+
+// runSlateVariant runs a pair under a mutated Slate daemon.
+func (h *Harness) runSlateVariant(apps []*workloads.App, mut mutator) (float64, error) {
+	jobs := make([]run.Job, len(apps))
+	for i, app := range apps {
+		solo, err := h.soloKernelSec(app.Kernel)
+		if err != nil {
+			return 0, err
+		}
+		jobs[i] = run.Job{App: app, Reps: run.Reps30s(solo, h.Loop)}
+	}
+	clk := vtime.NewClock()
+	sim := daemon.NewSim(h.Dev, clk, h.Model)
+	scale := h.Loop / 30.0
+	sim.Costs.InjectSeconds *= scale
+	sim.Costs.CompileSeconds *= scale
+	mut(sim)
+	rs, err := run.NewDriver(clk, sim).Run(jobs)
+	if err != nil {
+		return 0, err
+	}
+	return meanAppSec(rs), nil
+}
+
+// Render prints the variant × pair gain matrix.
+func (r *AblationResult) Render() string {
+	head := []string{"Variant", "Description"}
+	head = append(head, r.Pairs...)
+	head = append(head, "Mean")
+	var rows [][]string
+	for _, v := range r.Variants {
+		row := []string{v.Name, v.Desc}
+		for _, p := range r.Pairs {
+			row = append(row, pct(v.GainVsMPS[p]))
+		}
+		row = append(row, pct(v.Mean))
+		rows = append(rows, row)
+	}
+	return "Ablation — scheduler design variants, gain vs MPS (higher is better)\n" +
+		table(head, rows)
+}

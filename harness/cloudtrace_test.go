@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCloudTrace(t *testing.T) {
+	r, err := testHarness.CloudTrace(CloudTraceConfig{Jobs: 6, MeanInterArrivalSec: 0.3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Mix) != 6 {
+		t.Fatalf("mix = %v", r.Mix)
+	}
+	for _, s := range Scheds() {
+		// ANTT ≥ ~1 (nothing beats exclusive use by much) and STP ≤ jobs.
+		if r.ANTT[s] < 0.9 {
+			t.Errorf("%v ANTT = %.3f < 0.9", s, r.ANTT[s])
+		}
+		if r.STP[s] <= 0 || r.STP[s] > float64(len(r.Mix))+0.1 {
+			t.Errorf("%v STP = %.3f outside (0, jobs]", s, r.STP[s])
+		}
+		if r.MakespanSec[s] <= 0 {
+			t.Errorf("%v makespan = %v", s, r.MakespanSec[s])
+		}
+	}
+	// Multi-tenant arrival traces are where workload-aware sharing pays:
+	// Slate's ANTT beats MPS's and its STP is at least as high.
+	if r.ANTT[Slate] >= r.ANTT[MPS] {
+		t.Errorf("Slate ANTT %.3f not below MPS %.3f", r.ANTT[Slate], r.ANTT[MPS])
+	}
+	if r.STP[Slate] < r.STP[MPS]*0.98 {
+		t.Errorf("Slate STP %.3f clearly below MPS %.3f", r.STP[Slate], r.STP[MPS])
+	}
+	if !strings.Contains(r.Render(), "ANTT") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestCloudTraceDeterministic(t *testing.T) {
+	cfg := CloudTraceConfig{Jobs: 4, MeanInterArrivalSec: 0.2, Seed: 9}
+	a, err := testHarness.CloudTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := testHarness.CloudTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range a.ANTT {
+		if a.ANTT[s] != b.ANTT[s] || a.STP[s] != b.STP[s] {
+			t.Fatalf("trace not deterministic for sched %d", s)
+		}
+	}
+}
+
+func TestCloudTraceP95(t *testing.T) {
+	r, err := testHarness.CloudTrace(CloudTraceConfig{Jobs: 6, MeanInterArrivalSec: 0.3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range Scheds() {
+		if r.P95NTT[s] < r.ANTT[s]*0.8 {
+			t.Errorf("%v: P95 (%.2f) implausibly below mean (%.2f)", s, r.P95NTT[s], r.ANTT[s])
+		}
+	}
+	// Tail latency improves under Slate too.
+	if r.P95NTT[Slate] >= r.P95NTT[MPS] {
+		t.Errorf("Slate P95 NTT %.2f not below MPS %.2f", r.P95NTT[Slate], r.P95NTT[MPS])
+	}
+}

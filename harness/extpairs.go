@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"fmt"
+
+	"slate/internal/run"
+	"slate/workloads"
+)
+
+// ExtPairRow is one extended pairing's result.
+type ExtPairRow struct {
+	Pair    string
+	Norm    [3]float64 // normalized to CUDA
+	Decided string     // "corun" or "solo" under Slate
+}
+
+// ExtendedPairsResult evaluates pairings drawn from the extended workload
+// suite (Hotspot, Pathfinder, KMeans) — including the M_C policy row the
+// paper's five applications never exercise (KM coruns with H_M partners
+// like TR, refuses M_M partners like BS).
+type ExtendedPairsResult struct {
+	Rows []ExtPairRow
+}
+
+// extendedPairs are chosen to cover fresh Table-I cells.
+var extendedPairs = [][2]string{
+	{"KM", "RG"}, // M_C × L_C → corun
+	{"KM", "TR"}, // M_C × H_M → corun (new cell)
+	{"KM", "KM"}, // M_C × M_C → corun (new cell)
+	{"KM", "BS"}, // M_C × M_M → solo (new cell)
+	{"HS", "RG"}, // M_M × L_C → corun
+	{"HS", "TR"}, // M_M × H_M → solo
+	{"PF", "HS"}, // L_C × M_M → corun
+	{"PF", "PF"}, // L_C × L_C → corun
+}
+
+// ExtendedPairs runs the extended pairings under the three schedulers.
+func (h *Harness) ExtendedPairs() (*ExtendedPairsResult, error) {
+	res := &ExtendedPairsResult{}
+	for _, pc := range extendedPairs {
+		a, err := workloads.ByCode(pc[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := workloads.ByCode(pc[1])
+		if err != nil {
+			return nil, err
+		}
+		if pc[0] == pc[1] {
+			b.Kernel.Name = b.Kernel.Name + "@2"
+		}
+		row := ExtPairRow{Pair: pc[0] + "-" + pc[1]}
+		var mean [3]float64
+		for _, s := range Scheds() {
+			rs, err := h.runApps(s, []*workloads.App{a, b})
+			if err != nil {
+				return nil, fmt.Errorf("extended pair %s under %v: %w", row.Pair, s, err)
+			}
+			mean[s] = meanAppSec(rs)
+		}
+		for _, s := range Scheds() {
+			row.Norm[s] = mean[s] / mean[CUDA]
+		}
+		// Decision recorded from a direct Slate run.
+		jobs := make([]run.Job, 2)
+		for i, app := range []*workloads.App{a, b} {
+			solo, err := h.soloKernelSec(app.Kernel)
+			if err != nil {
+				return nil, err
+			}
+			jobs[i] = run.Job{App: app, Reps: run.Reps30s(solo, h.Loop)}
+		}
+		_, decisions, err := h.runSlateWithDecisions(jobs)
+		if err != nil {
+			return nil, err
+		}
+		row.Decided = "solo"
+		for _, d := range decisions {
+			if d.Action == "corun" {
+				row.Decided = "corun"
+				break
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the extended pairings.
+func (r *ExtendedPairsResult) Render() string {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Pair, row.Decided,
+			f3(row.Norm[CUDA]), f3(row.Norm[MPS]), f3(row.Norm[Slate]),
+			pct(row.Norm[MPS]/row.Norm[Slate] - 1),
+		})
+	}
+	return "Extended pairings — Hotspot/Pathfinder/KMeans (normalized to CUDA)\n" +
+		table([]string{"Pair", "Slate decision", "CUDA", "MPS", "Slate", "Slate vs MPS"}, rows)
+}

@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtendedPairs(t *testing.T) {
+	r, err := testHarness.ExtendedPairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPair := map[string]ExtPairRow{}
+	for _, row := range r.Rows {
+		byPair[row.Pair] = row
+	}
+	// Table I decisions on the fresh cells.
+	wantDecide := map[string]string{
+		"KM-RG": "corun", "KM-TR": "corun", "KM-KM": "corun", "KM-BS": "solo",
+		"HS-RG": "corun", "HS-TR": "solo", "PF-HS": "corun", "PF-PF": "corun",
+	}
+	for pair, want := range wantDecide {
+		row, ok := byPair[pair]
+		if !ok {
+			t.Fatalf("pair %s missing", pair)
+		}
+		if row.Decided != want {
+			t.Errorf("%s decided %s, Table I says %s", pair, row.Decided, want)
+		}
+	}
+	// The corun-with-H_M cell pays off: KM-TR gains over MPS.
+	if g := byPair["KM-TR"].Norm[MPS]/byPair["KM-TR"].Norm[Slate] - 1; g < 0.05 {
+		t.Errorf("KM-TR gain %.1f%%; M_C×H_M corun should win", g*100)
+	}
+	// Refused pairs stay near MPS parity.
+	if g := byPair["KM-BS"].Norm[MPS]/byPair["KM-BS"].Norm[Slate] - 1; g < -0.10 {
+		t.Errorf("KM-BS loses %.1f%% vs MPS; refusing the corun should be safe", -g*100)
+	}
+	// The stencil's inter-block halo pays off big with a low-intensity
+	// partner.
+	if g := byPair["HS-RG"].Norm[MPS]/byPair["HS-RG"].Norm[Slate] - 1; g < 0.25 {
+		t.Errorf("HS-RG gain %.1f%%, want ≥25%%", g*100)
+	}
+	if g := byPair["PF-HS"].Norm[MPS]/byPair["PF-HS"].Norm[Slate] - 1; g < 0.15 {
+		t.Errorf("PF-HS gain %.1f%%, want ≥15%%", g*100)
+	}
+	// Table I's known blind spot, surfaced by the extension: corunning two
+	// linearly-scaling kernels (PF-PF, KM-KM) is a wash — the table says
+	// corun, the outcome is ≈serialization minus overheads.
+	for _, pair := range []string{"PF-PF", "KM-KM"} {
+		g := byPair[pair].Norm[MPS]/byPair[pair].Norm[Slate] - 1
+		if g > 0.12 || g < -0.12 {
+			t.Errorf("%s gain %.1f%%; linear-scaling self-pairs should be ≈neutral", pair, g*100)
+		}
+	}
+	if !strings.Contains(r.Render(), "KM-TR") {
+		t.Error("render incomplete")
+	}
+}

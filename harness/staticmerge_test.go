@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStaticMergeComparison(t *testing.T) {
+	r, err := testHarness.StaticMerge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(r.Rows))
+	}
+	byPair := map[string]StaticMergeRow{}
+	for _, row := range r.Rows {
+		byPair[row.Pair] = row
+		// Slate corun always beats serial for RG pairings…
+		if row.SlateSec >= row.SerialSec {
+			t.Errorf("%s: Slate corun (%.3fms) no better than serial (%.3fms)",
+				row.Pair, row.SlateSec*1e3, row.SerialSec*1e3)
+		}
+		// …and never loses meaningfully to the compile-time static merge.
+		if row.SlateSec > row.MergedSec*1.05 {
+			t.Errorf("%s: Slate (%.3fms) loses to static merge (%.3fms)",
+				row.Pair, row.SlateSec*1e3, row.MergedSec*1e3)
+		}
+	}
+	// The static merge's failure mode: an even compile-time split starves a
+	// compute-hungry partner and cannot reclaim the finisher's SMs, so it
+	// loses to SERIAL on GS-RG and MM-RG — while Slate still wins. This is
+	// the gap between KernelMerge-style approaches and runtime scheduling.
+	for _, pair := range []string{"GS-RG", "MM-RG"} {
+		row := byPair[pair]
+		if row.MergedSec <= row.SerialSec {
+			t.Errorf("%s: static merge (%.1fms) unexpectedly beat serial (%.1fms); the failure mode vanished",
+				pair, row.MergedSec*1e3, row.SerialSec*1e3)
+		}
+		if row.SlateSec > row.MergedSec*0.8 {
+			t.Errorf("%s: Slate (%.1fms) should beat the static merge (%.1fms) by ≥20%%",
+				pair, row.SlateSec*1e3, row.MergedSec*1e3)
+		}
+	}
+	if !strings.Contains(r.Render(), "StaticMerge") {
+		t.Error("render incomplete")
+	}
+}

@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"fmt"
+
+	"slate/internal/svgplot"
+)
+
+// SVG renders Fig. 1 as a line chart.
+func (r *Fig1Result) SVG() string {
+	ticks := make([]string, len(r.Points))
+	vals := make([]float64, len(r.Points))
+	for i, p := range r.Points {
+		ticks[i] = fmt.Sprintf("%d", p.SMs)
+		vals[i] = p.BandwidthGBs
+	}
+	c := &svgplot.Chart{
+		Title:  "Fig. 1 — Stream read bandwidth vs SM count",
+		XLabel: "SMs", YLabel: "GB/s",
+		XTicks: ticks,
+		Series: []svgplot.Series{{Name: "stream (6 GB)", Values: vals}},
+	}
+	return c.Line()
+}
+
+// SVG renders Fig. 5 as one line per application over the task sizes,
+// normalized to task size 10.
+func (r *Fig5Result) SVG() string {
+	ticks := make([]string, len(r.TaskSizes))
+	for i, ts := range r.TaskSizes {
+		ticks[i] = fmt.Sprintf("%d", ts)
+	}
+	base := indexOf(r.TaskSizes, 10)
+	var series []svgplot.Series
+	for _, row := range r.Rows {
+		vals := make([]float64, len(row.Seconds))
+		for i, s := range row.Seconds {
+			if base >= 0 && row.Seconds[base] > 0 {
+				vals[i] = s / row.Seconds[base]
+			} else {
+				vals[i] = s
+			}
+		}
+		series = append(series, svgplot.Series{Name: row.Code, Values: vals})
+	}
+	c := &svgplot.Chart{
+		Title:  "Fig. 5 — Kernel time vs task size (normalized to 10)",
+		XLabel: "SLATE_ITERS", YLabel: "normalized time",
+		XTicks: ticks, Series: series,
+	}
+	return c.Line()
+}
+
+// SVG renders Fig. 6 as grouped bars of application time per scheduler.
+func (r *Fig6Result) SVG() string {
+	order := []string{}
+	perSched := map[Sched][]float64{}
+	for _, row := range r.Rows {
+		if row.Sched == CUDA {
+			order = append(order, row.Code)
+		}
+	}
+	for _, s := range Scheds() {
+		for _, row := range r.Rows {
+			if row.Sched == s {
+				perSched[s] = append(perSched[s], row.AppSec)
+			}
+		}
+	}
+	var series []svgplot.Series
+	for _, s := range Scheds() {
+		series = append(series, svgplot.Series{Name: s.String(), Values: perSched[s]})
+	}
+	c := &svgplot.Chart{
+		Title:  "Fig. 6 — Solo application execution time",
+		XLabel: "application", YLabel: "seconds",
+		XTicks: order, Series: series,
+	}
+	return c.Bars()
+}
+
+// SVG renders Fig. 7 as grouped bars of normalized time per pairing.
+func (r *Fig7Result) SVG() string {
+	ticks := make([]string, len(r.Rows))
+	var cuda, mps, slate []float64
+	for i, row := range r.Rows {
+		ticks[i] = row.Pair
+		cuda = append(cuda, row.Norm[CUDA])
+		mps = append(mps, row.Norm[MPS])
+		slate = append(slate, row.Norm[Slate])
+	}
+	c := &svgplot.Chart{
+		Title:  "Fig. 7 — Normalized application time per pairing (CUDA = 1)",
+		XLabel: "pairing", YLabel: "normalized time",
+		XTicks: ticks,
+		Series: []svgplot.Series{
+			{Name: "CUDA", Values: cuda},
+			{Name: "MPS", Values: mps},
+			{Name: "Slate", Values: slate},
+		},
+		Width: 980,
+	}
+	return c.Bars()
+}

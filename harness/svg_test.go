@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigureSVGs(t *testing.T) {
+	f1, err := testHarness.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := f1.SVG()
+	if !strings.Contains(svg, "<polyline") || !strings.Contains(svg, "Fig. 1") {
+		t.Error("Fig1 SVG incomplete")
+	}
+
+	f5, err := testHarness.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg = f5.SVG()
+	// One polyline per application.
+	if got := strings.Count(svg, "<polyline"); got != 5 {
+		t.Errorf("Fig5 polylines = %d, want 5", got)
+	}
+
+	f6, err := testHarness.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg = f6.SVG()
+	if !strings.Contains(svg, "Slate") || strings.Count(svg, "<rect") < 15 {
+		t.Error("Fig6 SVG missing bars")
+	}
+
+	f7, err := testHarness.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg = f7.SVG()
+	// 15 pairings × 3 schedulers of bars plus legend/background.
+	if got := strings.Count(svg, "<rect"); got < 45 {
+		t.Errorf("Fig7 rects = %d, want ≥45", got)
+	}
+	if !strings.Contains(svg, "BS-RG") {
+		t.Error("Fig7 tick labels missing")
+	}
+}

@@ -1,0 +1,37 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTriplesExtension(t *testing.T) {
+	r, err := testHarness.Triples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	threeWay := 0
+	for _, row := range r.Rows {
+		if row.MeanSec[CUDA] <= 0 || row.MeanSec[Slate] <= 0 {
+			t.Fatalf("%s: missing results %+v", row.Triple, row.MeanSec)
+		}
+		threeWay += row.Coruns3
+		// Slate with 3-way sharing should beat MPS on every complementary
+		// mix (all mixes include RG partners).
+		if gain := row.MeanSec[MPS]/row.MeanSec[Slate] - 1; gain < 0.02 {
+			t.Errorf("%s: Slate3 gain %.1f%% vs MPS; the mix is built to corun", row.Triple, gain*100)
+		}
+	}
+	if threeWay == 0 {
+		t.Error("no three-way corun admissions happened in any mix")
+	}
+	if r.SlateVsMPS < 0.05 {
+		t.Errorf("mean Slate3 gain %.1f%%", r.SlateVsMPS*100)
+	}
+	if !strings.Contains(r.Render(), "3-way coruns") {
+		t.Error("render incomplete")
+	}
+}

@@ -1,0 +1,260 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func small() Config { return Config{SizeBytes: 4096, LineBytes: 64, Ways: 4} } // 16 sets
+
+func TestGeometry(t *testing.T) {
+	c := New(small())
+	if c.Sets() != 16 || c.Ways() != 4 || c.LineBytes() != 64 {
+		t.Fatalf("geometry = %d sets x %d ways x %dB", c.Sets(), c.Ways(), c.LineBytes())
+	}
+	if c.SizeBytes() != 4096 {
+		t.Fatalf("SizeBytes = %d", c.SizeBytes())
+	}
+}
+
+func TestTitanXpL2Geometry(t *testing.T) {
+	c := New(TitanXpL2())
+	if c.SizeBytes() != 3<<20 {
+		t.Fatalf("L2 size = %d, want %d", c.SizeBytes(), 3<<20)
+	}
+	if c.LineBytes() != 64 {
+		t.Fatalf("L2 line = %d", c.LineBytes())
+	}
+}
+
+func TestInvalidGeometryPanics(t *testing.T) {
+	cases := []Config{
+		{SizeBytes: 4096, LineBytes: 48, Ways: 4}, // non power-of-two line
+		{SizeBytes: 100, LineBytes: 64, Ways: 4},  // size not multiple of line
+		{SizeBytes: 0, LineBytes: 64, Ways: 4},
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: invalid geometry did not panic", i)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := New(small())
+	if c.Access(0x1000) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0x1000) {
+		t.Fatal("repeat access missed")
+	}
+	if !c.Access(0x1000 + 63) {
+		t.Fatal("same-line access missed")
+	}
+	if c.Access(0x1000 + 64) {
+		t.Fatal("next-line access hit cold")
+	}
+	st := c.Stats()
+	if st.Accesses != 4 || st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(small())
+	// Fill one set (ways=4): addresses with the same set index are
+	// setBytes = sets*line = 16*64 = 1024 apart.
+	stride := uint64(1024)
+	for i := uint64(0); i < 4; i++ {
+		c.Access(i * stride)
+	}
+	// Touch line 0 to make line 1 the LRU.
+	c.Access(0)
+	// Install a 5th line: must evict line at stride*1.
+	c.Access(4 * stride)
+	if !c.Access(0) {
+		t.Fatal("recently used line was evicted")
+	}
+	if c.Access(1 * stride) {
+		t.Fatal("LRU line survived eviction")
+	}
+	if c.Stats().Evictions < 1 {
+		t.Fatal("no evictions recorded")
+	}
+}
+
+func TestWorkingSetFitsNoCapacityMisses(t *testing.T) {
+	c := New(small())
+	// Working set exactly = capacity: sequential lines, two passes.
+	lines := c.SizeBytes() / c.LineBytes()
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < lines; i++ {
+			c.Access(uint64(i * c.LineBytes()))
+		}
+	}
+	st := c.Stats()
+	if st.Misses != uint64(lines) {
+		t.Fatalf("misses = %d, want only %d cold misses", st.Misses, lines)
+	}
+	if got := st.HitRate(); got != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", got)
+	}
+}
+
+func TestStreamingThrashes(t *testing.T) {
+	c := New(small())
+	// Working set = 4x capacity, sequential, repeated: LRU thrashes fully.
+	lines := 4 * c.SizeBytes() / c.LineBytes()
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < lines; i++ {
+			c.Access(uint64(i * c.LineBytes()))
+		}
+	}
+	if hr := c.Stats().HitRate(); hr != 0 {
+		t.Fatalf("sequential over-capacity scan hit rate = %v, want 0", hr)
+	}
+}
+
+func TestFullyAssociative(t *testing.T) {
+	c := New(Config{SizeBytes: 1024, LineBytes: 64, Ways: 0})
+	if c.Sets() != 1 || c.Ways() != 16 {
+		t.Fatalf("fully associative geometry = %d sets x %d ways", c.Sets(), c.Ways())
+	}
+	// Any 16 distinct lines should coexist regardless of address bits.
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]uint64, 16)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1 << 30))
+		c.Access(addrs[i])
+	}
+	for _, a := range addrs {
+		if !c.Access(a) {
+			// could collide in line address; regenerate is overkill — lines
+			// are distinct with overwhelming probability at this seed.
+			t.Fatalf("line %#x evicted in fully associative cache within capacity", a)
+		}
+	}
+}
+
+func TestAccessRange(t *testing.T) {
+	c := New(small())
+	hits, total := c.AccessRange(0, 256) // 4 lines
+	if hits != 0 || total != 4 {
+		t.Fatalf("first pass hits=%d total=%d", hits, total)
+	}
+	hits, total = c.AccessRange(0, 256)
+	if hits != 4 || total != 4 {
+		t.Fatalf("second pass hits=%d total=%d", hits, total)
+	}
+	// Unaligned range spanning two lines.
+	hits, total = c.AccessRange(60, 8)
+	if total != 2 {
+		t.Fatalf("unaligned total=%d, want 2", total)
+	}
+	if h, tot := c.AccessRange(0, 0); h != 0 || tot != 0 {
+		t.Fatal("zero-size range accessed lines")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(small())
+	c.Access(0)
+	c.Reset()
+	if c.Stats().Accesses != 0 {
+		t.Fatal("stats survived Reset")
+	}
+	if c.Access(0) {
+		t.Fatal("contents survived Reset")
+	}
+}
+
+func TestMissRatioCurveMonotonicOnLoop(t *testing.T) {
+	// A looped sequential trace has a miss ratio that is nonincreasing in
+	// capacity (classic stack property holds for LRU with fixed geometry;
+	// we use fully associative to guarantee inclusion).
+	trace := make([]uint64, 0, 4096)
+	for pass := 0; pass < 4; pass++ {
+		for i := 0; i < 1024; i++ {
+			trace = append(trace, uint64(i*64))
+		}
+	}
+	sizes := []int{1 << 12, 1 << 14, 1 << 16, 1 << 18}
+	mrc := MissRatioCurve(Config{LineBytes: 64, Ways: 0}, trace, sizes)
+	for i := 1; i < len(mrc); i++ {
+		if mrc[i] > mrc[i-1]+1e-12 {
+			t.Fatalf("MRC not nonincreasing: %v", mrc)
+		}
+	}
+	if mrc[len(mrc)-1] >= mrc[0] {
+		t.Fatalf("MRC flat where reuse exists: %v", mrc)
+	}
+}
+
+// Property: hits + misses == accesses, and hit rate is in [0,1], for random
+// traces on random valid geometries.
+func TestPropertyStatsConsistent(t *testing.T) {
+	f := func(seed int64, raw []uint32) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ways := 1 << rng.Intn(4)
+		lineB := 32 << rng.Intn(3)
+		sets := 1 << rng.Intn(6)
+		c := New(Config{SizeBytes: sets * ways * lineB, LineBytes: lineB, Ways: ways})
+		for _, a := range raw {
+			c.Access(uint64(a))
+		}
+		st := c.Stats()
+		if st.Hits+st.Misses != st.Accesses {
+			return false
+		}
+		hr := st.HitRate()
+		return hr >= 0 && hr <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (LRU inclusion): for fully associative LRU, a larger cache never
+// misses on an access that a smaller cache hits.
+func TestPropertyLRUInclusion(t *testing.T) {
+	f := func(raw []uint16) bool {
+		smallC := New(Config{SizeBytes: 1024, LineBytes: 64, Ways: 0})
+		bigC := New(Config{SizeBytes: 4096, LineBytes: 64, Ways: 0})
+		for _, a := range raw {
+			hs := smallC.Access(uint64(a) * 64)
+			hb := bigC.Access(uint64(a) * 64)
+			if hs && !hb {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAccessHit(b *testing.B) {
+	c := New(TitanXpL2())
+	c.Access(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0)
+	}
+}
+
+func BenchmarkAccessStreaming(b *testing.B) {
+	c := New(TitanXpL2())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i) * 64)
+	}
+}

@@ -1,0 +1,212 @@
+// Package client is the Slate user-side library (§IV-A1): a thin wrapper
+// over the CUDA-like API whose calls travel the command channel to the
+// daemon, while bulk data lives in shared buffers. In-process clients get
+// zero-copy buffer views; remote clients move bytes through explicit
+// transfer commands.
+package client
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"slate/internal/daemon"
+	"slate/internal/ipc"
+	"slate/internal/kern"
+)
+
+// Buffer is a device allocation visible to the client.
+type Buffer struct {
+	Handle uint64
+	// DevPtr is the daemon-recorded device pointer (opaque).
+	DevPtr uint64
+	// Data is the zero-copy view for in-process clients; nil for remote.
+	Data []byte
+	size int64
+}
+
+// Size returns the allocation size.
+func (b *Buffer) Size() int64 { return b.size }
+
+// Client is one application process's connection to the Slate daemon.
+type Client struct {
+	conn  *ipc.Conn
+	reg   *ipc.BufferRegistry // shared registry when in-process
+	specs *daemon.SpecTable   // shared spec table when in-process
+
+	mu  sync.Mutex
+	seq uint64
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithShared attaches the daemon's registry and spec table for in-process
+// zero-copy operation.
+func WithShared(reg *ipc.BufferRegistry, specs *daemon.SpecTable) Option {
+	return func(c *Client) {
+		c.reg = reg
+		c.specs = specs
+	}
+}
+
+// New wraps a transport connection and performs the hello handshake.
+func New(nc net.Conn, proc string, opts ...Option) (*Client, error) {
+	c := &Client{conn: ipc.NewConn(nc)}
+	for _, o := range opts {
+		o(c)
+	}
+	if _, err := c.call(&ipc.Request{Op: ipc.OpHello, Proc: proc}); err != nil {
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	return c, nil
+}
+
+// Local connects a new in-process client to a daemon built with
+// daemon.NewLocal.
+func Local(srv *daemon.Server, dial func() net.Conn, proc string) (*Client, error) {
+	return New(dial(), proc, WithShared(srv.Registry, srv.Specs))
+}
+
+// call issues one synchronous command round trip.
+func (c *Client) call(req *ipc.Request) (*ipc.Reply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	req.Seq = c.seq
+	if err := c.conn.SendRequest(req); err != nil {
+		return nil, err
+	}
+	rep, err := c.conn.RecvReply()
+	if err != nil {
+		return nil, err
+	}
+	if rep.Seq != req.Seq {
+		return nil, fmt.Errorf("client: reply %d for request %d", rep.Seq, req.Seq)
+	}
+	if rep.Err != "" {
+		return rep, fmt.Errorf("client: %s: %s", req.Op, rep.Err)
+	}
+	return rep, nil
+}
+
+// Malloc allocates a shared buffer, mirroring cudaMalloc.
+func (c *Client) Malloc(size int64) (*Buffer, error) {
+	rep, err := c.call(&ipc.Request{Op: ipc.OpMalloc, Size: size})
+	if err != nil {
+		return nil, err
+	}
+	buf := &Buffer{Handle: rep.Buf, DevPtr: rep.DevPtr, size: size}
+	if c.reg != nil {
+		data, err := c.reg.Get(rep.Buf)
+		if err != nil {
+			return nil, err
+		}
+		buf.Data = data
+	}
+	return buf, nil
+}
+
+// Free releases a buffer, mirroring cudaFree.
+func (c *Client) Free(b *Buffer) error {
+	_, err := c.call(&ipc.Request{Op: ipc.OpFree, Buf: b.Handle})
+	b.Data = nil
+	return err
+}
+
+// MemcpyH2D copies host bytes into a device buffer. In-process clients
+// write the shared buffer directly and the command only validates the
+// handle (the paper's zero-copy data channel); remote clients ship the
+// bytes with the command.
+func (c *Client) MemcpyH2D(b *Buffer, src []byte) error {
+	if int64(len(src)) > b.size {
+		return fmt.Errorf("client: H2D of %d bytes into %d-byte buffer", len(src), b.size)
+	}
+	if b.Data != nil {
+		copy(b.Data, src)
+		_, err := c.call(&ipc.Request{Op: ipc.OpMemcpyH2D, Buf: b.Handle})
+		return err
+	}
+	_, err := c.call(&ipc.Request{Op: ipc.OpMemcpyH2D, Buf: b.Handle, Data: src})
+	return err
+}
+
+// MemcpyD2H copies a device buffer back to host bytes.
+func (c *Client) MemcpyD2H(dst []byte, b *Buffer) error {
+	if b.Data != nil {
+		copy(dst, b.Data)
+		_, err := c.call(&ipc.Request{Op: ipc.OpMemcpyD2H, Buf: b.Handle})
+		return err
+	}
+	rep, err := c.call(&ipc.Request{Op: ipc.OpMemcpyD2H, Buf: b.Handle, Size: int64(len(dst))})
+	if err != nil {
+		return err
+	}
+	copy(dst, rep.Data)
+	return nil
+}
+
+// Launch submits an executable kernel spec on the default stream
+// (in-process clients only). The launch is asynchronous, like
+// cudaLaunchKernel; failures surface at Synchronize.
+func (c *Client) Launch(spec *kern.Spec, taskSize int) error {
+	return c.LaunchStream(spec, taskSize, 0)
+}
+
+// LaunchStream submits a kernel on a specific stream: launches on one
+// stream execute in order; different streams run concurrently and may
+// corun under the workload-aware executor.
+func (c *Client) LaunchStream(spec *kern.Spec, taskSize, stream int) error {
+	if c.specs == nil {
+		return fmt.Errorf("client: executable launches require an in-process daemon; use LaunchSource remotely")
+	}
+	if stream < 0 {
+		return fmt.Errorf("client: invalid stream %d", stream)
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	tok := c.specs.Put(spec)
+	_, err := c.call(&ipc.Request{Op: ipc.OpLaunch, Token: tok, TaskSize: taskSize, Stream: stream})
+	return err
+}
+
+// LaunchSource runs the injection + runtime-compilation pipeline on CUDA
+// source and returns the compiled Slate entry points.
+func (c *Client) LaunchSource(source, kernel string, grid, block kern.Dim3, taskSize int) ([]string, error) {
+	rep, err := c.call(&ipc.Request{
+		Op: ipc.OpLaunchSource, Source: source, Kernel: kernel, TaskSize: taskSize,
+		GridX: grid.X, GridY: grid.Y, BlockX: block.X, BlockY: block.Y,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep.Entries, nil
+}
+
+// Synchronize blocks until every launched kernel completes, mirroring
+// cudaDeviceSynchronize.
+func (c *Client) Synchronize() error {
+	_, err := c.call(&ipc.Request{Op: ipc.OpSynchronize, Stream: -1})
+	return err
+}
+
+// SynchronizeStream blocks until the stream's launches complete, mirroring
+// cudaStreamSynchronize.
+func (c *Client) SynchronizeStream(stream int) error {
+	if stream < 0 {
+		return fmt.Errorf("client: invalid stream %d", stream)
+	}
+	_, err := c.call(&ipc.Request{Op: ipc.OpSynchronize, Stream: stream})
+	return err
+}
+
+// Close ends the session.
+func (c *Client) Close() error {
+	_, callErr := c.call(&ipc.Request{Op: ipc.OpClose})
+	closeErr := c.conn.Close()
+	if callErr != nil {
+		return callErr
+	}
+	return closeErr
+}

@@ -1,0 +1,220 @@
+package client
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"slate/internal/daemon"
+	"slate/internal/kern"
+	"slate/workloads"
+)
+
+func local(t *testing.T) (*daemon.Server, *Client) {
+	t.Helper()
+	srv, dial := daemon.NewLocal(4)
+	c, err := Local(srv, dial, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, c
+}
+
+func TestMallocMemcpyFree(t *testing.T) {
+	srv, c := local(t)
+	defer c.Close()
+	buf, err := c.Malloc(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.DevPtr == 0 || buf.Data == nil || buf.Size() != 1024 {
+		t.Fatalf("buffer = %+v", buf)
+	}
+	src := make([]byte, 1024)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	if err := c.MemcpyH2D(buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 1024)
+	if err := c.MemcpyD2H(dst, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if dst[i] != src[i] {
+			t.Fatalf("byte %d: %d != %d", i, dst[i], src[i])
+		}
+	}
+	if srv.Registry.Len() != 1 {
+		t.Fatalf("registry has %d buffers, want 1", srv.Registry.Len())
+	}
+	if err := c.Free(buf); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Registry.Len() != 0 {
+		t.Fatal("free did not reclaim")
+	}
+}
+
+func TestMemcpyOverflowRejected(t *testing.T) {
+	_, c := local(t)
+	defer c.Close()
+	buf, _ := c.Malloc(16)
+	if err := c.MemcpyH2D(buf, make([]byte, 32)); err == nil {
+		t.Fatal("overflowing H2D accepted")
+	}
+}
+
+// End-to-end: a kernel operating on daemon-shared buffers, launched through
+// the full client→daemon→executor→transform pipeline.
+func TestLaunchExecutesRealKernel(t *testing.T) {
+	_, c := local(t)
+	defer c.Close()
+
+	const n = 4096
+	buf, err := c.Malloc(4 * n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill with float32(i) via the zero-copy view.
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(buf.Data[4*i:], math.Float32bits(float32(i)))
+	}
+
+	// A scale-by-2 kernel over the shared buffer: 64 threads per block.
+	spec := &kern.Spec{
+		Name:            "scale2",
+		Grid:            kern.D1(n / 64),
+		BlockDim:        kern.D1(64),
+		FLOPsPerBlock:   64,
+		InstrPerBlock:   64,
+		L2BytesPerBlock: 512,
+		ComputeEff:      0.5,
+		Exec: func(blk int) {
+			for k := 0; k < 64; k++ {
+				i := blk*64 + k
+				v := math.Float32frombits(binary.LittleEndian.Uint32(buf.Data[4*i:]))
+				binary.LittleEndian.PutUint32(buf.Data[4*i:], math.Float32bits(v*2))
+			}
+		},
+	}
+	// First launch profiles, second runs through the scheduler; both must
+	// execute exactly once each.
+	if err := c.Launch(spec, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Synchronize(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		got := math.Float32frombits(binary.LittleEndian.Uint32(buf.Data[4*i:]))
+		if got != float32(i)*2 {
+			t.Fatalf("element %d = %v, want %v", i, got, float32(i)*2)
+		}
+	}
+}
+
+func TestLaunchInvalidSpec(t *testing.T) {
+	_, c := local(t)
+	defer c.Close()
+	bad := &kern.Spec{Name: "bad"}
+	if err := c.Launch(bad, 4); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	noExec := &kern.Spec{
+		Name: "noexec", Grid: kern.D1(4), BlockDim: kern.D1(32),
+		ComputeEff: 0.5,
+	}
+	if err := c.Launch(noExec, 4); err != nil {
+		t.Fatal(err) // accepted at launch...
+	}
+	if err := c.Synchronize(); err == nil {
+		t.Fatal("kernel without body executed") // ...rejected at sync
+	}
+}
+
+func TestLaunchSourcePipeline(t *testing.T) {
+	_, c := local(t)
+	defer c.Close()
+	src := `__global__ void saxpy(const float a, const float *x, float *y, int n) {
+		int i = blockIdx.x * blockDim.x + threadIdx.x;
+		if (i < n) y[i] = a * x[i] + y[i];
+	}`
+	entries, err := c.LaunchSource(src, "saxpy", kern.D1(256), kern.D1(128), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range entries {
+		if e == "slate_saxpy" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("entries = %v", entries)
+	}
+	if _, err := c.LaunchSource("int main() {}", "saxpy", kern.D1(1), kern.D1(1), 10); err == nil {
+		t.Fatal("kernel-free source accepted")
+	}
+}
+
+// Two client processes sharing the daemon: context funneling plus
+// workload-aware corunning, executing real math concurrently.
+func TestTwoClientsFunnelAndCorun(t *testing.T) {
+	srv, dial := daemon.NewLocal(4)
+	var wg sync.WaitGroup
+	results := make([]*workloads.Transpose, 2)
+	errs := make([]error, 2)
+	for p := 0; p < 2; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Local(srv, dial, "proc")
+			if err != nil {
+				errs[p] = err
+				return
+			}
+			defer c.Close()
+			tr := NewTransposeForTest()
+			results[p] = tr
+			for rep := 0; rep < 3; rep++ {
+				if err := c.Launch(tr.Kernel(), 2); err != nil {
+					errs[p] = err
+					return
+				}
+				if err := c.Synchronize(); err != nil {
+					errs[p] = err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for p, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", p, err)
+		}
+	}
+	for p, tr := range results {
+		if !tr.Verify() {
+			t.Fatalf("client %d computed a wrong transpose under concurrency", p)
+		}
+	}
+	// Session teardown completes asynchronously after the close reply.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Sessions() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("sessions leaked: %d", srv.Sessions())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// NewTransposeForTest builds a small real workload instance.
+func NewTransposeForTest() *workloads.Transpose {
+	return workloads.NewTranspose(256)
+}

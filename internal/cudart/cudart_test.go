@@ -1,0 +1,133 @@
+package cudart
+
+import (
+	"testing"
+
+	"slate/internal/device"
+	"slate/internal/engine"
+	"slate/internal/kern"
+	"slate/internal/vtime"
+)
+
+func spec(name string, blocks int) *kern.Spec {
+	return &kern.Spec{
+		Name: name, Grid: kern.D1(blocks), BlockDim: kern.D1(256),
+		FLOPsPerBlock: 1e7, InstrPerBlock: 1e5, L2BytesPerBlock: 1e4,
+		ComputeEff: 0.8,
+	}
+}
+
+func newBackend() (*Backend, *vtime.Clock) {
+	clk := vtime.NewClock()
+	dev := device.TitanXp()
+	return New(dev, clk, &engine.StaticModel{DefaultHit: 0, DefaultRunBytes: 1 << 20, SlateRunFactor: 1}), clk
+}
+
+func TestExclusiveSerialization(t *testing.T) {
+	b, clk := newBackend()
+	a, bb := spec("a", 2400), spec("b", 2400)
+	var ends []vtime.Time
+	var overlap bool
+	running := 0
+	submit := func(s *kern.Spec) {
+		if err := b.Submit(s, func(at vtime.Time, _ engine.Metrics) {
+			running--
+			ends = append(ends, at)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		running++
+		if running > 2 {
+			overlap = true
+		}
+	}
+	submit(a)
+	submit(bb)
+	clk.Run(0)
+	if len(ends) != 2 {
+		t.Fatalf("completions = %d, want 2", len(ends))
+	}
+	if overlap {
+		t.Fatal("more than the submitted pair tracked")
+	}
+	// Strict serialization: second completion ≈ 2× first (+switch).
+	if ends[1] < ends[0]*2-vtime.Time(1e6) {
+		t.Fatalf("kernels overlapped under vanilla CUDA: %v then %v", ends[0], ends[1])
+	}
+}
+
+func TestContextSwitchCounting(t *testing.T) {
+	b, clk := newBackend()
+	a, c := spec("a", 240), spec("c", 240)
+	done := 0
+	cb := func(vtime.Time, engine.Metrics) { done++ }
+	// a, a, c, a: two alternation boundaries plus c→a.
+	for _, s := range []*kern.Spec{a, a, c, a} {
+		if err := b.Submit(s, cb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.Run(0)
+	if done != 4 {
+		t.Fatalf("completions = %d, want 4", done)
+	}
+	if b.Switches != 2 {
+		t.Fatalf("context switches = %d, want 2 (a→c, c→a)", b.Switches)
+	}
+}
+
+func TestContextSwitchCostsTime(t *testing.T) {
+	// Same total work with and without alternation; alternation must take
+	// longer by ~switches × ContextSwitchSeconds.
+	runSeq := func(seq []*kern.Spec) float64 {
+		b, clk := newBackend()
+		for _, s := range seq {
+			if err := b.Submit(s, func(vtime.Time, engine.Metrics) {}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		clk.Run(0)
+		return vtime.Duration(clk.Now()).Seconds()
+	}
+	a, c := spec("a", 240), spec("c", 240)
+	same := runSeq([]*kern.Spec{a, a, a, a})
+	alt := runSeq([]*kern.Spec{a, c, a, c})
+	dev := device.TitanXp()
+	wantExtra := 3 * dev.ContextSwitchSeconds
+	if diff := alt - same; diff < wantExtra*0.9 || diff > wantExtra*1.5 {
+		t.Fatalf("alternation cost %.1fµs extra, want ≈%.1fµs", diff*1e6, wantExtra*1e6)
+	}
+}
+
+func TestLaunchOverheadsAndTransfers(t *testing.T) {
+	b, _ := newBackend()
+	ov := b.LaunchOverheads(spec("x", 1), 0)
+	if ov.HostSec != b.Dev.KernelLaunchSeconds || ov.CommSec != 0 || ov.InjectSec != 0 {
+		t.Fatalf("overheads = %+v", ov)
+	}
+	if b.Name() != "cuda" {
+		t.Fatalf("name = %s", b.Name())
+	}
+	if sec := b.TransferSeconds(1 << 30); sec <= 0 {
+		t.Fatal("transfer time not positive")
+	}
+}
+
+func TestInvalidKernelReleasesDevice(t *testing.T) {
+	b, clk := newBackend()
+	bad := spec("bad", 240)
+	bad.SharedMemBytes = 1 << 20 // cannot fit on an SM
+	got := 0
+	if err := b.Submit(bad, func(vtime.Time, engine.Metrics) { got++ }); err != nil {
+		t.Fatal(err)
+	}
+	// A good kernel afterwards must still run: the device token was
+	// released despite the failed launch.
+	if err := b.Submit(spec("ok", 240), func(vtime.Time, engine.Metrics) { got++ }); err != nil {
+		t.Fatal(err)
+	}
+	clk.Run(0)
+	if got != 2 {
+		t.Fatalf("completions = %d, want 2 (failure surfaces via callback)", got)
+	}
+}

@@ -1,0 +1,236 @@
+package daemon
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"slate/internal/kern"
+	"slate/internal/policy"
+	"slate/internal/transform"
+)
+
+// Executor runs registered Go kernels for real, with Slate's scheduling
+// semantics mapped onto host CPUs: the "SM" pool is a worker-goroutine
+// budget; a solo kernel owns the whole budget, complementary kernels split
+// it, and arrivals/completions resize running kernels through the retreat
+// signal and queue-cursor carry-over — the same machinery the injected
+// device code uses (Listings 2-3), exercised end to end.
+type Executor struct {
+	// Budget is the total worker-goroutine pool (the host "SM count").
+	Budget int
+	// MaxConcurrent bounds how many kernels may share the pool (default 2,
+	// as in the paper's evaluation; raise for N-way sharing).
+	MaxConcurrent int
+	// Th classifies first-run profiles.
+	Th policy.Thresholds
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	running  []*execTask
+	profiles map[string]*execProfile
+	// Decisions records corun/solo choices for observability.
+	Decisions []string
+}
+
+type execProfile struct {
+	class   policy.Class
+	soloSec float64
+}
+
+type execTask struct {
+	spec    *kern.Spec
+	class   policy.Class
+	queue   *transform.Queue
+	target  int // assigned workers; changed under Executor.mu
+	started time.Time
+}
+
+// NewExecutor builds an executor with the given worker budget (<=0 selects
+// 8).
+func NewExecutor(budget int) *Executor {
+	if budget <= 0 {
+		budget = 8
+	}
+	x := &Executor{Budget: budget, MaxConcurrent: 2, Th: policy.DefaultThresholds(), profiles: map[string]*execProfile{}}
+	x.cond = sync.NewCond(&x.mu)
+	return x
+}
+
+// Run executes every block of spec via persistent workers, blocking until
+// completion. The first run of a kernel is measured solo and classified;
+// later runs participate in workload-aware corunning.
+func (x *Executor) Run(spec *kern.Spec, taskSize int) error {
+	if spec.Exec == nil {
+		return fmt.Errorf("daemon: kernel %q has no executable body", spec.Name)
+	}
+	if taskSize <= 0 {
+		taskSize = transform.DefaultTaskSize
+	}
+	tr, err := transform.Transform(spec.Grid, taskSize)
+	if err != nil {
+		return err
+	}
+
+	x.mu.Lock()
+	prof, profiled := x.profiles[spec.Name]
+	if !profiled {
+		// First run: wait for an idle device, run solo, classify.
+		for len(x.running) > 0 {
+			x.cond.Wait()
+		}
+		x.mu.Unlock()
+		start := time.Now()
+		q := transform.NewQueue(tr)
+		transform.RunParallel(tr, q, x.Budget, func(glob int, _ kern.Dim3) { spec.Exec(glob) })
+		sec := time.Since(start).Seconds()
+		if sec <= 0 {
+			sec = 1e-9
+		}
+		gflops := spec.TotalFLOPs() / sec / 1e9
+		bw := spec.TotalL2Bytes() / sec / 1e9
+		x.mu.Lock()
+		x.profiles[spec.Name] = &execProfile{class: x.Th.Classify(gflops, bw), soloSec: sec}
+		x.record(fmt.Sprintf("profile %s: class=%v solo=%.3fms", spec.Name, x.profiles[spec.Name].class, sec*1e3))
+		x.cond.Broadcast()
+		x.mu.Unlock()
+		return nil
+	}
+
+	// Admission: wait until we can run solo or corun with every current
+	// kernel (the Fig. 4 decision, applied pairwise for N-way pools).
+	for {
+		if len(x.running) == 0 {
+			break
+		}
+		if len(x.running) < x.maxConcurrent() && x.corunsWithAllLocked(prof.class) {
+			break
+		}
+		x.cond.Wait()
+	}
+
+	task := &execTask{
+		spec:    spec,
+		class:   prof.class,
+		queue:   transform.NewQueue(tr),
+		started: time.Now(),
+	}
+	x.running = append(x.running, task)
+	x.rebalanceLocked()
+	if len(x.running) == 2 {
+		x.record(fmt.Sprintf("corun %s(%d workers) + %s(%d workers)",
+			x.running[0].spec.Name, x.running[0].target, x.running[1].spec.Name, x.running[1].target))
+	} else {
+		x.record(fmt.Sprintf("solo %s(%d workers)", spec.Name, task.target))
+	}
+	x.mu.Unlock()
+
+	// Drive the dispatch loop: relaunch after every retreat with the
+	// freshly assigned worker count, carrying the queue cursor.
+	transform.RunToCompletion(tr, task.queue, task.target,
+		func(int) int {
+			x.mu.Lock()
+			w := task.target
+			x.mu.Unlock()
+			return w
+		},
+		func(glob int, _ kern.Dim3) { spec.Exec(glob) })
+
+	x.mu.Lock()
+	for i, t := range x.running {
+		if t == task {
+			x.running = append(x.running[:i], x.running[i+1:]...)
+			break
+		}
+	}
+	x.rebalanceLocked()
+	x.cond.Broadcast()
+	x.mu.Unlock()
+	return nil
+}
+
+func (x *Executor) maxConcurrent() int {
+	if x.MaxConcurrent < 1 {
+		return 2
+	}
+	return x.MaxConcurrent
+}
+
+func (x *Executor) corunsWithAllLocked(class policy.Class) bool {
+	for _, r := range x.running {
+		if !policy.Corun(r.class, class) {
+			return false
+		}
+	}
+	return true
+}
+
+// rebalanceLocked reassigns the worker budget to the running set and
+// signals retreats to kernels whose share changed — dynamic kernel resizing
+// (§III-C) on the host pool. Memory-heavy classes need fewer host workers
+// than compute-heavy ones in this analog, so they carry weight 1 against 2
+// for everyone else.
+func (x *Executor) rebalanceLocked() {
+	n := len(x.running)
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		t := x.running[0]
+		if t.target != x.Budget {
+			t.target = x.Budget
+			t.queue.Retreat()
+		}
+		return
+	}
+	weights := make([]int, n)
+	totalW := 0
+	for i, t := range x.running {
+		w := 2
+		if t.class == policy.HM || t.class == policy.MM {
+			w = 1
+		}
+		weights[i] = w
+		totalW += w
+	}
+	assigned := 0
+	for i, t := range x.running {
+		w := x.Budget * weights[i] / totalW
+		if w < 1 {
+			w = 1
+		}
+		if i == n-1 {
+			w = x.Budget - assigned
+			if w < 1 {
+				w = 1
+			}
+		}
+		assigned += w
+		if t.target != w {
+			t.target = w
+			t.queue.Retreat()
+		}
+	}
+}
+
+func (x *Executor) record(s string) {
+	x.Decisions = append(x.Decisions, s)
+}
+
+// RunningCount reports the live kernel count (for tests).
+func (x *Executor) RunningCount() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return len(x.running)
+}
+
+// Profile returns a kernel's recorded class after its first run.
+func (x *Executor) Profile(name string) (policy.Class, bool) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	p, ok := x.profiles[name]
+	if !ok {
+		return 0, false
+	}
+	return p.class, true
+}

@@ -1,0 +1,310 @@
+package daemon
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"slate/internal/inject"
+	"slate/internal/ipc"
+	"slate/internal/kern"
+	"slate/internal/nvrtc"
+)
+
+// SpecTable exchanges executable kernel specs between in-process clients
+// and the daemon: closures cannot cross the wire, so the client deposits
+// the spec here and sends only its token (the launch command stays small,
+// like the paper's named-pipe commands).
+type SpecTable struct {
+	mu    sync.Mutex
+	next  uint64
+	specs map[uint64]*kern.Spec
+}
+
+// NewSpecTable returns an empty table.
+func NewSpecTable() *SpecTable {
+	return &SpecTable{next: 1, specs: map[uint64]*kern.Spec{}}
+}
+
+// Put deposits a spec and returns its token.
+func (t *SpecTable) Put(s *kern.Spec) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tok := t.next
+	t.next++
+	t.specs[tok] = s
+	return tok
+}
+
+// Take removes and returns the spec for a token.
+func (t *SpecTable) Take(tok uint64) (*kern.Spec, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.specs[tok]
+	if ok {
+		delete(t.specs, tok)
+	}
+	return s, ok
+}
+
+// Server is the Slate daemon: it accepts client sessions, proxies the CUDA
+// API (§IV-A), funnels every client's kernels into the shared executor
+// (context funneling), and runs the injection/compilation pipeline for
+// source kernels.
+type Server struct {
+	Registry *ipc.BufferRegistry
+	Specs    *SpecTable
+	Exec     *Executor
+	Compiler *nvrtc.Compiler
+
+	mu       sync.Mutex
+	sessions int
+}
+
+// NewServer builds a daemon with the given executor budget.
+func NewServer(budget int) *Server {
+	return &Server{
+		Registry: ipc.NewBufferRegistry(),
+		Specs:    NewSpecTable(),
+		Exec:     NewExecutor(budget),
+		Compiler: nvrtc.New(),
+	}
+}
+
+// Sessions returns the live session count.
+func (s *Server) Sessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions
+}
+
+// Serve accepts connections until the listener closes. Each session runs
+// on its own goroutine, alive until the client closes — the paper's
+// session-per-process design (§IV-A2).
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.ServeConn(c)
+	}
+}
+
+// ServeConn runs one client session to completion.
+func (s *Server) ServeConn(nc net.Conn) {
+	conn := ipc.NewConn(nc)
+	defer conn.Close()
+	s.mu.Lock()
+	s.sessions++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.sessions--
+		s.mu.Unlock()
+	}()
+
+	var pending sync.WaitGroup
+	var launchErr error
+	var launchMu sync.Mutex
+	owned := map[uint64]bool{} // buffers to reclaim if the client vanishes
+
+	// Stream ordering (§III, "a queue for each process and CUDA stream"):
+	// launches on one stream chain behind each other; different streams run
+	// concurrently and meet the executor's corun logic independently.
+	closedCh := make(chan struct{})
+	close(closedCh)
+	streamTail := map[int]chan struct{}{}
+	tailOf := func(stream int) chan struct{} {
+		if t, ok := streamTail[stream]; ok {
+			return t
+		}
+		return closedCh
+	}
+
+	for {
+		req, err := conn.RecvRequest()
+		if err != nil {
+			if err != io.EOF {
+				// Connection torn down mid-command; reclaim and exit.
+				_ = err
+			}
+			pending.Wait()
+			for h := range owned {
+				_ = s.Registry.Release(h)
+			}
+			return
+		}
+		rep := &ipc.Reply{Seq: req.Seq}
+		switch req.Op {
+		case ipc.OpHello:
+			// Session established; nothing else to do.
+		case ipc.OpMalloc:
+			h, dev, err := s.Registry.Create(req.Size)
+			if err != nil {
+				rep.Err = err.Error()
+			} else {
+				rep.Buf, rep.DevPtr = h, dev
+				owned[h] = true
+			}
+		case ipc.OpFree:
+			if err := s.Registry.Release(req.Buf); err != nil {
+				rep.Err = err.Error()
+			}
+			delete(owned, req.Buf)
+		case ipc.OpMemcpyH2D:
+			// In-process clients already wrote the shared buffer; remote
+			// clients ship bytes on the command's data field.
+			if len(req.Data) > 0 {
+				dst, err := s.Registry.Get(req.Buf)
+				switch {
+				case err != nil:
+					rep.Err = err.Error()
+				case len(req.Data) > len(dst):
+					rep.Err = fmt.Sprintf("daemon: H2D overflow: %d into %d", len(req.Data), len(dst))
+				default:
+					copy(dst, req.Data)
+				}
+			} else if _, err := s.Registry.Get(req.Buf); err != nil {
+				rep.Err = err.Error()
+			}
+		case ipc.OpMemcpyD2H:
+			src, err := s.Registry.Get(req.Buf)
+			if err != nil {
+				rep.Err = err.Error()
+			} else if req.Size > 0 { // remote readback
+				n := req.Size
+				if n > int64(len(src)) {
+					n = int64(len(src))
+				}
+				rep.Data = append([]byte(nil), src[:n]...)
+			}
+		case ipc.OpLaunch:
+			spec, ok := s.Specs.Take(req.Token)
+			if !ok {
+				rep.Err = fmt.Sprintf("daemon: unknown kernel token %d", req.Token)
+				break
+			}
+			task := req.TaskSize
+			prev := tailOf(req.Stream)
+			next := make(chan struct{})
+			streamTail[req.Stream] = next
+			pending.Add(1)
+			go func() {
+				defer pending.Done()
+				defer close(next)
+				<-prev // in-order within the stream
+				if err := s.Exec.Run(spec, task); err != nil {
+					launchMu.Lock()
+					if launchErr == nil {
+						launchErr = err
+					}
+					launchMu.Unlock()
+				}
+			}()
+		case ipc.OpLaunchSource:
+			out, err := inject.Transform(req.Source, inject.Options{TaskSize: req.TaskSize, EmitDispatcher: true})
+			if err != nil {
+				rep.Err = err.Error()
+				break
+			}
+			img, err := s.Compiler.Compile(out)
+			if err != nil {
+				rep.Err = err.Error()
+				break
+			}
+			want := "slate_" + req.Kernel
+			if !img.HasEntry(want) {
+				rep.Err = fmt.Sprintf("daemon: kernel %q not found after injection", req.Kernel)
+				break
+			}
+			rep.Entries = img.Entries
+			// Execute the compiled kernel through the scheduler with a
+			// synthesized work model (this host cannot run CUDA device
+			// code; the placeholder body preserves the scheduling path so
+			// remote clients get end-to-end launch/synchronize semantics).
+			if spec := synthesizeSourceSpec(req); spec != nil {
+				prev := tailOf(req.Stream)
+				next := make(chan struct{})
+				streamTail[req.Stream] = next
+				pending.Add(1)
+				go func() {
+					defer pending.Done()
+					defer close(next)
+					<-prev
+					if err := s.Exec.Run(spec, req.TaskSize); err != nil {
+						launchMu.Lock()
+						if launchErr == nil {
+							launchErr = err
+						}
+						launchMu.Unlock()
+					}
+				}()
+			}
+		case ipc.OpSynchronize:
+			if req.Stream >= 0 {
+				<-tailOf(req.Stream) // cudaStreamSynchronize
+			} else {
+				pending.Wait() // cudaDeviceSynchronize
+			}
+			launchMu.Lock()
+			if launchErr != nil {
+				rep.Err = launchErr.Error()
+				launchErr = nil
+			}
+			launchMu.Unlock()
+		case ipc.OpClose:
+			pending.Wait()
+			_ = conn.SendReply(rep)
+			return
+		default:
+			rep.Err = fmt.Sprintf("daemon: unknown op %v", req.Op)
+		}
+		if err := conn.SendReply(rep); err != nil {
+			return
+		}
+	}
+}
+
+// synthesizeSourceSpec builds an executable placeholder spec for a
+// source-kernel launch: the declared geometry with a no-op body. Nil when
+// the request carries no runnable geometry.
+func synthesizeSourceSpec(req *ipc.Request) *kern.Spec {
+	gx, gy := req.GridX, req.GridY
+	bx, by := req.BlockX, req.BlockY
+	if gx < 1 || gy < 1 || bx < 1 || by < 1 || bx*by > 1024 {
+		return nil
+	}
+	spec := &kern.Spec{
+		Name:            "src:" + req.Kernel,
+		Grid:            kern.D2(gx, gy),
+		BlockDim:        kern.D2(bx, by),
+		FLOPsPerBlock:   float64(bx * by),
+		InstrPerBlock:   float64(bx * by),
+		L2BytesPerBlock: float64(bx * by * 8),
+		ComputeEff:      0.1,
+		Exec:            func(int) {},
+	}
+	if spec.Validate() != nil {
+		return nil
+	}
+	return spec
+}
+
+// NewLocal builds an in-process daemon and returns it with a dial function
+// producing connected client transports that share the daemon's buffer
+// registry and spec table (the shared-memory data channel).
+func NewLocal(budget int) (*Server, func() net.Conn) {
+	s := NewServer(budget)
+	dial := func() net.Conn {
+		clientSide, serverSide := net.Pipe()
+		go s.ServeConn(serverSide)
+		return clientSide
+	}
+	return s, dial
+}

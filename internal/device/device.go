@@ -1,0 +1,134 @@
+// Package device assembles the full GPU model: SM array, memory system, L2
+// geometry, and the latency constants that govern scheduling overheads. The
+// default preset reproduces the evaluation platform of the paper, an NVIDIA
+// Titan Xp (GP102, Pascal).
+package device
+
+import (
+	"fmt"
+
+	"slate/internal/cache"
+	"slate/internal/memsys"
+	"slate/internal/smsim"
+)
+
+// Device is a complete GPU model.
+type Device struct {
+	Name   string
+	NumSMs int
+	SM     smsim.SM
+	DRAM   memsys.DRAM
+	L2     cache.Config
+	PCIe   memsys.PCIe
+	// MemoryBytes is the global memory capacity.
+	MemoryBytes int64
+
+	// BlockDispatchSeconds is the hardware scheduler's per-block dispatch
+	// cost (pipeline setup, register allocation, parameter broadcast). The
+	// hardware pays it for every user block; Slate pays it only for its
+	// persistent workers.
+	BlockDispatchSeconds float64
+	// BlockLatencySeconds is the minimum service time of a block
+	// independent of its work (drain/launch latency floor).
+	BlockLatencySeconds float64
+	// KernelLaunchSeconds is the host-side cost of a kernel launch.
+	KernelLaunchSeconds float64
+	// AtomicSerialSeconds is the serialized cost of one global atomicAdd on
+	// a contended address — the Slate task-queue pull (Listing 2).
+	AtomicSerialSeconds float64
+	// ResizeSeconds is the cost of a Slate resize: raise the retreat flag,
+	// drain in-flight tasks, relaunch workers on the new SM range
+	// (Listing 3's dispatch-kernel loop).
+	ResizeSeconds float64
+	// ContextSwitchSeconds is the vanilla-CUDA cost of switching between
+	// process contexts when time-slicing.
+	ContextSwitchSeconds float64
+	// InjectedInstrOverhead is the fractional instruction overhead of the
+	// Slate preamble/scheduling code (§V-D1 measures ~3% on BS).
+	InjectedInstrOverhead float64
+}
+
+// Validate reports configuration errors.
+func (d *Device) Validate() error {
+	if d.NumSMs <= 0 {
+		return fmt.Errorf("device: NumSMs %d must be positive", d.NumSMs)
+	}
+	if err := d.SM.Validate(); err != nil {
+		return fmt.Errorf("device %q: %w", d.Name, err)
+	}
+	if err := d.DRAM.Validate(); err != nil {
+		return fmt.Errorf("device %q: %w", d.Name, err)
+	}
+	if d.MemoryBytes <= 0 {
+		return fmt.Errorf("device: MemoryBytes %d must be positive", d.MemoryBytes)
+	}
+	if d.BlockDispatchSeconds < 0 || d.BlockLatencySeconds < 0 ||
+		d.KernelLaunchSeconds < 0 || d.AtomicSerialSeconds < 0 ||
+		d.ResizeSeconds < 0 || d.ContextSwitchSeconds < 0 {
+		return fmt.Errorf("device: negative latency constant")
+	}
+	if d.InjectedInstrOverhead < 0 || d.InjectedInstrOverhead > 1 {
+		return fmt.Errorf("device: InjectedInstrOverhead %v outside [0,1]", d.InjectedInstrOverhead)
+	}
+	return nil
+}
+
+// PeakFLOPS returns the device's aggregate single-precision peak.
+func (d *Device) PeakFLOPS() float64 { return float64(d.NumSMs) * d.SM.PeakFLOPS() }
+
+// ResidentBlocks returns the per-SM resident block count for a shape.
+func (d *Device) ResidentBlocks(b smsim.BlockShape) int { return smsim.ResidentBlocks(d.SM, b) }
+
+// MaxWorkers returns the Slate persistent-worker count for a block shape on
+// a range of sms SMs: the maximum number of blocks those SMs can hold
+// simultaneously (§III-C: "Slate always sets the size of workers as the
+// maximum number of thread blocks that the designated SMs can support").
+func (d *Device) MaxWorkers(b smsim.BlockShape, sms int) int {
+	if sms <= 0 {
+		return 0
+	}
+	if sms > d.NumSMs {
+		sms = d.NumSMs
+	}
+	return sms * smsim.ResidentBlocks(d.SM, b)
+}
+
+// TitanXp returns the evaluation platform model: 30 SMs of GP102 at
+// 1.582 GHz, 12 GB GDDR5X at 547.6 GB/s with the 9-SM saturation knee the
+// paper measures (Fig. 1), and a 3 MiB L2.
+func TitanXp() *Device {
+	return &Device{
+		Name:   "NVIDIA Titan Xp (GP102)",
+		NumSMs: 30,
+		SM: smsim.SM{
+			MaxThreads:          2048,
+			MaxBlocks:           32,
+			Registers:           65536,
+			SharedMemBytes:      98304,
+			FP32Lanes:           128,
+			ClockHz:             1.582e9,
+			WarpsForComputePeak: 16,
+			WarpsForMemPeak:     48,
+		},
+		DRAM: memsys.DRAM{
+			PeakBandwidth:    547.6e9,
+			StreamEfficiency: 0.88,
+			KneeSMs:          9,
+			MinRunEfficiency: 0.35,
+			FullRunBytes:     4096,
+			L2Bandwidth:      2.0e12,
+			CorunEfficiency:  0.85,
+		},
+		L2:          cache.TitanXpL2(),
+		PCIe:        memsys.PCIe{Bandwidth: 12.5e9, Latency: 10e-6},
+		MemoryBytes: 12 << 30,
+
+		BlockDispatchSeconds:  0.4e-6,
+		BlockLatencySeconds:   1.2e-6,
+		KernelLaunchSeconds:   6e-6,
+		AtomicSerialSeconds:   0.35e-6,
+		ResizeSeconds:         25e-6,
+		ContextSwitchSeconds:  15e-6,
+		InjectedInstrOverhead: 0.03,
+	}
+}

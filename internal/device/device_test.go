@@ -1,0 +1,75 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"slate/internal/smsim"
+)
+
+func TestTitanXpValid(t *testing.T) {
+	d := TitanXp()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("TitanXp preset invalid: %v", err)
+	}
+}
+
+func TestTitanXpHeadlineNumbers(t *testing.T) {
+	d := TitanXp()
+	if d.NumSMs != 30 {
+		t.Errorf("NumSMs = %d, want 30", d.NumSMs)
+	}
+	// Advertised ~12.15 TFLOP/s FP32.
+	if peak := d.PeakFLOPS(); math.Abs(peak-12.15e12)/12.15e12 > 0.01 {
+		t.Errorf("PeakFLOPS = %v, want ≈12.15e12", peak)
+	}
+	if d.MemoryBytes != 12<<30 {
+		t.Errorf("MemoryBytes = %d, want 12 GiB", d.MemoryBytes)
+	}
+	if d.DRAM.KneeSMs != 9 {
+		t.Errorf("KneeSMs = %d, want the paper's 9", d.DRAM.KneeSMs)
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	muts := []func(*Device){
+		func(d *Device) { d.NumSMs = 0 },
+		func(d *Device) { d.SM.ClockHz = 0 },
+		func(d *Device) { d.DRAM.PeakBandwidth = 0 },
+		func(d *Device) { d.MemoryBytes = 0 },
+		func(d *Device) { d.BlockDispatchSeconds = -1 },
+		func(d *Device) { d.InjectedInstrOverhead = 2 },
+	}
+	for i, mut := range muts {
+		d := TitanXp()
+		mut(d)
+		if d.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestMaxWorkers(t *testing.T) {
+	d := TitanXp()
+	shape := smsim.BlockShape{Threads: 256} // 8 resident per SM
+	if got := d.MaxWorkers(shape, 30); got != 240 {
+		t.Fatalf("MaxWorkers(full device) = %d, want 240", got)
+	}
+	if got := d.MaxWorkers(shape, 10); got != 80 {
+		t.Fatalf("MaxWorkers(10 SMs) = %d, want 80", got)
+	}
+	if got := d.MaxWorkers(shape, 0); got != 0 {
+		t.Fatalf("MaxWorkers(0 SMs) = %d, want 0", got)
+	}
+	// Clamps to device size.
+	if got := d.MaxWorkers(shape, 100); got != 240 {
+		t.Fatalf("MaxWorkers(overclamped) = %d, want 240", got)
+	}
+}
+
+func TestResidentBlocksDelegates(t *testing.T) {
+	d := TitanXp()
+	if got := d.ResidentBlocks(smsim.BlockShape{Threads: 256}); got != 8 {
+		t.Fatalf("ResidentBlocks = %d, want 8", got)
+	}
+}

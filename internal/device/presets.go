@@ -1,0 +1,130 @@
+package device
+
+import (
+	"slate/internal/cache"
+	"slate/internal/memsys"
+	"slate/internal/smsim"
+)
+
+// TeslaP100 returns a GP100 model: 56 SMs of 64 FP32 lanes at 1.48 GHz
+// (~10.6 TFLOP/s), 16 GB HBM2 at 732 GB/s, 4 MiB L2. HBM2's wide interface
+// needs more concurrent SMs to saturate than GDDR5X, so the knee sits
+// higher than the Titan Xp's.
+func TeslaP100() *Device {
+	return &Device{
+		Name:   "NVIDIA Tesla P100 (GP100)",
+		NumSMs: 56,
+		SM: smsim.SM{
+			MaxThreads:          2048,
+			MaxBlocks:           32,
+			Registers:           65536,
+			SharedMemBytes:      65536,
+			FP32Lanes:           64,
+			ClockHz:             1.48e9,
+			WarpsForComputePeak: 12,
+			WarpsForMemPeak:     40,
+		},
+		DRAM: memsys.DRAM{
+			PeakBandwidth:    732e9,
+			StreamEfficiency: 0.80,
+			KneeSMs:          14,
+			MinRunEfficiency: 0.40,
+			FullRunBytes:     4096,
+			L2Bandwidth:      2.5e12,
+			CorunEfficiency:  0.88, // HBM2's many banks tolerate sharing better
+		},
+		L2:          cache.Config{SizeBytes: 4 << 20, LineBytes: 64, Ways: 16},
+		PCIe:        memsys.PCIe{Bandwidth: 12.5e9, Latency: 10e-6},
+		MemoryBytes: 16 << 30,
+
+		BlockDispatchSeconds:  0.4e-6,
+		BlockLatencySeconds:   1.2e-6,
+		KernelLaunchSeconds:   6e-6,
+		AtomicSerialSeconds:   0.35e-6,
+		ResizeSeconds:         25e-6,
+		ContextSwitchSeconds:  15e-6,
+		InjectedInstrOverhead: 0.03,
+	}
+}
+
+// TeslaV100 returns a GV100 model: 80 SMs of 64 FP32 lanes at 1.53 GHz
+// (~15.7 TFLOP/s), 16 GB HBM2 at 900 GB/s, 6 MiB L2 — the architecture
+// whose white paper motivates the paper's §II ("sharing expedites workload
+// execution by seven times").
+func TeslaV100() *Device {
+	return &Device{
+		Name:   "NVIDIA Tesla V100 (GV100)",
+		NumSMs: 80,
+		SM: smsim.SM{
+			MaxThreads:          2048,
+			MaxBlocks:           32,
+			Registers:           65536,
+			SharedMemBytes:      98304,
+			FP32Lanes:           64,
+			ClockHz:             1.53e9,
+			WarpsForComputePeak: 12,
+			WarpsForMemPeak:     40,
+		},
+		DRAM: memsys.DRAM{
+			PeakBandwidth:    900e9,
+			StreamEfficiency: 0.82,
+			KneeSMs:          18,
+			MinRunEfficiency: 0.40,
+			FullRunBytes:     4096,
+			L2Bandwidth:      3.5e12,
+			CorunEfficiency:  0.88,
+		},
+		L2:          cache.Config{SizeBytes: 6 << 20, LineBytes: 64, Ways: 16},
+		PCIe:        memsys.PCIe{Bandwidth: 12.5e9, Latency: 10e-6},
+		MemoryBytes: 16 << 30,
+
+		BlockDispatchSeconds:  0.35e-6,
+		BlockLatencySeconds:   1.0e-6,
+		KernelLaunchSeconds:   5e-6,
+		AtomicSerialSeconds:   0.30e-6,
+		ResizeSeconds:         20e-6,
+		ContextSwitchSeconds:  12e-6,
+		InjectedInstrOverhead: 0.03,
+	}
+}
+
+// JetsonTX2 returns an embedded-class model: 2 Pascal SMs at 1.3 GHz
+// sharing 59.7 GB/s of LPDDR4 with the CPU. With two SMs and a knee of
+// one, almost any kernel saturates the memory system — the regime the
+// paper's related work (Lee et al.) targets.
+func JetsonTX2() *Device {
+	return &Device{
+		Name:   "NVIDIA Jetson TX2 (GP10B)",
+		NumSMs: 2,
+		SM: smsim.SM{
+			MaxThreads:          2048,
+			MaxBlocks:           32,
+			Registers:           65536,
+			SharedMemBytes:      65536,
+			FP32Lanes:           128,
+			ClockHz:             1.3e9,
+			WarpsForComputePeak: 16,
+			WarpsForMemPeak:     48,
+		},
+		DRAM: memsys.DRAM{
+			PeakBandwidth:    59.7e9,
+			StreamEfficiency: 0.75,
+			KneeSMs:          1,
+			MinRunEfficiency: 0.30,
+			FullRunBytes:     4096,
+			L2Bandwidth:      120e9,
+			CorunEfficiency:  0.80,
+		},
+		L2:          cache.Config{SizeBytes: 512 << 10, LineBytes: 64, Ways: 16},
+		PCIe:        memsys.PCIe{Bandwidth: 8e9, Latency: 15e-6}, // unified memory path
+		MemoryBytes: 8 << 30,
+
+		BlockDispatchSeconds:  0.5e-6,
+		BlockLatencySeconds:   1.5e-6,
+		KernelLaunchSeconds:   10e-6,
+		AtomicSerialSeconds:   0.45e-6,
+		ResizeSeconds:         30e-6,
+		ContextSwitchSeconds:  25e-6,
+		InjectedInstrOverhead: 0.03,
+	}
+}

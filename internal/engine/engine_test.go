@@ -1,0 +1,418 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"slate/internal/device"
+	"slate/internal/kern"
+	"slate/internal/vtime"
+)
+
+// computeKernel returns a compute-bound kernel: ~2.4e11 FLOPs, negligible
+// memory traffic.
+func computeKernel(name string, blocks int) *kern.Spec {
+	return &kern.Spec{
+		Name:            name,
+		Grid:            kern.D1(blocks),
+		BlockDim:        kern.D1(256),
+		FLOPsPerBlock:   1e8,
+		InstrPerBlock:   5e7,
+		L2BytesPerBlock: 1e4,
+		ComputeEff:      0.8,
+	}
+}
+
+// memoryKernel returns a DRAM-bound kernel: blocks × 1 MiB of streaming
+// traffic with no reuse.
+func memoryKernel(name string, blocks int) *kern.Spec {
+	return &kern.Spec{
+		Name:            name,
+		Grid:            kern.D1(blocks),
+		BlockDim:        kern.D1(256),
+		FLOPsPerBlock:   1e5,
+		InstrPerBlock:   1e6,
+		L2BytesPerBlock: 1 << 20,
+		ComputeEff:      0.8,
+		MemMLP:          8, // deeply pipelined streaming loads
+	}
+}
+
+func staticModel() *StaticModel {
+	return &StaticModel{DefaultHit: 0, DefaultRunBytes: 1 << 20, SlateRunFactor: 1}
+}
+
+func newEngine() (*Engine, *vtime.Clock) {
+	clk := vtime.NewClock()
+	e := New(device.TitanXp(), clk, staticModel())
+	return e, clk
+}
+
+func titanXpCorunEff(e *Engine) float64 { return e.Dev.DRAM.CorunEff() }
+
+func run(t *testing.T, clk *vtime.Clock) {
+	t.Helper()
+	if n := clk.Run(2_000_000); n >= 2_000_000 {
+		t.Fatal("event runaway: simulation did not converge")
+	}
+}
+
+func TestSoloComputeBoundTime(t *testing.T) {
+	e, clk := newEngine()
+	spec := computeKernel("cb", 2400)
+	h, err := e.Launch(spec, LaunchOpts{Mode: HardwareSched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, clk)
+	if !h.Done() {
+		t.Fatal("kernel did not complete")
+	}
+	m := h.Metrics()
+	// Expected: 2400*1e8 FLOPs / (30 SM * 405 GF * 0.8) ≈ 24.7 ms.
+	wantSec := spec.TotalFLOPs() / (e.Dev.PeakFLOPS() * 0.8)
+	got := m.Duration().Seconds()
+	if math.Abs(got-wantSec)/wantSec > 0.05 {
+		t.Fatalf("compute-bound duration = %.3fms, want ≈%.3fms", got*1e3, wantSec*1e3)
+	}
+	if m.FLOPs != spec.TotalFLOPs() {
+		t.Fatalf("FLOPs = %v, want %v", m.FLOPs, spec.TotalFLOPs())
+	}
+	if m.StallMemThrottle > 0.01 {
+		t.Fatalf("compute-bound kernel reports %.1f%% memory throttle", m.StallMemThrottle*100)
+	}
+}
+
+func TestSoloMemoryBoundTime(t *testing.T) {
+	e, clk := newEngine()
+	spec := memoryKernel("mb", 2400)
+	h, err := e.Launch(spec, LaunchOpts{Mode: HardwareSched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, clk)
+	if !h.Done() {
+		t.Fatal("kernel did not complete")
+	}
+	m := h.Metrics()
+	// Hit rate 0, run bytes 1MiB → efficiency 1 → full stream ceiling.
+	wantSec := spec.TotalL2Bytes() / e.Dev.DRAM.EffectivePeak()
+	got := m.Duration().Seconds()
+	// The drain tail (active workers < capacity) adds a few percent.
+	if got < wantSec*0.98 || got > wantSec*1.12 {
+		t.Fatalf("memory-bound duration = %.3fms, want ≈%.3fms", got*1e3, wantSec*1e3)
+	}
+	if m.StallMemThrottle < 0.2 {
+		t.Fatalf("memory-bound kernel reports only %.1f%% throttle", m.StallMemThrottle*100)
+	}
+	if bw := m.DRAMBW(); math.Abs(bw-e.Dev.DRAM.EffectivePeak()/1e9)/bw > 0.05 {
+		t.Fatalf("DRAM BW = %.1f GB/s, want ≈%.1f", bw, e.Dev.DRAM.EffectivePeak()/1e9)
+	}
+}
+
+// Fig. 1's mechanism: restricting a streaming kernel to fewer SMs caps its
+// bandwidth linearly below the knee and not at all above it.
+func TestStreamBandwidthSaturatesWithSMs(t *testing.T) {
+	var bw [31]float64
+	for _, sms := range []int{1, 3, 6, 9, 15, 30} {
+		e, clk := newEngine()
+		spec := memoryKernel("stream", 2400)
+		h, err := e.Launch(spec, LaunchOpts{Mode: SlateSched, SMLow: 0, SMHigh: sms - 1, TaskSize: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		run(t, clk)
+		bw[sms] = h.Metrics().DRAMBW()
+	}
+	if !(bw[1] < bw[3] && bw[3] < bw[6] && bw[6] < bw[9]) {
+		t.Fatalf("bandwidth not increasing below knee: %v", bw)
+	}
+	if rel := (bw[30] - bw[9]) / bw[9]; rel > 0.02 {
+		t.Fatalf("bandwidth grew %.1f%% past the knee; should be flat", rel*100)
+	}
+	if bw[1] > bw[9]/4 {
+		t.Fatalf("single SM reaches %.0f of %.0f GB/s; knee too soft", bw[1], bw[9])
+	}
+}
+
+// Complementary co-run: a compute-bound and a memory-bound kernel on
+// disjoint partitions finish together faster than back-to-back solo runs.
+func TestSlateCorunBeatsSerial(t *testing.T) {
+	// Solo times.
+	solo := func(spec *kern.Spec) float64 {
+		e, clk := newEngine()
+		h, err := e.Launch(spec, LaunchOpts{Mode: HardwareSched})
+		if err != nil {
+			t.Fatal(err)
+		}
+		run(t, clk)
+		return h.Metrics().Duration().Seconds()
+	}
+	tc := solo(computeKernel("cb", 2400))
+	tm := solo(memoryKernel("mb", 2400))
+
+	// Co-run: memory kernel on 12 SMs (past the knee), compute on 18; when
+	// the memory kernel completes, the scheduler grows the compute kernel to
+	// the whole device — the dynamic resizing of §III-C.
+	e, clk := newEngine()
+	hm, err := e.Launch(memoryKernel("mb", 2400), LaunchOpts{Mode: SlateSched, SMLow: 0, SMHigh: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc, err := e.Launch(computeKernel("cb", 2400), LaunchOpts{Mode: SlateSched, SMLow: 12, SMHigh: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.OnComplete(hm, func(vtime.Time) {
+		if err := e.Resize(hc, 0, 29); err != nil {
+			t.Error(err)
+		}
+	})
+	run(t, clk)
+	corun := math.Max(hm.Metrics().Completed.Sub(0).Seconds(), hc.Metrics().Completed.Sub(0).Seconds())
+	serial := tc + tm
+	if corun >= serial {
+		t.Fatalf("corun %.3fms not better than serial %.3fms", corun*1e3, serial*1e3)
+	}
+	// The memory kernel keeps its 12-SM stream ceiling but pays the shared
+	// -bus interference factor (CorunEfficiency ≈ 0.68) while the partner
+	// is live — it must not slow beyond that.
+	maxSlow := 1/titanXpCorunEff(e) + 0.10
+	if got := hm.Metrics().Duration().Seconds() / tm; got > maxSlow {
+		t.Fatalf("memory kernel slowed %.2fx in corun, want ≤%.2fx (bus interference only)", got, maxSlow)
+	}
+}
+
+// MPS's leftover policy: hardware blocks spread breadth-first across all
+// SMs, so a kernel with full waves leaves no leftover and the second kernel
+// serializes behind it — the paper's observation that MPS "basically runs
+// these kernels consecutively".
+func TestHardwareLeftoverSerializesFullKernels(t *testing.T) {
+	e, clk := newEngine()
+	a, err := e.Launch(memoryKernel("a", 2400), LaunchOpts{Mode: HardwareSched, Priority: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Launch(computeKernel("b", 2400), LaunchOpts{Mode: HardwareSched, Priority: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloA := memoryKernel("a", 2400).TotalL2Bytes() / e.Dev.DRAM.EffectivePeak()
+	// Halfway through A, B must have made no progress.
+	clk.After(vtime.FromSeconds(soloA/2), func(vtime.Time) {
+		e.Sync()
+		if p := b.Progress(); p > 0 {
+			t.Errorf("B progressed %.0f blocks while A held every SM", p)
+		}
+	})
+	run(t, clk)
+	if !a.Done() || !b.Done() {
+		t.Fatal("kernels did not finish")
+	}
+	soloB := computeKernel("b", 2400).TotalFLOPs() / (e.Dev.PeakFLOPS() * 0.8)
+	makespan := math.Max(a.Metrics().Completed.Sub(0).Seconds(), b.Metrics().Completed.Sub(0).Seconds())
+	if makespan > (soloA+soloB)*1.05 || makespan < (soloA+soloB)*0.93 {
+		t.Fatalf("leftover makespan %.3f, want ≈serial %.3f", makespan, soloA+soloB)
+	}
+}
+
+// When the leading kernel's final wave occupies fewer SMs than the device
+// has, the trailing kernel starts on the leftovers before the leader
+// finishes — the only concurrency the leftover policy permits.
+func TestHardwareLeftoverTailOverlap(t *testing.T) {
+	e, clk := newEngine()
+	// 2170 blocks = 9 full waves of 240 + a final wave of only 10 blocks:
+	// during the tail, 20 SMs are leftover.
+	a, err := e.Launch(memoryKernel("a", 2170), LaunchOpts{Mode: HardwareSched, Priority: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Launch(computeKernel("b", 2400), LaunchOpts{Mode: HardwareSched, Priority: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlapped := false
+	e.OnComplete(a, func(vtime.Time) {
+		e.Sync()
+		overlapped = b.Progress() > 0
+	})
+	run(t, clk)
+	if !overlapped {
+		t.Fatal("no tail overlap: B idle until A fully completed")
+	}
+}
+
+func TestResizePreservesProgressAndCostsPenalty(t *testing.T) {
+	e, clk := newEngine()
+	spec := memoryKernel("rs", 2400)
+	h, err := e.Launch(spec, LaunchOpts{Mode: SlateSched, SMLow: 0, SMHigh: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let ~40% of the work complete, then grow to the whole device.
+	half := vtime.FromSeconds(spec.TotalL2Bytes() / e.Dev.DRAM.EffectivePeak() * 0.4)
+	clk.After(half, func(vtime.Time) {
+		e.Sync()
+		before := h.Progress()
+		if before <= 0 || before >= h.numBlocks {
+			t.Errorf("unexpected progress %v at resize", before)
+		}
+		if err := e.Resize(h, 0, 29); err != nil {
+			t.Error(err)
+		}
+		if h.Progress() < before {
+			t.Error("resize lost progress")
+		}
+	})
+	run(t, clk)
+	if !h.Done() {
+		t.Fatal("kernel did not finish after resize")
+	}
+	if h.Metrics().Resizes != 1 {
+		t.Fatalf("resizes = %d, want 1", h.Metrics().Resizes)
+	}
+	// Growing from 9 SMs mid-run should not change much for a memory-bound
+	// kernel (9 SMs is already at the knee) — duration ≈ solo + penalty.
+	want := spec.TotalL2Bytes() / e.Dev.DRAM.EffectivePeak()
+	got := h.Metrics().Duration().Seconds()
+	if got < want || got > want*1.25 {
+		t.Fatalf("resized duration %.3fms, want within [%.3f, %.3f]ms", got*1e3, want*1e3, want*1.25*1e3)
+	}
+}
+
+func TestResizeShrinkSlowsKernel(t *testing.T) {
+	e, clk := newEngine()
+	spec := computeKernel("shrink", 4800)
+	h, err := e.Launch(spec, LaunchOpts{Mode: SlateSched, SMLow: 0, SMHigh: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloDur := spec.TotalFLOPs() / (e.Dev.PeakFLOPS() * 0.8 / (1 + e.Dev.InjectedInstrOverhead))
+	clk.After(vtime.FromSeconds(soloDur*0.25), func(vtime.Time) {
+		if err := e.Resize(h, 0, 14); err != nil {
+			t.Error(err)
+		}
+	})
+	run(t, clk)
+	got := h.Metrics().Duration().Seconds()
+	// 25% at full speed + 75% at half speed → ≈1.75× solo.
+	if got < soloDur*1.5 || got > soloDur*2.0 {
+		t.Fatalf("shrunk duration %.3fms, want ≈1.75×solo (%.3fms)", got*1e3, soloDur*1.75*1e3)
+	}
+}
+
+func TestOnCompleteFires(t *testing.T) {
+	e, clk := newEngine()
+	h, err := e.Launch(computeKernel("cb", 240), LaunchOpts{Mode: HardwareSched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := vtime.Time(-1)
+	e.OnComplete(h, func(now vtime.Time) { fired = now })
+	run(t, clk)
+	if fired < 0 {
+		t.Fatal("completion callback did not fire")
+	}
+	if fired != h.Metrics().Completed {
+		t.Fatalf("callback at %v, completion at %v", fired, h.Metrics().Completed)
+	}
+	// Registering after completion fires immediately.
+	fired2 := false
+	e.OnComplete(h, func(vtime.Time) { fired2 = true })
+	if !fired2 {
+		t.Fatal("post-completion callback did not fire immediately")
+	}
+}
+
+// Tiny blocks with task size 1 serialize on the queue atomic; task size 10
+// runs much faster (Fig. 5's GS curve).
+func TestAtomicSerializationVsTaskSize(t *testing.T) {
+	tiny := &kern.Spec{
+		Name:            "tiny",
+		Grid:            kern.D1(2_000_000),
+		BlockDim:        kern.D1(64),
+		FLOPsPerBlock:   1e3,
+		InstrPerBlock:   1e3,
+		L2BytesPerBlock: 256,
+		ComputeEff:      0.8,
+	}
+	durs := map[int]float64{}
+	for _, task := range []int{1, 10} {
+		e, clk := newEngine()
+		h, err := e.Launch(tiny, LaunchOpts{Mode: SlateSched, SMLow: 0, SMHigh: 29, TaskSize: task})
+		if err != nil {
+			t.Fatal(err)
+		}
+		run(t, clk)
+		durs[task] = h.Metrics().Duration().Seconds()
+	}
+	if durs[10] >= durs[1]*0.6 {
+		t.Fatalf("task grouping gained too little: task1=%.3fs task10=%.3fs", durs[1], durs[10])
+	}
+}
+
+func TestLaunchValidation(t *testing.T) {
+	e, _ := newEngine()
+	if _, err := e.Launch(computeKernel("x", 100), LaunchOpts{Mode: SlateSched, SMLow: 5, SMHigh: 2}); err == nil {
+		t.Fatal("inverted SM range accepted")
+	}
+	if _, err := e.Launch(computeKernel("x", 100), LaunchOpts{Mode: SlateSched, SMLow: 0, SMHigh: 30}); err == nil {
+		t.Fatal("out-of-device SM range accepted")
+	}
+	bad := computeKernel("bad", 100)
+	bad.ComputeEff = 0
+	if _, err := e.Launch(bad, LaunchOpts{}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	huge := computeKernel("huge", 100)
+	huge.SharedMemBytes = 1 << 20
+	if _, err := e.Launch(huge, LaunchOpts{}); err == nil {
+		t.Fatal("unfittable block shape accepted")
+	}
+}
+
+func TestResizeValidation(t *testing.T) {
+	e, clk := newEngine()
+	h, _ := e.Launch(computeKernel("x", 240), LaunchOpts{Mode: HardwareSched})
+	if err := e.Resize(h, 0, 10); err == nil {
+		t.Fatal("resize of hardware-scheduled kernel accepted")
+	}
+	hs, _ := e.Launch(computeKernel("y", 240), LaunchOpts{Mode: SlateSched, SMLow: 0, SMHigh: 29})
+	if err := e.Resize(hs, 10, 5); err == nil {
+		t.Fatal("inverted resize range accepted")
+	}
+	run(t, clk)
+	if err := e.Resize(hs, 0, 29); err == nil {
+		t.Fatal("resize of completed kernel accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	durations := func() []float64 {
+		e, clk := newEngine()
+		h1, _ := e.Launch(memoryKernel("a", 2400), LaunchOpts{Mode: SlateSched, SMLow: 0, SMHigh: 11})
+		h2, _ := e.Launch(computeKernel("b", 2400), LaunchOpts{Mode: SlateSched, SMLow: 12, SMHigh: 29})
+		run(t, clk)
+		return []float64{h1.Metrics().Duration().Seconds(), h2.Metrics().Duration().Seconds()}
+	}
+	a, b := durations(), durations()
+	if a[0] != b[0] || a[1] != b[1] {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestIPCAndBWMetricsPositive(t *testing.T) {
+	e, clk := newEngine()
+	h, _ := e.Launch(memoryKernel("m", 1200), LaunchOpts{Mode: HardwareSched})
+	run(t, clk)
+	m := h.Metrics()
+	if m.IPC(e.Dev.SM.ClockHz) <= 0 {
+		t.Fatal("IPC not positive")
+	}
+	if m.AccessBW() <= 0 || m.GFLOPS() <= 0 {
+		t.Fatal("bandwidth/FLOPS metrics not positive")
+	}
+	if m.Busy <= 0 {
+		t.Fatal("busy time not positive")
+	}
+}

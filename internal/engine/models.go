@@ -1,0 +1,222 @@
+package engine
+
+import (
+	"strings"
+	"sync"
+
+	"slate/internal/cache"
+	"slate/internal/device"
+	"slate/internal/kern"
+	"slate/internal/traces"
+)
+
+// StaticModel is a PerfModel returning fixed parameters, for tests and for
+// kernels whose locality is known analytically. Per-kernel overrides are
+// keyed by kernel name.
+type StaticModel struct {
+	// DefaultHit and DefaultRunBytes apply when no override exists.
+	DefaultHit      float64
+	DefaultRunBytes float64
+	// SlateHitBonus is added to the hit rate under SlateSched (in-order
+	// execution), clamped to [0,1].
+	SlateHitBonus float64
+	// SlateRunFactor multiplies run bytes under SlateSched.
+	SlateRunFactor float64
+	// Hit and RunBytes override per kernel name.
+	Hit      map[string]float64
+	RunBytes map[string]float64
+}
+
+// HitRate implements PerfModel. The supplied l2Bytes scales the hit rate
+// linearly below the full cache (a crude MRC), which suffices for unit
+// tests.
+func (m *StaticModel) HitRate(spec *kern.Spec, mode Mode, taskSize int, l2Bytes float64) float64 {
+	h := m.DefaultHit
+	if v, ok := m.Hit[spec.Name]; ok {
+		h = v
+	}
+	if mode == SlateSched {
+		h += m.SlateHitBonus
+	}
+	if h < 0 {
+		h = 0
+	}
+	if h > 1 {
+		h = 1
+	}
+	return h
+}
+
+// MeanRunBytes implements PerfModel.
+func (m *StaticModel) MeanRunBytes(spec *kern.Spec, mode Mode, taskSize int) float64 {
+	r := m.DefaultRunBytes
+	if v, ok := m.RunBytes[spec.Name]; ok {
+		r = v
+	}
+	if r <= 0 {
+		r = 64
+	}
+	if mode == SlateSched && m.SlateRunFactor > 0 {
+		r *= m.SlateRunFactor
+	}
+	return r
+}
+
+// TraceModel derives locality parameters by simulating each kernel's
+// synthetic address trace (kern.Spec.Pattern) through the cache simulator:
+// a miss-ratio curve sampled at geometric capacities yields HitRate under
+// L2 partitioning, and first-touch run statistics yield MeanRunBytes.
+// Results are memoized per (kernel, mode, taskSize).
+type TraceModel struct {
+	Dev *device.Device
+	// MaxAccesses caps assembled trace length (0 selects a default).
+	MaxAccesses int
+	// Seed drives trace assembly determinism.
+	Seed int64
+
+	mu    sync.Mutex
+	cache map[traceKey]*traceEntry
+}
+
+type traceKey struct {
+	name     string
+	mode     Mode
+	taskSize int
+}
+
+type traceEntry struct {
+	sizes    []int
+	missRate []float64
+	runBytes float64
+}
+
+// mrcSizes are the L2 capacities at which miss ratios are sampled.
+var mrcSizes = []int{
+	64 << 10, 128 << 10, 256 << 10, 512 << 10,
+	1 << 20, 3 << 20 / 2, 3 << 20, 6 << 20,
+}
+
+// NewTraceModel builds a trace-driven model for the device.
+func NewTraceModel(dev *device.Device) *TraceModel {
+	return &TraceModel{Dev: dev, MaxAccesses: 1_000_000, Seed: 1, cache: map[traceKey]*traceEntry{}}
+}
+
+func (m *TraceModel) entry(spec *kern.Spec, mode Mode, taskSize int) *traceEntry {
+	if mode == HardwareSched {
+		taskSize = 1 // irrelevant under hardware scheduling
+	}
+	// "@" separates a kernel's base name from an instance suffix (the
+	// multi-tenant harness runs many instances of one kernel); instances
+	// share locality parameters, so they share the memoized entry.
+	name := spec.Name
+	if i := strings.IndexByte(name, '@'); i > 0 {
+		name = name[:i]
+	}
+	key := traceKey{name, mode, taskSize}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.cache[key]; ok {
+		return e
+	}
+	e := m.build(spec, mode, taskSize)
+	m.cache[key] = e
+	return e
+}
+
+func (m *TraceModel) build(spec *kern.Spec, mode Mode, taskSize int) *traceEntry {
+	p := spec.Pattern
+	if p == nil {
+		// No pattern: pure streaming with block-sized private chunks.
+		bytesPerBlock := int(spec.L2BytesPerBlock)
+		if bytesPerBlock < 64 {
+			// Effectively no memory traffic; locality irrelevant.
+			return &traceEntry{sizes: mrcSizes, missRate: ones(len(mrcSizes)), runBytes: 64}
+		}
+		blocks := spec.NumBlocks()
+		if blocks > 4096 {
+			blocks = 4096
+		}
+		p = traces.Streaming{Blocks: blocks, BytesPerBlock: bytesPerBlock, LineBytes: m.Dev.L2.LineBytes}
+	}
+
+	workers := m.Dev.MaxWorkers(spec.Shape(), m.Dev.NumSMs)
+	if workers < 1 {
+		workers = 1
+	}
+	if nb := p.NumBlocks(); workers > nb {
+		workers = nb
+	}
+	order := traces.HardwareOrder
+	if mode == SlateSched {
+		order = traces.SlateOrder
+	}
+	acfg := traces.AssembleConfig{
+		Order:       order,
+		Workers:     workers,
+		TaskSize:    taskSize,
+		Chunk:       8,
+		Seed:        m.Seed,
+		MaxAccesses: m.maxAccesses(),
+	}
+	trace := traces.Assemble(p, acfg)
+	e := &traceEntry{sizes: mrcSizes, missRate: make([]float64, len(mrcSizes))}
+	for i, sz := range mrcSizes {
+		cfg := m.Dev.L2
+		cfg.SizeBytes = sz
+		cfg.Sets = 0
+		st := cache.SimulateTrace(cfg, trace)
+		e.missRate[i] = st.MissRate()
+	}
+	e.runBytes = traces.StreamRunStats(p, acfg).MeanRunBytes
+	return e
+}
+
+func (m *TraceModel) maxAccesses() int {
+	if m.MaxAccesses > 0 {
+		return m.MaxAccesses
+	}
+	return 1_000_000
+}
+
+func ones(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+// HitRate implements PerfModel by interpolating the kernel's miss-ratio
+// curve at the granted L2 capacity.
+func (m *TraceModel) HitRate(spec *kern.Spec, mode Mode, taskSize int, l2Bytes float64) float64 {
+	e := m.entry(spec, mode, taskSize)
+	miss := interpolate(e.sizes, e.missRate, l2Bytes)
+	return 1 - miss
+}
+
+// MeanRunBytes implements PerfModel.
+func (m *TraceModel) MeanRunBytes(spec *kern.Spec, mode Mode, taskSize int) float64 {
+	return m.entry(spec, mode, taskSize).runBytes
+}
+
+// interpolate performs piecewise-linear interpolation of ys over xs
+// (ascending), clamping outside the range.
+func interpolate(xs []int, ys []float64, x float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if x <= float64(xs[0]) {
+		return ys[0]
+	}
+	if x >= float64(xs[len(xs)-1]) {
+		return ys[len(ys)-1]
+	}
+	for i := 1; i < len(xs); i++ {
+		if x <= float64(xs[i]) {
+			x0, x1 := float64(xs[i-1]), float64(xs[i])
+			t := (x - x0) / (x1 - x0)
+			return ys[i-1] + t*(ys[i]-ys[i-1])
+		}
+	}
+	return ys[len(ys)-1]
+}

@@ -1,0 +1,143 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"slate/internal/device"
+	"slate/internal/kern"
+	"slate/internal/vtime"
+)
+
+// randomSpec builds a random but valid kernel.
+func randomSpec(rng *rand.Rand, name string) *kern.Spec {
+	threads := []int{64, 128, 256, 512}[rng.Intn(4)]
+	return &kern.Spec{
+		Name:            name,
+		Grid:            kern.D1(100 + rng.Intn(4000)),
+		BlockDim:        kern.D1(threads),
+		FLOPsPerBlock:   float64(1+rng.Intn(1000)) * 1e4,
+		InstrPerBlock:   float64(1+rng.Intn(100)) * 1e3,
+		L2BytesPerBlock: float64(1+rng.Intn(1000)) * 1e3,
+		ComputeEff:      0.05 + rng.Float64()*0.5,
+		MemMLP:          1 + rng.Float64()*7,
+		MemEff:          0.3 + rng.Float64()*0.7,
+	}
+}
+
+// Property: any random pair of kernels on random disjoint partitions
+// completes, accumulates exactly its declared work, and reports sane
+// metrics.
+func TestPropertyRandomCorunsComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		dev := device.TitanXp()
+		clk := vtime.NewClock()
+		e := New(dev, clk, staticModel())
+
+		a := randomSpec(rng, "a")
+		b := randomSpec(rng, "b")
+		split := 3 + rng.Intn(24) // a gets [0,split-1], b the rest
+		ha, err := e.Launch(a, LaunchOpts{Mode: SlateSched, TaskSize: 1 + rng.Intn(20), SMLow: 0, SMHigh: split - 1})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		hb, err := e.Launch(b, LaunchOpts{Mode: SlateSched, TaskSize: 1 + rng.Intn(20), SMLow: split, SMHigh: 29})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if n := clk.Run(3_000_000); n >= 3_000_000 {
+			t.Fatalf("trial %d: did not converge (split %d, a=%+v b=%+v)", trial, split, a, b)
+		}
+		for _, h := range []*Handle{ha, hb} {
+			if !h.Done() {
+				t.Fatalf("trial %d: kernel %s incomplete", trial, h.Spec().Name)
+			}
+			m := h.Metrics()
+			spec := h.Spec()
+			wantFLOPs := spec.TotalFLOPs()
+			if rel := (m.FLOPs - wantFLOPs) / (wantFLOPs + 1); rel > 1e-6 || rel < -1e-6 {
+				t.Fatalf("trial %d: %s FLOPs %.0f, want %.0f", trial, spec.Name, m.FLOPs, wantFLOPs)
+			}
+			if m.L2Bytes < spec.TotalL2Bytes()*0.999 || m.L2Bytes > spec.TotalL2Bytes()*1.001 {
+				t.Fatalf("trial %d: %s L2 bytes %.0f, want %.0f", trial, spec.Name, m.L2Bytes, spec.TotalL2Bytes())
+			}
+			if m.Duration() <= 0 || m.Busy <= 0 {
+				t.Fatalf("trial %d: %s nonpositive times %+v", trial, spec.Name, m)
+			}
+			if m.StallMemThrottle < 0 || m.StallMemThrottle > 1 {
+				t.Fatalf("trial %d: %s throttle %v outside [0,1]", trial, spec.Name, m.StallMemThrottle)
+			}
+			if m.DRAMBytes > m.L2Bytes*1.001 {
+				t.Fatalf("trial %d: %s DRAM bytes exceed L2 bytes", trial, spec.Name)
+			}
+		}
+	}
+}
+
+// Property: random resize storms never lose or duplicate progress: the
+// kernel still completes exactly its block count.
+func TestPropertyResizeStorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		dev := device.TitanXp()
+		clk := vtime.NewClock()
+		e := New(dev, clk, staticModel())
+		spec := randomSpec(rng, "storm")
+		h, err := e.Launch(spec, LaunchOpts{Mode: SlateSched, TaskSize: 10, SMLow: 0, SMHigh: 29})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Schedule 5 random resizes across the estimated execution window.
+		est := h.Metrics() // zero; use a rough bound instead
+		_ = est
+		for i := 0; i < 5; i++ {
+			at := vtime.Time(1000 + rng.Intn(5_000_000)) // within the first 5ms
+			lo := 0
+			hi := 1 + rng.Intn(29)
+			clk.At(at, func(vtime.Time) {
+				if !h.Done() {
+					_ = e.Resize(h, lo, hi)
+				}
+			})
+		}
+		if n := clk.Run(3_000_000); n >= 3_000_000 {
+			t.Fatalf("trial %d: did not converge", trial)
+		}
+		if !h.Done() {
+			t.Fatalf("trial %d: incomplete after resize storm", trial)
+		}
+		if got, want := h.Progress(), float64(spec.NumBlocks()); got != want {
+			t.Fatalf("trial %d: progress %v, want %v", trial, got, want)
+		}
+	}
+}
+
+// Property: at task size 1, a kernel on more SMs is never slower. (At
+// larger task sizes this deliberately fails for small grids: task grouping
+// starves a wide machine of active workers — Fig. 5's BlackScholes effect —
+// so the property is scoped to the grouping-free configuration.)
+func TestPropertyMonotoneInSMs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 15; trial++ {
+		spec := randomSpec(rng, "mono")
+		var prev float64
+		for _, sms := range []int{5, 10, 20, 30} {
+			clk := vtime.NewClock()
+			e := New(device.TitanXp(), clk, staticModel())
+			h, err := e.Launch(spec, LaunchOpts{Mode: SlateSched, TaskSize: 1, SMLow: 0, SMHigh: sms - 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n := clk.Run(3_000_000); n >= 3_000_000 {
+				t.Fatalf("trial %d: did not converge at %d SMs", trial, sms)
+			}
+			d := h.Metrics().Duration().Seconds()
+			if prev > 0 && d > prev*1.02 {
+				t.Fatalf("trial %d: slower with more SMs (%d SMs: %v vs %v) spec=%+v",
+					trial, sms, d, prev, spec)
+			}
+			prev = d
+		}
+	}
+}

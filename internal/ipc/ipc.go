@@ -1,0 +1,250 @@
+// Package ipc implements Slate's client-daemon transport (§IV-A1): a
+// command channel carrying small, latency-sensitive API messages (the
+// paper's named pipe), and a shared-buffer data channel for kernel IO that
+// can range from bytes to gigabytes — kept out of the command path so bulk
+// data is never copied through it.
+//
+// Commands are gob-encoded frames over any net.Conn; the buffer registry
+// plays the role of the shared-memory segment: in-process clients get
+// zero-copy views, remote clients copy through explicit transfer messages.
+package ipc
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Op enumerates command-channel operations.
+type Op uint8
+
+// Command opcodes, mirroring the CUDA calls the Slate API wraps.
+const (
+	OpHello Op = iota + 1
+	OpMalloc
+	OpFree
+	OpMemcpyH2D
+	OpMemcpyD2H
+	OpLaunch
+	OpLaunchSource
+	OpSynchronize
+	OpClose
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpHello:
+		return "hello"
+	case OpMalloc:
+		return "malloc"
+	case OpFree:
+		return "free"
+	case OpMemcpyH2D:
+		return "memcpyH2D"
+	case OpMemcpyD2H:
+		return "memcpyD2H"
+	case OpLaunch:
+		return "launch"
+	case OpLaunchSource:
+		return "launchSource"
+	case OpSynchronize:
+		return "synchronize"
+	case OpClose:
+		return "close"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Request is one client→daemon command.
+type Request struct {
+	Op  Op
+	Seq uint64
+	// Proc names the client process (hello).
+	Proc string
+	// Size is the allocation or transfer size.
+	Size int64
+	// Buf is the shared-buffer handle the command refers to.
+	Buf uint64
+	// Data carries bulk bytes for remote transfers (empty for in-process
+	// clients, which write the shared buffer directly).
+	Data []byte
+	// Token identifies an in-process kernel spec (OpLaunch).
+	Token uint64
+	// Stream selects the CUDA stream for OpLaunch (0 = default) and
+	// OpSynchronize (-1 = whole device).
+	Stream int
+	// TaskSize is the requested SLATE_ITERS grouping.
+	TaskSize int
+	// Source carries CUDA source for OpLaunchSource.
+	Source string
+	// Kernel names the kernel within Source.
+	Kernel string
+	// GridX, GridY, BlockX, BlockY describe the launch geometry
+	// (OpLaunchSource).
+	GridX, GridY, BlockX, BlockY int
+}
+
+// Reply is one daemon→client response.
+type Reply struct {
+	Seq uint64
+	Err string
+	// Buf is the allocated shared-buffer handle (malloc).
+	Buf uint64
+	// DevPtr is the daemon-side device pointer recorded in the hash table
+	// (malloc); clients never dereference it.
+	DevPtr uint64
+	// Data carries bulk bytes back for remote D2H transfers.
+	Data []byte
+	// Entries lists compiled entry points (launchSource).
+	Entries []string
+}
+
+// Conn wraps a net.Conn with gob framing. Safe for one reader and one
+// writer concurrently; concurrent writers must serialize via Send's lock.
+type Conn struct {
+	c    net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	wmu  sync.Mutex
+	once sync.Once
+}
+
+// NewConn wraps a transport connection.
+func NewConn(c net.Conn) *Conn {
+	return &Conn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+}
+
+// SendRequest writes one command frame.
+func (c *Conn) SendRequest(r *Request) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.enc.Encode(r)
+}
+
+// RecvRequest reads one command frame (daemon side).
+func (c *Conn) RecvRequest() (*Request, error) {
+	var r Request
+	if err := c.dec.Decode(&r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// SendReply writes one response frame (daemon side).
+func (c *Conn) SendReply(r *Reply) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.enc.Encode(r)
+}
+
+// RecvReply reads one response frame.
+func (c *Conn) RecvReply() (*Reply, error) {
+	var r Reply
+	if err := c.dec.Decode(&r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Close closes the transport once.
+func (c *Conn) Close() error {
+	var err error
+	c.once.Do(func() { err = c.c.Close() })
+	return err
+}
+
+// BufferRegistry is the shared-memory segment: buffer handles map to byte
+// slices both sides of an in-process connection can touch directly. It
+// doubles as the daemon's "hash table mapping shared buffer addresses to
+// GPU pointers" (§IV-A1) via the DevPtr it assigns each buffer.
+type BufferRegistry struct {
+	mu     sync.Mutex
+	next   uint64
+	bufs   map[uint64][]byte
+	devPtr map[uint64]uint64
+	// TotalBytes tracks live allocation for device-memory accounting.
+	TotalBytes int64
+	// Capacity bounds total live allocation (0 = unbounded); allocations
+	// beyond it fail like cudaMalloc returning cudaErrorMemoryAllocation.
+	Capacity int64
+}
+
+// NewBufferRegistry returns an empty, unbounded registry.
+func NewBufferRegistry() *BufferRegistry {
+	return &BufferRegistry{next: 1, bufs: map[uint64][]byte{}, devPtr: map[uint64]uint64{}}
+}
+
+// NewBoundedBufferRegistry returns a registry enforcing a device-memory
+// capacity.
+func NewBoundedBufferRegistry(capacity int64) *BufferRegistry {
+	r := NewBufferRegistry()
+	r.Capacity = capacity
+	return r
+}
+
+// Create allocates a buffer and returns its handle and simulated device
+// pointer.
+func (r *BufferRegistry) Create(size int64) (handle, devPtr uint64, err error) {
+	if size <= 0 {
+		return 0, 0, fmt.Errorf("ipc: invalid buffer size %d", size)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.Capacity > 0 && r.TotalBytes+size > r.Capacity {
+		return 0, 0, fmt.Errorf("ipc: out of device memory: %d requested, %d of %d in use",
+			size, r.TotalBytes, r.Capacity)
+	}
+	h := r.next
+	r.next++
+	r.bufs[h] = make([]byte, size)
+	// Device pointers are synthetic but stable and non-overlapping.
+	d := 0x7f0000000000 + h<<24
+	r.devPtr[h] = d
+	r.TotalBytes += size
+	return h, d, nil
+}
+
+// Get returns the live slice for a handle.
+func (r *BufferRegistry) Get(handle uint64) ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.bufs[handle]
+	if !ok {
+		return nil, fmt.Errorf("ipc: unknown buffer %d", handle)
+	}
+	return b, nil
+}
+
+// DevPtr returns the device pointer recorded for a handle.
+func (r *BufferRegistry) DevPtr(handle uint64) (uint64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.devPtr[handle]
+	if !ok {
+		return 0, fmt.Errorf("ipc: unknown buffer %d", handle)
+	}
+	return d, nil
+}
+
+// Release frees a buffer.
+func (r *BufferRegistry) Release(handle uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.bufs[handle]
+	if !ok {
+		return fmt.Errorf("ipc: double free of buffer %d", handle)
+	}
+	r.TotalBytes -= int64(len(b))
+	delete(r.bufs, handle)
+	delete(r.devPtr, handle)
+	return nil
+}
+
+// Len returns the number of live buffers.
+func (r *BufferRegistry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.bufs)
+}

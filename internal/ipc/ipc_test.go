@@ -1,0 +1,146 @@
+package ipc
+
+import (
+	"net"
+	"testing"
+)
+
+func TestRequestReplyRoundTrip(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		req, err := cb.RecvRequest()
+		if err != nil {
+			done <- err
+			return
+		}
+		if req.Op != OpMalloc || req.Size != 4096 || req.Seq != 7 {
+			t.Errorf("daemon got %+v", req)
+		}
+		done <- cb.SendReply(&Reply{Seq: req.Seq, Buf: 42, DevPtr: 0xdead})
+	}()
+
+	if err := ca.SendRequest(&Request{Op: OpMalloc, Seq: 7, Size: 4096}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ca.RecvReply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Buf != 42 || rep.DevPtr != 0xdead || rep.Seq != 7 {
+		t.Fatalf("client got %+v", rep)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	ops := []Op{OpHello, OpMalloc, OpFree, OpMemcpyH2D, OpMemcpyD2H, OpLaunch, OpLaunchSource, OpSynchronize, OpClose}
+	seen := map[string]bool{}
+	for _, o := range ops {
+		s := o.String()
+		if s == "" || seen[s] {
+			t.Errorf("op %d has bad/duplicate string %q", o, s)
+		}
+		seen[s] = true
+	}
+	if Op(99).String() != "Op(99)" {
+		t.Error("unknown op string")
+	}
+}
+
+func TestBufferRegistryLifecycle(t *testing.T) {
+	r := NewBufferRegistry()
+	h, dev, err := r.Create(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev == 0 {
+		t.Fatal("zero device pointer")
+	}
+	b, err := r.Get(h)
+	if err != nil || len(b) != 1024 {
+		t.Fatalf("Get: %v, len %d", err, len(b))
+	}
+	// In-process zero-copy semantics: writes through one Get are visible
+	// through another.
+	b[0] = 0xAB
+	b2, _ := r.Get(h)
+	if b2[0] != 0xAB {
+		t.Fatal("buffer not shared")
+	}
+	if d2, _ := r.DevPtr(h); d2 != dev {
+		t.Fatal("device pointer changed")
+	}
+	if r.TotalBytes != 1024 || r.Len() != 1 {
+		t.Fatalf("accounting wrong: %d bytes, %d buffers", r.TotalBytes, r.Len())
+	}
+	if err := r.Release(h); err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalBytes != 0 || r.Len() != 0 {
+		t.Fatal("release did not reclaim")
+	}
+	if err := r.Release(h); err == nil {
+		t.Fatal("double free accepted")
+	}
+	if _, err := r.Get(h); err == nil {
+		t.Fatal("use after free accepted")
+	}
+}
+
+func TestBufferRegistryErrors(t *testing.T) {
+	r := NewBufferRegistry()
+	if _, _, err := r.Create(0); err == nil {
+		t.Fatal("zero-size allocation accepted")
+	}
+	if _, err := r.Get(12345); err == nil {
+		t.Fatal("unknown handle accepted")
+	}
+	if _, err := r.DevPtr(12345); err == nil {
+		t.Fatal("unknown handle accepted")
+	}
+}
+
+func TestDistinctDevicePointers(t *testing.T) {
+	r := NewBufferRegistry()
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		_, dev, err := r.Create(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[dev] {
+			t.Fatal("device pointers collide")
+		}
+		seen[dev] = true
+	}
+}
+
+func TestBoundedRegistryEnforcesCapacity(t *testing.T) {
+	r := NewBoundedBufferRegistry(1000)
+	h1, _, err := r.Create(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Create(600); err == nil {
+		t.Fatal("over-capacity allocation accepted")
+	}
+	// Freeing makes room again.
+	if err := r.Release(h1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Create(900); err != nil {
+		t.Fatalf("allocation after free failed: %v", err)
+	}
+	// Unbounded registry never rejects on capacity.
+	u := NewBufferRegistry()
+	if _, _, err := u.Create(1 << 30); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+// Package kern defines the kernel descriptor the whole stack operates on: a
+// grid of thread blocks with a per-block resource and work model, an
+// optional memory access pattern for cache/DRAM modeling, and an optional
+// executable block function so tests can verify that Slate's grid
+// transformation preserves user-kernel semantics.
+package kern
+
+import (
+	"fmt"
+
+	"slate/internal/smsim"
+	"slate/internal/traces"
+)
+
+// Dim3 mirrors CUDA's dim3 launch geometry.
+type Dim3 struct {
+	X, Y, Z int
+}
+
+// D1 builds a 1D geometry.
+func D1(x int) Dim3 { return Dim3{X: x, Y: 1, Z: 1} }
+
+// D2 builds a 2D geometry.
+func D2(x, y int) Dim3 { return Dim3{X: x, Y: y, Z: 1} }
+
+// Count returns the total element count of the geometry.
+func (d Dim3) Count() int { return d.X * d.Y * d.Z }
+
+// Valid reports whether the geometry is a CUDA-legal 1D or 2D grid (Slate
+// transforms 1D and 2D grids; 3D grids are out of scope, as in the paper).
+func (d Dim3) Valid() bool { return d.X >= 1 && d.Y >= 1 && d.Z == 1 }
+
+func (d Dim3) String() string { return fmt.Sprintf("(%d,%d,%d)", d.X, d.Y, d.Z) }
+
+// Spec describes one kernel: geometry, resource shape, work model, and
+// optional executable semantics.
+type Spec struct {
+	// Name identifies the kernel in profiles and traces.
+	Name string
+	// Grid is the user-specified block grid (1D or 2D).
+	Grid Dim3
+	// BlockDim is the user-specified thread geometry within a block.
+	BlockDim Dim3
+	// RegsPerThread and SharedMemBytes complete the occupancy footprint.
+	RegsPerThread  int
+	SharedMemBytes int
+
+	// FLOPsPerBlock is the single-precision floating-point work per block.
+	FLOPsPerBlock float64
+	// InstrPerBlock is the total executed instructions per block (drives
+	// the IPC metric; includes non-FP instructions).
+	InstrPerBlock float64
+	// L2BytesPerBlock is the bytes each block requests from the L2 (global
+	// loads + stores as nvprof's gld/gst throughput sees them).
+	L2BytesPerBlock float64
+	// ComputeEff is the fraction of peak FP32 issue the kernel achieves
+	// when compute-bound (instruction mix, dependencies, divergence).
+	ComputeEff float64
+	// MemMLP is the kernel's memory-level parallelism per warp: how many
+	// outstanding requests each warp keeps in flight. Grid-stride streaming
+	// kernels (BlackScholes, stream) pipeline deeply (≈8); pointer-chasing
+	// or short-lived blocks sit near 1. Zero defaults to 1.
+	MemMLP float64
+	// MemEff is the fraction of the streaming DRAM ceiling the kernel's
+	// access pattern can realize (coalescing quality). Perfectly coalesced
+	// kernels are 1; Rodinia's column-strided Gaussian sits near 0.45.
+	// Zero defaults to 1.
+	MemEff float64
+	// OpsPerBlock is the dominant-pipe operation count per block used for
+	// the compute bound. Integer-heavy kernels (quasirandom bit
+	// manipulation) are issue-bound without floating-point work. Zero
+	// defaults to FLOPsPerBlock.
+	OpsPerBlock float64
+
+	// Pattern generates the kernel's block-level address trace; nil means
+	// effectively no L2-visible reuse (treated as private streaming).
+	Pattern traces.BlockPattern
+
+	// Exec, if non-nil, executes the real computation of a flattened block
+	// index. Used by correctness tests and the example applications; the
+	// performance engine never calls it.
+	Exec func(block int)
+}
+
+// Validate reports descriptor errors.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("kern: unnamed kernel")
+	}
+	if !s.Grid.Valid() {
+		return fmt.Errorf("kern %q: invalid grid %v", s.Name, s.Grid)
+	}
+	if !s.BlockDim.Valid() || s.BlockDim.Count() > 1024 {
+		return fmt.Errorf("kern %q: invalid block %v", s.Name, s.BlockDim)
+	}
+	if s.FLOPsPerBlock < 0 || s.InstrPerBlock < 0 || s.L2BytesPerBlock < 0 {
+		return fmt.Errorf("kern %q: negative work model", s.Name)
+	}
+	if s.ComputeEff <= 0 || s.ComputeEff > 1 {
+		return fmt.Errorf("kern %q: ComputeEff %v outside (0,1]", s.Name, s.ComputeEff)
+	}
+	if s.MemMLP < 0 {
+		return fmt.Errorf("kern %q: negative MemMLP", s.Name)
+	}
+	if s.MemEff < 0 || s.MemEff > 1 {
+		return fmt.Errorf("kern %q: MemEff %v outside [0,1]", s.Name, s.MemEff)
+	}
+	if s.OpsPerBlock < 0 {
+		return fmt.Errorf("kern %q: negative OpsPerBlock", s.Name)
+	}
+	if s.Pattern != nil && s.Pattern.NumBlocks() <= 0 {
+		return fmt.Errorf("kern %q: pattern has no blocks", s.Name)
+	}
+	return nil
+}
+
+// NumBlocks returns the total block count.
+func (s *Spec) NumBlocks() int { return s.Grid.Count() }
+
+// ThreadsPerBlock returns the block's thread count.
+func (s *Spec) ThreadsPerBlock() int { return s.BlockDim.Count() }
+
+// Shape returns the occupancy-relevant block shape.
+func (s *Spec) Shape() smsim.BlockShape {
+	return smsim.BlockShape{
+		Threads:        s.ThreadsPerBlock(),
+		RegsPerThread:  s.RegsPerThread,
+		SharedMemBytes: s.SharedMemBytes,
+	}
+}
+
+// TotalFLOPs returns the kernel's total floating-point work.
+func (s *Spec) TotalFLOPs() float64 { return s.FLOPsPerBlock * float64(s.NumBlocks()) }
+
+// TotalInstr returns the kernel's total instruction count.
+func (s *Spec) TotalInstr() float64 { return s.InstrPerBlock * float64(s.NumBlocks()) }
+
+// TotalL2Bytes returns the kernel's total L2-visible traffic.
+func (s *Spec) TotalL2Bytes() float64 { return s.L2BytesPerBlock * float64(s.NumBlocks()) }

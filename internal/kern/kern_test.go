@@ -1,0 +1,81 @@
+package kern
+
+import "testing"
+
+func validSpec() *Spec {
+	return &Spec{
+		Name:            "k",
+		Grid:            D2(64, 64),
+		BlockDim:        D1(256),
+		FLOPsPerBlock:   1e6,
+		InstrPerBlock:   1e6,
+		L2BytesPerBlock: 1e5,
+		ComputeEff:      0.5,
+	}
+}
+
+func TestDimHelpers(t *testing.T) {
+	if d := D1(7); d != (Dim3{7, 1, 1}) {
+		t.Fatalf("D1(7) = %v", d)
+	}
+	if d := D2(3, 4); d.Count() != 12 {
+		t.Fatalf("D2(3,4).Count() = %d", d.Count())
+	}
+	if !D2(1, 1).Valid() {
+		t.Fatal("unit grid invalid")
+	}
+	if (Dim3{2, 2, 2}).Valid() {
+		t.Fatal("3D grid accepted")
+	}
+	if (Dim3{0, 1, 1}).Valid() {
+		t.Fatal("zero grid accepted")
+	}
+	if s := D2(3, 4).String(); s != "(3,4,1)" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := validSpec().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	muts := []func(*Spec){
+		func(s *Spec) { s.Name = "" },
+		func(s *Spec) { s.Grid = Dim3{0, 1, 1} },
+		func(s *Spec) { s.BlockDim = D2(64, 32) }, // 2048 > 1024 threads
+		func(s *Spec) { s.FLOPsPerBlock = -1 },
+		func(s *Spec) { s.ComputeEff = 0 },
+		func(s *Spec) { s.ComputeEff = 1.5 },
+		func(s *Spec) { s.MemMLP = -1 },
+	}
+	for i, mut := range muts {
+		s := validSpec()
+		mut(s)
+		if s.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestDerivedQuantities(t *testing.T) {
+	s := validSpec()
+	if s.NumBlocks() != 4096 {
+		t.Fatalf("NumBlocks = %d", s.NumBlocks())
+	}
+	if s.ThreadsPerBlock() != 256 {
+		t.Fatalf("ThreadsPerBlock = %d", s.ThreadsPerBlock())
+	}
+	if s.TotalFLOPs() != 4096*1e6 {
+		t.Fatalf("TotalFLOPs = %v", s.TotalFLOPs())
+	}
+	if s.TotalInstr() != 4096*1e6 {
+		t.Fatalf("TotalInstr = %v", s.TotalInstr())
+	}
+	if s.TotalL2Bytes() != 4096*1e5 {
+		t.Fatalf("TotalL2Bytes = %v", s.TotalL2Bytes())
+	}
+	shape := s.Shape()
+	if shape.Threads != 256 || shape.Warps() != 8 {
+		t.Fatalf("Shape = %+v", shape)
+	}
+}

@@ -1,0 +1,218 @@
+package memsys
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func titanXp() DRAM {
+	return DRAM{
+		PeakBandwidth:    547.6e9,
+		StreamEfficiency: 0.88,
+		KneeSMs:          9,
+		MinRunEfficiency: 0.35,
+		FullRunBytes:     4096,
+		L2Bandwidth:      1.2e12,
+		CorunEfficiency:  0.68,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := titanXp().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []func(*DRAM){
+		func(d *DRAM) { d.PeakBandwidth = 0 },
+		func(d *DRAM) { d.StreamEfficiency = 1.5 },
+		func(d *DRAM) { d.KneeSMs = 0 },
+		func(d *DRAM) { d.MinRunEfficiency = 0 },
+		func(d *DRAM) { d.FullRunBytes = 32 },
+		func(d *DRAM) { d.L2Bandwidth = -1 },
+	}
+	for i, mut := range bad {
+		d := titanXp()
+		mut(&d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+// Fig. 1's shape: monotone nondecreasing, saturating exactly at the knee.
+func TestStreamCeilingSaturatesAtKnee(t *testing.T) {
+	d := titanXp()
+	prev := -1.0
+	for sms := 0; sms <= 30; sms++ {
+		bw := d.StreamCeiling(sms)
+		if bw < prev-1e-9 {
+			t.Fatalf("ceiling decreased at %d SMs: %v < %v", sms, bw, prev)
+		}
+		prev = bw
+	}
+	peak := d.EffectivePeak()
+	if got := d.StreamCeiling(9); math.Abs(got-peak) > 1e-6 {
+		t.Fatalf("ceiling at knee = %v, want peak %v", got, peak)
+	}
+	if got := d.StreamCeiling(30); got != peak {
+		t.Fatalf("ceiling past knee = %v, want flat peak %v", got, peak)
+	}
+	if got := d.StreamCeiling(1); got >= peak/2 {
+		t.Fatalf("one SM reaches %v of peak %v; should be far below", got, peak)
+	}
+	if d.StreamCeiling(0) != 0 {
+		t.Fatal("zero SMs should have zero bandwidth")
+	}
+}
+
+func TestRunEfficiencyBoundsAndMonotone(t *testing.T) {
+	d := titanXp()
+	if got := d.RunEfficiency(64); got != d.MinRunEfficiency {
+		t.Fatalf("single-line run efficiency = %v, want %v", got, d.MinRunEfficiency)
+	}
+	if got := d.RunEfficiency(1 << 20); got != 1 {
+		t.Fatalf("long-run efficiency = %v, want 1", got)
+	}
+	prev := 0.0
+	for b := 64.0; b <= 1<<20; b *= 2 {
+		e := d.RunEfficiency(b)
+		if e < prev-1e-12 {
+			t.Fatalf("efficiency decreased at %v bytes", b)
+		}
+		if e < d.MinRunEfficiency || e > 1 {
+			t.Fatalf("efficiency %v out of bounds at %v bytes", e, b)
+		}
+		prev = e
+	}
+}
+
+func TestArbitrateUnderSubscribed(t *testing.T) {
+	d := titanXp()
+	demands := []float64{100e9, 150e9}
+	grants := d.Arbitrate(demands)
+	for i := range demands {
+		if grants[i] != demands[i] {
+			t.Fatalf("undersubscribed grant %d = %v, want %v", i, grants[i], demands[i])
+		}
+	}
+}
+
+func TestArbitrateOverSubscribedProportional(t *testing.T) {
+	d := titanXp()
+	// With two demanders the shared ceiling shrinks by CorunEfficiency.
+	ceiling := d.EffectivePeak() * d.CorunEff()
+	demands := []float64{d.EffectivePeak(), d.EffectivePeak() / 3}
+	grants := d.Arbitrate(demands)
+	sum := grants[0] + grants[1]
+	if math.Abs(sum-ceiling) > 1 {
+		t.Fatalf("grants sum to %v, want corun ceiling %v", sum, ceiling)
+	}
+	if math.Abs(grants[0]/grants[1]-3) > 1e-9 {
+		t.Fatalf("grants not proportional: %v", grants)
+	}
+}
+
+func TestArbitrateSoloKeepsFullCeiling(t *testing.T) {
+	d := titanXp()
+	grants := d.Arbitrate([]float64{d.EffectivePeak() * 2})
+	if math.Abs(grants[0]-d.EffectivePeak()) > 1 {
+		t.Fatalf("solo grant %v, want full ceiling %v", grants[0], d.EffectivePeak())
+	}
+}
+
+func TestCorunEffDefault(t *testing.T) {
+	d := titanXp()
+	d.CorunEfficiency = 0
+	if d.CorunEff() != 1 {
+		t.Fatal("unset CorunEfficiency should default to 1")
+	}
+}
+
+func TestArbitrateEdgeCases(t *testing.T) {
+	d := titanXp()
+	if g := d.Arbitrate(nil); len(g) != 0 {
+		t.Fatal("nil demands should yield empty grants")
+	}
+	g := d.Arbitrate([]float64{0, 0})
+	if g[0] != 0 || g[1] != 0 {
+		t.Fatalf("zero demands granted bandwidth: %v", g)
+	}
+	g = d.Arbitrate([]float64{-5, 10})
+	if g[0] != 0 || g[1] != 10 {
+		t.Fatalf("negative demand mishandled: %v", g)
+	}
+}
+
+// Property: grants never exceed demands, never exceed the solo ceiling in
+// sum, and are nonnegative.
+func TestPropertyArbitrate(t *testing.T) {
+	d := titanXp()
+	ceiling := d.EffectivePeak() // corun ceiling is strictly below this
+	f := func(raw []uint32) bool {
+		demands := make([]float64, len(raw))
+		for i, r := range raw {
+			demands[i] = float64(r) * 1e3
+		}
+		grants := d.Arbitrate(demands)
+		sum := 0.0
+		for i, g := range grants {
+			if g < 0 || g > demands[i]+1e-6 {
+				return false
+			}
+			sum += g
+		}
+		return sum <= ceiling*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestL2Ceiling(t *testing.T) {
+	d := titanXp()
+	full := d.L2Ceiling(30, 30)
+	if full != d.L2Bandwidth {
+		t.Fatalf("full-device L2 ceiling = %v, want %v", full, d.L2Bandwidth)
+	}
+	half := d.L2Ceiling(15, 30)
+	if math.Abs(half-full/2) > 1 {
+		t.Fatalf("half-device L2 ceiling = %v, want %v", half, full/2)
+	}
+	if d.L2Ceiling(0, 30) != 0 || d.L2Ceiling(5, 0) != 0 {
+		t.Fatal("degenerate L2 ceilings should be zero")
+	}
+	if d.L2Ceiling(40, 30) != full {
+		t.Fatal("over-device SM count should clamp")
+	}
+}
+
+func TestPCIeTransfer(t *testing.T) {
+	p := PCIe{Bandwidth: 12.5e9, Latency: 10e-6}
+	if got := p.TransferSeconds(0); got != 10e-6 {
+		t.Fatalf("zero-byte transfer = %v, want latency only", got)
+	}
+	oneGB := p.TransferSeconds(1 << 30)
+	want := 10e-6 + float64(1<<30)/12.5e9
+	if math.Abs(oneGB-want) > 1e-12 {
+		t.Fatalf("1GiB transfer = %v, want %v", oneGB, want)
+	}
+	// Larger transfers take longer.
+	if p.TransferSeconds(2<<30) <= oneGB {
+		t.Fatal("transfer time not monotone in size")
+	}
+}
+
+func TestLogRatio(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{1, 0}, {2, 1}, {4, 2}, {8, 3}, {1024, 10},
+	}
+	for _, c := range cases {
+		if got := logRatio(c.in); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("logRatio(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// Between powers of two it interpolates monotonically.
+	if a, b := logRatio(2.5), logRatio(3.5); !(a > 1 && b > a && b < 2) {
+		t.Errorf("interpolation broken: %v %v", a, b)
+	}
+}

@@ -1,0 +1,105 @@
+package nvrtc
+
+import (
+	"strings"
+	"testing"
+
+	"slate/internal/inject"
+)
+
+const userSrc = `
+__global__ void saxpy(const float a, const float *x, float *y, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) y[i] = a * x[i] + y[i];
+}
+`
+
+func transformed(t *testing.T) string {
+	t.Helper()
+	out, err := inject.Transform(userSrc, inject.Options{TaskSize: 10, EmitDispatcher: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestCompileTransformedSource(t *testing.T) {
+	c := New()
+	img, err := c.Compile(transformed(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !img.HasEntry("slate_saxpy") {
+		t.Fatalf("entries = %v, want slate_saxpy", img.Entries)
+	}
+	if !img.HasEntry("slate_saxpyDispatcher") {
+		t.Fatalf("entries = %v, want dispatcher", img.Entries)
+	}
+	if img.HasEntry("nope") {
+		t.Fatal("HasEntry invented a kernel")
+	}
+	if !strings.Contains(img.Log, "compiled") {
+		t.Errorf("log = %q", img.Log)
+	}
+}
+
+func TestCompileCaches(t *testing.T) {
+	c := New()
+	src := transformed(t)
+	a, err := c.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("cache miss on identical source")
+	}
+	compiles, hits := c.Stats()
+	if compiles != 1 || hits != 1 {
+		t.Fatalf("stats = %d compiles, %d hits; want 1, 1", compiles, hits)
+	}
+}
+
+func TestCompileRejectsUninjectedSource(t *testing.T) {
+	c := New()
+	if _, err := c.Compile(userSrc); err == nil {
+		t.Fatal("raw user source accepted without injection")
+	}
+}
+
+func TestCompileRejectsUnbalancedBraces(t *testing.T) {
+	c := New()
+	src := transformed(t) + "\n}"
+	if _, err := c.Compile(src); err == nil {
+		t.Fatal("unbalanced source accepted")
+	}
+	src2 := strings.Replace(transformed(t), "}", "", 1)
+	if _, err := c.Compile(src2); err == nil {
+		t.Fatal("missing-brace source accepted")
+	}
+}
+
+func TestCompileDistinguishesSources(t *testing.T) {
+	c := New()
+	a, err := c.Compile(transformed(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := inject.Transform(strings.ReplaceAll(userSrc, "saxpy", "daxpy"), inject.Options{TaskSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Compile(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash == b.Hash {
+		t.Fatal("distinct sources share a hash")
+	}
+	if compiles, _ := c.Stats(); compiles != 2 {
+		t.Fatalf("compiles = %d, want 2", compiles)
+	}
+}

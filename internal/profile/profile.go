@@ -1,0 +1,195 @@
+// Package profile implements Slate's kernel profiler (§IV-B): kernels are
+// profiled at their first run and the results cached in a table the
+// scheduler consults online. Each profile records the nvprof-style solo
+// counters of Table II plus a second measurement on a restricted SM range —
+// Slate's own SM-binding makes that measurement possible — from which the
+// scheduler derives the kernel's SM-scaling curve for partition sizing.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"slate/internal/device"
+	"slate/internal/engine"
+	"slate/internal/kern"
+	"slate/internal/policy"
+	"slate/internal/vtime"
+)
+
+// ScalingSMs is the restricted SM count of the second profiling run.
+const ScalingSMs = 10
+
+// Profile is one kernel's cached measurement.
+type Profile struct {
+	Kernel string `json:"kernel"`
+	// Solo full-device counters (the Table II columns).
+	GFLOPS   float64 `json:"gflops"`
+	AccessBW float64 `json:"access_gbs"`
+	DRAMBW   float64 `json:"dram_gbs"`
+	StallMem float64 `json:"stall_mem"`
+	IPC      float64 `json:"ipc"`
+	SoloSec  float64 `json:"solo_sec"`
+	// Speed10 is the kernel's relative speed on ScalingSMs SMs (1.0 = full
+	// solo speed despite the restriction).
+	Speed10 float64 `json:"speed10"`
+	// Class is the policy classification derived from GFLOPS/AccessBW.
+	Class policy.Class `json:"class"`
+}
+
+// SpeedAt estimates the kernel's relative speed on s SMs by linear
+// interpolation through the measured (ScalingSMs, Speed10) point, capped at
+// full speed. The estimate is what the partition optimizer minimizes over.
+func (p *Profile) SpeedAt(s int) float64 {
+	if s <= 0 {
+		return 0
+	}
+	v := p.Speed10 * float64(s) / ScalingSMs
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Profiler measures kernels on a scratch simulation and caches results.
+// It is safe for concurrent use.
+type Profiler struct {
+	Dev   *device.Device
+	Model engine.PerfModel
+	Th    policy.Thresholds
+
+	mu    sync.Mutex
+	table map[string]*Profile
+}
+
+// New constructs a profiler for the device using the given performance
+// model (typically the shared TraceModel).
+func New(dev *device.Device, model engine.PerfModel) *Profiler {
+	return &Profiler{
+		Dev:   dev,
+		Model: model,
+		Th:    policy.DefaultThresholds(),
+		table: map[string]*Profile{},
+	}
+}
+
+// Get returns the cached profile for spec, measuring it on first request —
+// the paper's "profiles kernels at their first time run".
+func (p *Profiler) Get(spec *kern.Spec) (*Profile, error) {
+	p.mu.Lock()
+	if pr, ok := p.table[spec.Name]; ok {
+		p.mu.Unlock()
+		return pr, nil
+	}
+	p.mu.Unlock()
+
+	pr, err := p.measure(spec)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.table[spec.Name] = pr
+	p.mu.Unlock()
+	return pr, nil
+}
+
+// Lookup returns a cached profile without measuring.
+func (p *Profiler) Lookup(name string) (*Profile, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pr, ok := p.table[name]
+	return pr, ok
+}
+
+// Len returns the number of cached profiles.
+func (p *Profiler) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.table)
+}
+
+func (p *Profiler) measure(spec *kern.Spec) (*Profile, error) {
+	solo, err := p.run(spec, engine.LaunchOpts{Mode: engine.HardwareSched})
+	if err != nil {
+		return nil, err
+	}
+	// The scaling pair is measured entirely under Slate scheduling at the
+	// default task size, so the two runs share every Slate-specific cost
+	// (injected instructions, queue atomics, task grouping) and their ratio
+	// isolates SM scaling. Comparing against the hardware-scheduled solo
+	// would fold Slate's locality gains into the curve.
+	slateSolo, err := p.run(spec, engine.LaunchOpts{
+		Mode: engine.SlateSched, SMLow: 0, SMHigh: p.Dev.NumSMs - 1, TaskSize: 10,
+	})
+	if err != nil {
+		return nil, err
+	}
+	restricted, err := p.run(spec, engine.LaunchOpts{
+		Mode: engine.SlateSched, SMLow: 0, SMHigh: ScalingSMs - 1, TaskSize: 10,
+	})
+	if err != nil {
+		return nil, err
+	}
+	soloSec := solo.Duration().Seconds()
+	resSec := restricted.Duration().Seconds()
+	speed10 := 0.0
+	if resSec > 0 {
+		speed10 = slateSolo.Duration().Seconds() / resSec
+	}
+	pr := &Profile{
+		Kernel:   spec.Name,
+		GFLOPS:   solo.GFLOPS(),
+		AccessBW: solo.AccessBW(),
+		DRAMBW:   solo.DRAMBW(),
+		StallMem: solo.StallMemThrottle,
+		IPC:      solo.IPC(p.Dev.SM.ClockHz),
+		SoloSec:  soloSec,
+		Speed10:  speed10,
+	}
+	pr.Class = p.Th.Classify(pr.GFLOPS, pr.AccessBW)
+	return pr, nil
+}
+
+// run executes one launch on a private scratch clock and engine.
+func (p *Profiler) run(spec *kern.Spec, opts engine.LaunchOpts) (engine.Metrics, error) {
+	clk := vtime.NewClock()
+	e := engine.New(p.Dev, clk, p.Model)
+	h, err := e.Launch(spec, opts)
+	if err != nil {
+		return engine.Metrics{}, err
+	}
+	if n := clk.Run(5_000_000); n >= 5_000_000 {
+		return engine.Metrics{}, fmt.Errorf("profile: simulation of %q did not converge", spec.Name)
+	}
+	if !h.Done() {
+		return engine.Metrics{}, fmt.Errorf("profile: kernel %q did not complete", spec.Name)
+	}
+	return h.Metrics(), nil
+}
+
+// Save writes the profile table as JSON — the persistent lookup table of
+// Table V's "offline" row.
+func (p *Profiler) Save(w io.Writer) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p.table)
+}
+
+// Load merges a previously saved table; loaded entries satisfy Get without
+// re-measuring.
+func (p *Profiler) Load(r io.Reader) error {
+	var table map[string]*Profile
+	if err := json.NewDecoder(r).Decode(&table); err != nil {
+		return fmt.Errorf("profile: corrupt table: %w", err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for k, v := range table {
+		p.table[k] = v
+	}
+	return nil
+}

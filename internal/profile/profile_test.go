@@ -1,0 +1,145 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"slate/internal/device"
+	"slate/internal/engine"
+	"slate/internal/kern"
+	"slate/internal/policy"
+)
+
+func testSpec(name string, blocks int, flops, bytes float64) *kern.Spec {
+	return &kern.Spec{
+		Name:            name,
+		Grid:            kern.D1(blocks),
+		BlockDim:        kern.D1(256),
+		FLOPsPerBlock:   flops,
+		InstrPerBlock:   1e5,
+		L2BytesPerBlock: bytes,
+		ComputeEff:      0.5,
+		MemMLP:          8,
+	}
+}
+
+func newProfiler() *Profiler {
+	dev := device.TitanXp()
+	return New(dev, &engine.StaticModel{DefaultHit: 0, DefaultRunBytes: 1 << 20, SlateRunFactor: 1})
+}
+
+func TestProfileComputeBoundKernel(t *testing.T) {
+	p := newProfiler()
+	pr, err := p.Get(testSpec("cb", 2400, 1e8, 1e4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.GFLOPS < 5000 {
+		t.Errorf("compute kernel GFLOPS = %.0f, want thousands", pr.GFLOPS)
+	}
+	if pr.Class != policy.HC {
+		t.Errorf("class = %v, want H_C", pr.Class)
+	}
+	// Compute-bound kernels scale with SMs: 10 SMs ≈ 1/3 speed.
+	if pr.Speed10 < 0.25 || pr.Speed10 > 0.45 {
+		t.Errorf("Speed10 = %.2f, want ≈1/3", pr.Speed10)
+	}
+	// Slate's injected-instruction overhead (~3%) shows in the restricted
+	// run, so the extrapolated full-device speed sits just below 1.
+	if got := pr.SpeedAt(30); got < 0.95 || got > 1 {
+		t.Errorf("SpeedAt(30) = %v, want ≈1", got)
+	}
+	if pr.SpeedAt(100) != 1 {
+		t.Errorf("SpeedAt(100) = %v, want capped 1", pr.SpeedAt(100))
+	}
+	if pr.SpeedAt(0) != 0 {
+		t.Errorf("SpeedAt(0) = %v, want 0", pr.SpeedAt(0))
+	}
+}
+
+func TestProfileMemoryBoundKernel(t *testing.T) {
+	p := newProfiler()
+	pr, err := p.Get(testSpec("mb", 2400, 1e5, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Class != policy.HM {
+		t.Errorf("class = %v, want H_M (BW %.0f)", pr.Class, pr.AccessBW)
+	}
+	// Memory-bound kernels keep full speed at 10 SMs (past the knee).
+	if pr.Speed10 < 0.9 {
+		t.Errorf("Speed10 = %.2f, memory-bound kernel should not slow at 10 SMs", pr.Speed10)
+	}
+	if pr.StallMem < 0.2 {
+		t.Errorf("StallMem = %.2f, want substantial throttling", pr.StallMem)
+	}
+}
+
+func TestGetCaches(t *testing.T) {
+	p := newProfiler()
+	spec := testSpec("once", 240, 1e7, 1e4)
+	a, err := p.Get(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Get(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("second Get re-measured instead of using the table")
+	}
+	if p.Len() != 1 {
+		t.Fatalf("table has %d entries, want 1", p.Len())
+	}
+	if _, ok := p.Lookup("once"); !ok {
+		t.Fatal("Lookup failed for cached profile")
+	}
+	if _, ok := p.Lookup("never"); ok {
+		t.Fatal("Lookup invented a profile")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	p := newProfiler()
+	if _, err := p.Get(testSpec("k1", 240, 1e8, 1e4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(testSpec("k2", 240, 1e5, 1<<20)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := newProfiler()
+	if err := fresh.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Len() != 2 {
+		t.Fatalf("loaded %d profiles, want 2", fresh.Len())
+	}
+	orig, _ := p.Lookup("k1")
+	got, ok := fresh.Lookup("k1")
+	if !ok || got.GFLOPS != orig.GFLOPS || got.Class != orig.Class {
+		t.Fatalf("round trip mangled profile: %+v vs %+v", got, orig)
+	}
+}
+
+func TestLoadCorrupt(t *testing.T) {
+	p := newProfiler()
+	if err := p.Load(strings.NewReader("{nope")); err == nil {
+		t.Fatal("corrupt JSON accepted")
+	}
+}
+
+func TestProfileInvalidKernel(t *testing.T) {
+	p := newProfiler()
+	bad := testSpec("bad", 100, 1e6, 1e4)
+	bad.ComputeEff = 0
+	if _, err := p.Get(bad); err == nil {
+		t.Fatal("invalid kernel profiled without error")
+	}
+}

@@ -1,0 +1,152 @@
+package sched
+
+import (
+	"fmt"
+
+	"slate/internal/engine"
+	"slate/internal/profile"
+	"slate/internal/vtime"
+)
+
+// This file extends the pair scheduler to N-way spatial sharing
+// (MaxConcurrent ≥ 3), a natural extension the paper leaves open: the
+// device is cut into one contiguous SM range per co-running kernel, sized
+// by a waterfill over the kernels' measured SM-scaling profiles.
+
+// layout allocates the device's SMs across the entries: everyone starts at
+// the 2-SM floor and the remaining SMs go, one at a time, to whichever
+// kernel the profiles predict is currently slowed the most. For two
+// kernels this converges to the same partition as the pairwise minimax
+// optimizer.
+func (s *Scheduler) layout(entries []*entry) []int {
+	n := len(entries)
+	widths := make([]int, n)
+	if n == 0 {
+		return widths
+	}
+	total := s.Dev.NumSMs
+	floor := 2
+	if floor*n > total {
+		floor = total / n
+		if floor < 1 {
+			floor = 1
+		}
+	}
+	used := 0
+	for i := range widths {
+		widths[i] = floor
+		used += floor
+	}
+	for used < total {
+		worst, worstSlow := 0, -1.0
+		for i, e := range entries {
+			sp := e.prof.SpeedAt(widths[i])
+			if sp <= 0 {
+				sp = 1e-9
+			}
+			slow := 1 / sp
+			if slow > worstSlow {
+				worstSlow, worst = slow, i
+			}
+		}
+		widths[worst]++
+		used++
+	}
+	return widths
+}
+
+// admitNWay repartitions the device for running ∪ {en}: running kernels are
+// resized to their new contiguous ranges (sticky within ±2 SMs) and the
+// arrival launches on the final range.
+func (s *Scheduler) admitNWay(now vtime.Time, en *entry) error {
+	entries := append(append([]*entry{}, s.running...), en)
+	widths := s.layout(entries)
+
+	// Assign contiguous ranges in order; keep a running kernel's current
+	// range when it is within the sticky tolerance, propagating the
+	// boundary so ranges stay disjoint.
+	lo := 0
+	for i, e := range entries {
+		targetHi := lo + widths[i] - 1
+		if i == len(entries)-1 {
+			targetHi = s.Dev.NumSMs - 1 // the arrival absorbs rounding
+		}
+		if e == en {
+			h, err := s.Eng.Launch(en.spec, engine.LaunchOpts{
+				Mode: engine.SlateSched, TaskSize: en.taskSize,
+				SMLow: lo, SMHigh: targetHi,
+			})
+			if err != nil {
+				return err
+			}
+			en.handle = h
+			s.running = append(s.running, en)
+			s.record(Decision{
+				At: now, Kernel: en.spec.Name, Action: "corun",
+				SMLow: lo, SMHigh: targetHi, Partner: partnersOf(entries, en),
+			})
+			s.Eng.OnComplete(h, func(t vtime.Time) { s.onComplete(t, en) })
+			lo = targetHi + 1
+			continue
+		}
+		curLo, curHi := e.handle.SMRange()
+		if curLo == lo && abs(curHi-targetHi) <= 2 && curHi < s.Dev.NumSMs-1 {
+			lo = curHi + 1 // sticky: keep the existing boundary
+			continue
+		}
+		if err := s.Eng.Resize(e.handle, lo, targetHi); err != nil {
+			return fmt.Errorf("sched: repartitioning %q: %w", e.spec.Name, err)
+		}
+		lo = targetHi + 1
+	}
+	return nil
+}
+
+// partnersOf names the co-runners of en for the decision log.
+func partnersOf(entries []*entry, en *entry) string {
+	out := ""
+	for _, e := range entries {
+		if e == en {
+			continue
+		}
+		if out != "" {
+			out += "+"
+		}
+		out += e.spec.Name
+	}
+	return out
+}
+
+// corunsWithAll reports whether the arrival is complementary to every
+// running kernel (the pairwise policy applied N ways).
+func (s *Scheduler) corunsWithAll(arrival *profile.Profile) bool {
+	for _, r := range s.running {
+		if !s.corunProfiles(r.prof, arrival) {
+			return false
+		}
+	}
+	return len(s.running) > 0
+}
+
+// regrowSurvivors repartitions the device across the current running set
+// (used after a completion when more than one kernel survives).
+func (s *Scheduler) regrowSurvivors(now vtime.Time) {
+	if len(s.running) == 0 {
+		return
+	}
+	widths := s.layout(s.running)
+	lo := 0
+	for i, e := range s.running {
+		hi := lo + widths[i] - 1
+		if i == len(s.running)-1 {
+			hi = s.Dev.NumSMs - 1
+		}
+		curLo, curHi := e.handle.SMRange()
+		if curLo != lo || curHi != hi {
+			if err := s.Eng.Resize(e.handle, lo, hi); err == nil {
+				s.record(Decision{At: now, Kernel: e.spec.Name, Action: "grow", SMLow: lo, SMHigh: hi})
+			}
+		}
+		lo = hi + 1
+	}
+}

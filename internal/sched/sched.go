@@ -1,0 +1,364 @@
+// Package sched implements Slate's workload-aware kernel scheduler
+// (§III-B, §III-C and Fig. 4): kernels arriving from client sessions are
+// profiled on first sight, paired with a running kernel when Table I calls
+// them complementary, granted a disjoint SM partition sized from their
+// measured SM-scaling profiles, and dynamically resized when partners
+// arrive or complete.
+package sched
+
+import (
+	"fmt"
+
+	"slate/internal/device"
+	"slate/internal/engine"
+	"slate/internal/kern"
+	"slate/internal/policy"
+	"slate/internal/profile"
+	"slate/internal/vtime"
+)
+
+// Decision records one scheduling action, for traces and tests.
+type Decision struct {
+	At     vtime.Time
+	Kernel string
+	// Action is "solo", "corun", "queue", "grow", "dequeue", or "complete".
+	Action string
+	// SMLow and SMHigh are the designated range for launch/resize actions.
+	SMLow, SMHigh int
+	// Partner is the co-running kernel, if any.
+	Partner string
+}
+
+// Scheduler is the daemon-side kernel scheduler. It is single-threaded by
+// construction: all entry points run inside virtual-clock callbacks.
+type Scheduler struct {
+	Dev  *device.Device
+	Eng  *engine.Engine
+	Prof *profile.Profiler
+
+	// MaxConcurrent bounds spatial sharing; the paper evaluates pairs.
+	MaxConcurrent int
+	// DefaultTaskSize is the SLATE_ITERS grouping used when the submission
+	// does not specify one.
+	DefaultTaskSize int
+	// GrowGraceSeconds delays the survivor's grow after a partner kernel
+	// completes: looped applications relaunch within tens of microseconds,
+	// and growing into SMs that are about to be reclaimed would thrash the
+	// retreat/relaunch machinery on every iteration.
+	GrowGraceSeconds float64
+	// CorunFn decides whether two workload classes may share the device;
+	// nil selects Table I (policy.Corun). Ablations substitute always/never
+	// variants here.
+	CorunFn func(running, arrival policy.Class) bool
+	// CorunProfiledFn, when set, takes precedence over CorunFn and decides
+	// from full profiles rather than classes — e.g. the ANTT-predictive
+	// policy that implements §III-B's complementarity definition directly.
+	CorunProfiledFn func(running, arrival *profile.Profile) bool
+	// SplitFn sizes the partition for a corun (SMs granted to the running
+	// kernel); nil selects the measured-scaling minimax optimizer.
+	SplitFn func(running, arrival *profile.Profile) int
+
+	running     []*entry
+	queue       []*entry
+	decisions   []Decision
+	pendingGrow *vtime.Event
+}
+
+type entry struct {
+	spec     *kern.Spec
+	taskSize int
+	prof     *profile.Profile
+	handle   *engine.Handle
+	onDone   func(vtime.Time, engine.Metrics)
+}
+
+// New constructs a scheduler driving the given engine.
+func New(dev *device.Device, eng *engine.Engine, prof *profile.Profiler) *Scheduler {
+	return &Scheduler{
+		Dev:              dev,
+		Eng:              eng,
+		Prof:             prof,
+		MaxConcurrent:    2,
+		DefaultTaskSize:  10,
+		GrowGraceSeconds: 200e-6,
+	}
+}
+
+// Decisions returns the recorded scheduling actions.
+func (s *Scheduler) Decisions() []Decision { return s.decisions }
+
+// Running returns the number of currently executing kernels.
+func (s *Scheduler) Running() int { return len(s.running) }
+
+// Queued returns the number of kernels waiting for resources.
+func (s *Scheduler) Queued() int { return len(s.queue) }
+
+// Submit hands a kernel to the scheduler. onDone fires when the kernel
+// completes, with its final metrics. taskSize <= 0 selects the default.
+func (s *Scheduler) Submit(spec *kern.Spec, taskSize int, onDone func(vtime.Time, engine.Metrics)) error {
+	if taskSize <= 0 {
+		taskSize = s.DefaultTaskSize
+	}
+	pr, err := s.Prof.Get(spec)
+	if err != nil {
+		return fmt.Errorf("sched: profiling %q: %w", spec.Name, err)
+	}
+	en := &entry{spec: spec, taskSize: taskSize, prof: pr, onDone: onDone}
+
+	now := s.Eng.Clock.Now()
+	// A fresh arrival supersedes any pending survivor grow.
+	if s.pendingGrow != nil {
+		s.Eng.Clock.Cancel(s.pendingGrow)
+		s.pendingGrow = nil
+	}
+	switch {
+	case len(s.running) == 0:
+		return s.launchSolo(now, en)
+	case len(s.running) == 1 && s.MaxConcurrent >= 2:
+		r := s.running[0]
+		if s.corunProfiles(r.prof, en.prof) {
+			return s.launchCorun(now, r, en)
+		}
+		s.enqueue(now, en)
+		return nil
+	case len(s.running) < s.MaxConcurrent:
+		// N-way spatial sharing: admit only if complementary to every
+		// running kernel.
+		if s.corunsWithAll(en.prof) {
+			return s.admitNWay(now, en)
+		}
+		s.enqueue(now, en)
+		return nil
+	default:
+		s.enqueue(now, en)
+		return nil
+	}
+}
+
+func (s *Scheduler) enqueue(now vtime.Time, en *entry) {
+	s.queue = append(s.queue, en)
+	s.record(Decision{At: now, Kernel: en.spec.Name, Action: "queue"})
+}
+
+func (s *Scheduler) record(d Decision) { s.decisions = append(s.decisions, d) }
+
+// launchSolo runs a kernel on the entire device, then looks for a
+// complementary partner in the queue (Fig. 4: examine the next kernel, then
+// the rest of the queue).
+func (s *Scheduler) launchSolo(now vtime.Time, en *entry) error {
+	h, err := s.Eng.Launch(en.spec, engine.LaunchOpts{
+		Mode: engine.SlateSched, TaskSize: en.taskSize,
+		SMLow: 0, SMHigh: s.Dev.NumSMs - 1,
+	})
+	if err != nil {
+		return err
+	}
+	en.handle = h
+	s.running = append(s.running, en)
+	s.record(Decision{At: now, Kernel: en.spec.Name, Action: "solo", SMLow: 0, SMHigh: s.Dev.NumSMs - 1})
+	s.Eng.OnComplete(h, func(t vtime.Time) { s.onComplete(t, en) })
+	s.tryPairFromQueue(now, en)
+	return nil
+}
+
+// launchCorun partitions the device between the running kernel r and the
+// arrival en: r shrinks to the low range, en launches on the high range.
+// If r already sits at (or near) the target partition from a previous
+// corun, the partition is reused without a resize — the sticky-partition
+// optimization that keeps looped kernel streams from thrashing.
+func (s *Scheduler) launchCorun(now vtime.Time, r, en *entry) error {
+	sR := s.split(r.prof, en.prof)
+	if lo, hi := r.handle.SMRange(); lo == 0 && hi < s.Dev.NumSMs-1 && abs(hi-(sR-1)) <= 2 {
+		sR = hi + 1 // keep the existing partition
+	} else if err := s.Eng.Resize(r.handle, 0, sR-1); err != nil {
+		return fmt.Errorf("sched: shrinking %q: %w", r.spec.Name, err)
+	}
+	h, err := s.Eng.Launch(en.spec, engine.LaunchOpts{
+		Mode: engine.SlateSched, TaskSize: en.taskSize,
+		SMLow: sR, SMHigh: s.Dev.NumSMs - 1,
+	})
+	if err != nil {
+		// Roll the partner back to the full device.
+		_ = s.Eng.Resize(r.handle, 0, s.Dev.NumSMs-1)
+		return err
+	}
+	en.handle = h
+	s.running = append(s.running, en)
+	s.record(Decision{
+		At: now, Kernel: en.spec.Name, Action: "corun",
+		SMLow: sR, SMHigh: s.Dev.NumSMs - 1, Partner: r.spec.Name,
+	})
+	s.Eng.OnComplete(h, func(t vtime.Time) { s.onComplete(t, en) })
+	return nil
+}
+
+// tryPairFromQueue scans the queue for the first kernel complementary to
+// the running one and coruns it.
+func (s *Scheduler) tryPairFromQueue(now vtime.Time, running *entry) {
+	if len(s.running) >= s.MaxConcurrent {
+		return
+	}
+	for i, cand := range s.queue {
+		if s.corunProfiles(running.prof, cand.prof) {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			s.record(Decision{At: now, Kernel: cand.spec.Name, Action: "dequeue", Partner: running.spec.Name})
+			if err := s.launchCorun(now, running, cand); err != nil {
+				// Could not corun after all; put it back at the front.
+				s.queue = append([]*entry{cand}, s.queue...)
+			}
+			return
+		}
+	}
+}
+
+// onComplete handles a kernel's completion: notify the owner, grow the
+// surviving partner to claim the freed SMs (§III-C), and admit queued work.
+func (s *Scheduler) onComplete(now vtime.Time, done *entry) {
+	for i, e := range s.running {
+		if e == done {
+			s.running = append(s.running[:i], s.running[i+1:]...)
+			break
+		}
+	}
+	lo, hi := done.handle.SMRange()
+	s.record(Decision{At: now, Kernel: done.spec.Name, Action: "complete", SMLow: lo, SMHigh: hi})
+	if done.onDone != nil {
+		done.onDone(now, done.handle.Metrics())
+	}
+
+	switch len(s.running) {
+	case 0:
+		if len(s.queue) > 0 {
+			next := s.queue[0]
+			s.queue = s.queue[1:]
+			if err := s.launchSolo(now, next); err != nil && next.onDone != nil {
+				next.onDone(now, engine.Metrics{})
+			}
+		}
+	default:
+		// A queued complementary kernel takes the freed SMs immediately;
+		// otherwise the survivors grow after a short grace window, so that
+		// a looped partner relaunching within microseconds reclaims its
+		// partition without a retreat/relaunch cycle.
+		surv := s.running[0]
+		if len(s.running) == 1 && s.queueHasPartner(surv) {
+			s.tryPairFromQueue(now, surv)
+			return
+		}
+		nRunning := len(s.running)
+		if s.pendingGrow != nil {
+			s.Eng.Clock.Cancel(s.pendingGrow)
+		}
+		s.pendingGrow = s.Eng.Clock.After(vtime.FromSeconds(s.GrowGraceSeconds), func(t vtime.Time) {
+			s.pendingGrow = nil
+			if len(s.running) != nRunning {
+				return
+			}
+			if nRunning == 1 {
+				if s.running[0] != surv || surv.handle.Done() {
+					return
+				}
+				low, high := 0, s.Dev.NumSMs-1
+				if err := s.Eng.Resize(surv.handle, low, high); err == nil {
+					s.record(Decision{At: t, Kernel: surv.spec.Name, Action: "grow", SMLow: low, SMHigh: high})
+				}
+				return
+			}
+			s.regrowSurvivors(t)
+		})
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func (s *Scheduler) queueHasPartner(running *entry) bool {
+	for _, cand := range s.queue {
+		if s.corunProfiles(running.prof, cand.prof) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Scheduler) corun(a, b policy.Class) bool {
+	if s.CorunFn != nil {
+		return s.CorunFn(a, b)
+	}
+	return policy.Corun(a, b)
+}
+
+// corunProfiles applies the profile-level hook when present, else the
+// class-level decision.
+func (s *Scheduler) corunProfiles(a, b *profile.Profile) bool {
+	if s.CorunProfiledFn != nil {
+		return s.CorunProfiledFn(a, b)
+	}
+	return s.corun(a.Class, b.Class)
+}
+
+// ANTTPredictCorun returns a profile-level corun policy that implements the
+// paper's §III-B complementarity definition directly: share the device only
+// if the predicted concurrent speeds at the optimizer's split — after
+// discounting for shared-bus contention between the partners' measured
+// DRAM demands — sum to more than serialization plus a margin. It agrees
+// with Table I on the five evaluation workloads and closes its blind spot
+// on pairs of linearly-scaling kernels (for which corun is a wash).
+func ANTTPredictCorun(s *Scheduler, margin float64) func(a, b *profile.Profile) bool {
+	return func(a, b *profile.Profile) bool {
+		sA := s.splitFor(a, b)
+		spA := a.SpeedAt(sA)
+		spB := b.SpeedAt(s.Dev.NumSMs - sA)
+		// Bus contention: if the pair's combined DRAM demand at those
+		// speeds exceeds the corun bus ceiling, both slow proportionally.
+		demand := a.DRAMBW*spA + b.DRAMBW*spB
+		ceiling := s.Dev.DRAM.EffectivePeak() / 1e9 * s.Dev.DRAM.CorunEff()
+		if demand > ceiling && demand > 0 {
+			scale := ceiling / demand
+			spA *= scale
+			spB *= scale
+		}
+		return spA+spB > 1+margin
+	}
+}
+
+func (s *Scheduler) split(a, b *profile.Profile) int {
+	sR := s.splitFor(a, b)
+	if s.SplitFn != nil {
+		sR = s.SplitFn(a, b)
+	}
+	if sR < 1 {
+		sR = 1
+	}
+	if sR > s.Dev.NumSMs-1 {
+		sR = s.Dev.NumSMs - 1
+	}
+	return sR
+}
+
+// splitFor sizes the partition between a running kernel (low range) and an
+// arrival (high range): choose the split minimizing the worst predicted
+// slowdown, using each kernel's measured SM-scaling profile.
+func (s *Scheduler) splitFor(a, b *profile.Profile) int {
+	n := s.Dev.NumSMs
+	best, bestScore := n/2, 1e18
+	for sA := 3; sA <= n-3; sA++ {
+		spA, spB := a.SpeedAt(sA), b.SpeedAt(n-sA)
+		if spA <= 0 || spB <= 0 {
+			continue
+		}
+		score := 1 / spA
+		if 1/spB > score {
+			score = 1 / spB
+		}
+		if score < bestScore {
+			bestScore = score
+			best = sA
+		}
+	}
+	return best
+}

@@ -1,0 +1,122 @@
+// Package smsim models streaming-multiprocessor occupancy and utilization.
+// It answers the questions Slate's runtime asks: how many thread blocks fit
+// on an SM (the persistent-worker count is exactly that number times the
+// designated SM range, §III-C), and how much of the SM's issue/memory
+// throughput a given number of resident warps can realize.
+package smsim
+
+import "fmt"
+
+// SM describes one streaming multiprocessor's capacity.
+type SM struct {
+	MaxThreads     int     // resident thread limit (2048 on GP102)
+	MaxBlocks      int     // resident block limit (32 on GP102)
+	Registers      int     // 32-bit registers (65536 on GP102)
+	SharedMemBytes int     // shared memory capacity (98304 on GP102)
+	FP32Lanes      int     // CUDA cores (128 on GP102)
+	ClockHz        float64 // boost clock (1.582e9 on Titan Xp)
+	// WarpsForComputePeak is the resident-warp count needed to saturate the
+	// issue pipelines; fewer warps leave issue slots empty.
+	WarpsForComputePeak int
+	// WarpsForMemPeak is the resident-warp count needed to fully hide DRAM
+	// latency; memory-bound kernels need more concurrency than compute.
+	WarpsForMemPeak int
+}
+
+// Validate reports configuration errors.
+func (s SM) Validate() error {
+	switch {
+	case s.MaxThreads <= 0 || s.MaxBlocks <= 0 || s.Registers <= 0 || s.SharedMemBytes < 0:
+		return fmt.Errorf("smsim: nonpositive capacity in %+v", s)
+	case s.FP32Lanes <= 0 || s.ClockHz <= 0:
+		return fmt.Errorf("smsim: nonpositive throughput in %+v", s)
+	case s.WarpsForComputePeak <= 0 || s.WarpsForMemPeak <= 0:
+		return fmt.Errorf("smsim: nonpositive warp thresholds in %+v", s)
+	}
+	return nil
+}
+
+// PeakFLOPS returns the SM's peak single-precision FLOP rate (FMA counts as
+// two operations).
+func (s SM) PeakFLOPS() float64 { return float64(s.FP32Lanes) * 2 * s.ClockHz }
+
+// BlockShape describes a kernel's per-block resource footprint.
+type BlockShape struct {
+	Threads        int
+	RegsPerThread  int
+	SharedMemBytes int
+}
+
+// Warps returns the number of 32-thread warps per block, rounding up.
+func (b BlockShape) Warps() int { return (b.Threads + 31) / 32 }
+
+// Validate reports shape errors against an SM's hard limits.
+func (b BlockShape) Validate(sm SM) error {
+	switch {
+	case b.Threads <= 0:
+		return fmt.Errorf("smsim: block has %d threads", b.Threads)
+	case b.Threads > 1024:
+		return fmt.Errorf("smsim: block of %d threads exceeds the 1024-thread limit", b.Threads)
+	case b.Threads > sm.MaxThreads:
+		return fmt.Errorf("smsim: block of %d threads exceeds SM capacity %d", b.Threads, sm.MaxThreads)
+	case b.RegsPerThread < 0 || b.RegsPerThread*b.Threads > sm.Registers:
+		return fmt.Errorf("smsim: block needs %d registers, SM has %d", b.RegsPerThread*b.Threads, sm.Registers)
+	case b.SharedMemBytes < 0 || b.SharedMemBytes > sm.SharedMemBytes:
+		return fmt.Errorf("smsim: block needs %dB shared memory, SM has %d", b.SharedMemBytes, sm.SharedMemBytes)
+	}
+	return nil
+}
+
+// ResidentBlocks returns how many blocks of the given shape fit concurrently
+// on one SM — the minimum over the thread, block-slot, register, and
+// shared-memory constraints. It returns zero if the shape cannot run at all.
+func ResidentBlocks(sm SM, b BlockShape) int {
+	if err := b.Validate(sm); err != nil {
+		return 0
+	}
+	n := sm.MaxBlocks
+	if byThreads := sm.MaxThreads / b.Threads; byThreads < n {
+		n = byThreads
+	}
+	if b.RegsPerThread > 0 {
+		if byRegs := sm.Registers / (b.RegsPerThread * b.Threads); byRegs < n {
+			n = byRegs
+		}
+	}
+	if b.SharedMemBytes > 0 {
+		if bySmem := sm.SharedMemBytes / b.SharedMemBytes; bySmem < n {
+			n = bySmem
+		}
+	}
+	return n
+}
+
+// Occupancy returns ResidentBlocks expressed as a fraction of the SM's
+// thread capacity, the figure nvprof calls "achieved occupancy" ceiling.
+func Occupancy(sm SM, b BlockShape) float64 {
+	r := ResidentBlocks(sm, b)
+	return float64(r*b.Threads) / float64(sm.MaxThreads)
+}
+
+// ComputeUtil returns the fraction of issue throughput realized with the
+// given resident warps per SM: linear up to WarpsForComputePeak, then 1.
+func (s SM) ComputeUtil(warpsPerSM float64) float64 {
+	return rampUtil(warpsPerSM, float64(s.WarpsForComputePeak))
+}
+
+// MemUtil returns the fraction of the SM's memory-request throughput
+// realized with the given resident warps: memory latency needs more warps in
+// flight to hide than the issue pipelines do.
+func (s SM) MemUtil(warpsPerSM float64) float64 {
+	return rampUtil(warpsPerSM, float64(s.WarpsForMemPeak))
+}
+
+func rampUtil(have, need float64) float64 {
+	if have <= 0 {
+		return 0
+	}
+	if need <= 0 || have >= need {
+		return 1
+	}
+	return have / need
+}

@@ -1,0 +1,185 @@
+package smsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func gp102() SM {
+	return SM{
+		MaxThreads:          2048,
+		MaxBlocks:           32,
+		Registers:           65536,
+		SharedMemBytes:      98304,
+		FP32Lanes:           128,
+		ClockHz:             1.582e9,
+		WarpsForComputePeak: 16,
+		WarpsForMemPeak:     48,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := gp102().Validate(); err != nil {
+		t.Fatalf("valid SM rejected: %v", err)
+	}
+	bad := gp102()
+	bad.FP32Lanes = 0
+	if bad.Validate() == nil {
+		t.Fatal("invalid SM accepted")
+	}
+}
+
+func TestPeakFLOPS(t *testing.T) {
+	// 128 lanes * 2 (FMA) * 1.582 GHz ≈ 405 GFLOP/s per SM;
+	// 30 SMs ≈ 12.15 TFLOP/s, the Titan Xp's advertised figure.
+	got := gp102().PeakFLOPS()
+	want := 128 * 2 * 1.582e9
+	if got != want {
+		t.Fatalf("PeakFLOPS = %v, want %v", got, want)
+	}
+}
+
+func TestResidentBlocksThreadLimited(t *testing.T) {
+	// 256-thread blocks, no regs/smem pressure: 2048/256 = 8 blocks.
+	got := ResidentBlocks(gp102(), BlockShape{Threads: 256})
+	if got != 8 {
+		t.Fatalf("ResidentBlocks = %d, want 8", got)
+	}
+}
+
+func TestResidentBlocksBlockSlotLimited(t *testing.T) {
+	// 32-thread blocks: threads allow 64 but slots cap at 32.
+	got := ResidentBlocks(gp102(), BlockShape{Threads: 32})
+	if got != 32 {
+		t.Fatalf("ResidentBlocks = %d, want 32", got)
+	}
+}
+
+func TestResidentBlocksRegisterLimited(t *testing.T) {
+	// 256 threads * 64 regs = 16384 regs/block → 65536/16384 = 4 blocks.
+	got := ResidentBlocks(gp102(), BlockShape{Threads: 256, RegsPerThread: 64})
+	if got != 4 {
+		t.Fatalf("ResidentBlocks = %d, want 4", got)
+	}
+}
+
+func TestResidentBlocksSharedMemLimited(t *testing.T) {
+	// 48 KiB smem per block → 98304/49152 = 2 blocks.
+	got := ResidentBlocks(gp102(), BlockShape{Threads: 128, SharedMemBytes: 48 << 10})
+	if got != 2 {
+		t.Fatalf("ResidentBlocks = %d, want 2", got)
+	}
+}
+
+func TestResidentBlocksInvalidShape(t *testing.T) {
+	cases := []BlockShape{
+		{Threads: 0},
+		{Threads: 2000},                         // > 1024 CUDA limit
+		{Threads: 1024, RegsPerThread: 256},     // 262144 regs > 65536
+		{Threads: 128, SharedMemBytes: 1 << 20}, // > SM smem
+	}
+	for i, bs := range cases {
+		if got := ResidentBlocks(gp102(), bs); got != 0 {
+			t.Errorf("case %d: invalid shape got %d blocks, want 0", i, got)
+		}
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	// 8 blocks * 256 threads = 2048 → 100%.
+	if got := Occupancy(gp102(), BlockShape{Threads: 256}); got != 1.0 {
+		t.Fatalf("occupancy = %v, want 1.0", got)
+	}
+	// Register-limited: 4 blocks * 256 = 1024 → 50%.
+	if got := Occupancy(gp102(), BlockShape{Threads: 256, RegsPerThread: 64}); got != 0.5 {
+		t.Fatalf("occupancy = %v, want 0.5", got)
+	}
+}
+
+func TestWarps(t *testing.T) {
+	if w := (BlockShape{Threads: 128}).Warps(); w != 4 {
+		t.Fatalf("Warps(128) = %d, want 4", w)
+	}
+	if w := (BlockShape{Threads: 100}).Warps(); w != 4 {
+		t.Fatalf("Warps(100) = %d, want 4 (round up)", w)
+	}
+	if w := (BlockShape{Threads: 1}).Warps(); w != 1 {
+		t.Fatalf("Warps(1) = %d, want 1", w)
+	}
+}
+
+func TestUtilRamp(t *testing.T) {
+	sm := gp102()
+	if u := sm.ComputeUtil(0); u != 0 {
+		t.Fatalf("ComputeUtil(0) = %v", u)
+	}
+	if u := sm.ComputeUtil(8); u != 0.5 {
+		t.Fatalf("ComputeUtil(8) = %v, want 0.5", u)
+	}
+	if u := sm.ComputeUtil(16); u != 1 {
+		t.Fatalf("ComputeUtil(16) = %v, want 1", u)
+	}
+	if u := sm.ComputeUtil(64); u != 1 {
+		t.Fatalf("ComputeUtil(64) = %v, want clamped 1", u)
+	}
+	// Memory needs more warps: at 16 warps memory util is only 1/3.
+	if u := sm.MemUtil(16); u <= sm.ComputeUtil(16)-1e-9 && u != 1.0/3 {
+		t.Fatalf("MemUtil(16) = %v, want 1/3", u)
+	}
+	if u := sm.MemUtil(48); u != 1 {
+		t.Fatalf("MemUtil(48) = %v, want 1", u)
+	}
+}
+
+// Property: resident block count respects every constraint simultaneously.
+func TestPropertyResidentBlocksFeasible(t *testing.T) {
+	sm := gp102()
+	f := func(threads, regs, smem uint16) bool {
+		bs := BlockShape{
+			Threads:        int(threads%1024) + 1,
+			RegsPerThread:  int(regs % 128),
+			SharedMemBytes: int(smem) % (96 << 10),
+		}
+		n := ResidentBlocks(sm, bs)
+		if n < 0 || n > sm.MaxBlocks {
+			return false
+		}
+		if n == 0 {
+			return true // infeasible shapes are allowed to report 0
+		}
+		if n*bs.Threads > sm.MaxThreads {
+			return false
+		}
+		if n*bs.Threads*bs.RegsPerThread > sm.Registers {
+			return false
+		}
+		if n*bs.SharedMemBytes > sm.SharedMemBytes {
+			return false
+		}
+		// Maximality: one more block must violate something.
+		m := n + 1
+		if m*bs.Threads <= sm.MaxThreads &&
+			m <= sm.MaxBlocks &&
+			m*bs.Threads*bs.RegsPerThread <= sm.Registers &&
+			m*bs.SharedMemBytes <= sm.SharedMemBytes {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: utilization functions are monotone nondecreasing and in [0,1].
+func TestPropertyUtilMonotone(t *testing.T) {
+	sm := gp102()
+	prev := -1.0
+	for w := 0.0; w <= 64; w += 0.5 {
+		u := sm.MemUtil(w)
+		if u < prev || u < 0 || u > 1 {
+			t.Fatalf("MemUtil not monotone in [0,1] at %v warps", w)
+		}
+		prev = u
+	}
+}

@@ -1,0 +1,201 @@
+// Package svgplot renders line and grouped-bar charts as standalone SVG
+// documents using only the standard library, so the harness can emit
+// publication-style figures (Fig. 1's saturation curve, Fig. 7's pairing
+// bars) without external plotting dependencies.
+package svgplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line or bar group.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Chart is a renderable figure.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// XTicks labels the categories (bars) or sampled x positions (lines).
+	XTicks []string
+	Series []Series
+	// Width and Height are the canvas size in pixels (defaults 720×400).
+	Width, Height int
+}
+
+// palette holds distinguishable stroke/fill colors.
+var palette = []string{"#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4", "#8c613c"}
+
+const (
+	marginLeft   = 64
+	marginRight  = 16
+	marginTop    = 36
+	marginBottom = 48
+)
+
+func (c *Chart) dims() (w, h, pw, ph int) {
+	w, h = c.Width, c.Height
+	if w <= 0 {
+		w = 720
+	}
+	if h <= 0 {
+		h = 400
+	}
+	return w, h, w - marginLeft - marginRight, h - marginTop - marginBottom
+}
+
+// maxValue returns the largest value across series (≥ a tiny epsilon).
+func (c *Chart) maxValue() float64 {
+	max := 1e-9
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	return max
+}
+
+// niceCeil rounds up to a pleasant axis bound (1/2/5 × 10^k).
+func niceCeil(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(v)))
+	for _, m := range []float64{1, 2, 5, 10} {
+		if v <= m*mag {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}
+
+// frame emits the SVG header, title, axes, and y grid; body() adds marks.
+func (c *Chart) frame(body func(b *strings.Builder, pw, ph int, yMax float64)) string {
+	w, h, pw, ph := c.dims()
+	yMax := niceCeil(c.maxValue())
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif" font-size="12">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="20" text-anchor="middle" font-size="14" font-weight="bold">%s</text>`+"\n", w/2, esc(c.Title))
+	// Y grid + labels (5 divisions).
+	for i := 0; i <= 5; i++ {
+		y := marginTop + ph - i*ph/5
+		val := yMax * float64(i) / 5
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#ddd"/>`+"\n", marginLeft, y, marginLeft+pw, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end">%s</text>`+"\n", marginLeft-6, y+4, trimFloat(val))
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", marginLeft, marginTop, marginLeft, marginTop+ph)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", marginLeft, marginTop+ph, marginLeft+pw, marginTop+ph)
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n", marginLeft+pw/2, h-8, esc(c.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%d" text-anchor="middle" transform="rotate(-90 14 %d)">%s</text>`+"\n", marginTop+ph/2, marginTop+ph/2, esc(c.YLabel))
+	body(&b, pw, ph, yMax)
+	// Legend.
+	lx := marginLeft + 10
+	for i, s := range c.Series {
+		color := palette[i%len(palette)]
+		ly := marginTop + 8 + i*16
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", lx, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", lx+14, ly+9, esc(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// Line renders the chart as one polyline per series over evenly spaced x
+// positions labeled by XTicks.
+func (c *Chart) Line() string {
+	return c.frame(func(b *strings.Builder, pw, ph int, yMax float64) {
+		n := 0
+		for _, s := range c.Series {
+			if len(s.Values) > n {
+				n = len(s.Values)
+			}
+		}
+		if n < 2 {
+			n = 2
+		}
+		for i, s := range c.Series {
+			color := palette[i%len(palette)]
+			var pts []string
+			for j, v := range s.Values {
+				x := marginLeft + j*pw/(n-1)
+				y := marginTop + ph - int(v/yMax*float64(ph))
+				pts = append(pts, fmt.Sprintf("%d,%d", x, y))
+			}
+			fmt.Fprintf(b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+		c.xTickLabels(b, pw, ph, n, false)
+	})
+}
+
+// Bars renders the chart as grouped bars: one group per XTick, one bar per
+// series within the group.
+func (c *Chart) Bars() string {
+	return c.frame(func(b *strings.Builder, pw, ph int, yMax float64) {
+		groups := len(c.XTicks)
+		if groups == 0 {
+			return
+		}
+		groupW := pw / groups
+		barW := groupW / (len(c.Series) + 1)
+		if barW < 2 {
+			barW = 2
+		}
+		for i, s := range c.Series {
+			color := palette[i%len(palette)]
+			for j, v := range s.Values {
+				if j >= groups {
+					break
+				}
+				x := marginLeft + j*groupW + (i+1)*barW - barW/2
+				bh := int(v / yMax * float64(ph))
+				fmt.Fprintf(b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"/>`+"\n",
+					x, marginTop+ph-bh, barW, bh, color)
+			}
+		}
+		c.xTickLabels(b, pw, ph, groups, true)
+	})
+}
+
+func (c *Chart) xTickLabels(b *strings.Builder, pw, ph, n int, centered bool) {
+	if len(c.XTicks) == 0 {
+		return
+	}
+	step := 1
+	if n > 16 {
+		step = (n + 15) / 16
+	}
+	for j := 0; j < len(c.XTicks) && j < n; j += step {
+		var x int
+		if centered {
+			x = marginLeft + j*pw/n + pw/n/2
+		} else if n > 1 {
+			x = marginLeft + j*pw/(n-1)
+		} else {
+			x = marginLeft
+		}
+		fmt.Fprintf(b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n",
+			x, marginTop+ph+16, esc(c.XTicks[j]))
+	}
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}

@@ -1,0 +1,94 @@
+package svgplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleLine() *Chart {
+	return &Chart{
+		Title: "bandwidth", XLabel: "SMs", YLabel: "GB/s",
+		XTicks: []string{"1", "2", "3", "4"},
+		Series: []Series{{Name: "stream", Values: []float64{58, 115, 171, 226}}},
+	}
+}
+
+func TestLineChartWellFormed(t *testing.T) {
+	out := sampleLine().Line()
+	for _, want := range []string{
+		"<svg", "</svg>", "<polyline", "bandwidth", "GB/s", "SMs", "stream",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("line SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<svg") != 1 || strings.Count(out, "</svg>") != 1 {
+		t.Error("malformed document")
+	}
+}
+
+func TestBarChartWellFormed(t *testing.T) {
+	c := &Chart{
+		Title: "pairings", XLabel: "pair", YLabel: "normalized",
+		XTicks: []string{"BS-RG", "GS-RG"},
+		Series: []Series{
+			{Name: "MPS", Values: []float64{1.0, 1.0}},
+			{Name: "Slate", Values: []float64{0.72, 0.78}},
+		},
+	}
+	out := c.Bars()
+	// 4 data bars + 2 legend swatches + background rect.
+	if got := strings.Count(out, "<rect"); got != 7 {
+		t.Errorf("rect count = %d, want 7", got)
+	}
+	if !strings.Contains(out, "BS-RG") || !strings.Contains(out, "Slate") {
+		t.Error("labels missing")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	c := sampleLine()
+	c.Title = `a<b & c>d`
+	out := c.Line()
+	if strings.Contains(out, "a<b") || !strings.Contains(out, "a&lt;b &amp; c&gt;d") {
+		t.Error("XML escaping broken")
+	}
+}
+
+func TestNiceCeil(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 1}, {0.7, 1}, {1, 1}, {1.2, 2}, {3.7, 5}, {7, 10}, {482, 500}, {1800, 2000},
+	}
+	for _, c := range cases {
+		if got := niceCeil(c.in); got != c.want {
+			t.Errorf("niceCeil(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestManyTicksAreThinned(t *testing.T) {
+	c := sampleLine()
+	c.XTicks = make([]string, 30)
+	c.Series[0].Values = make([]float64, 30)
+	for i := range c.XTicks {
+		c.XTicks[i] = "t"
+		c.Series[0].Values[i] = float64(i)
+	}
+	out := c.Line()
+	// ≤ ~17 tick labels survive thinning (plus axis/legend text).
+	if got := strings.Count(out, `>t</text>`); got > 17 {
+		t.Errorf("tick labels = %d, want thinned", got)
+	}
+}
+
+func TestDefaultsAndEmpty(t *testing.T) {
+	empty := &Chart{Title: "empty"}
+	out := empty.Bars()
+	if !strings.Contains(out, "<svg") {
+		t.Error("empty chart should still render a frame")
+	}
+	out = empty.Line()
+	if !strings.Contains(out, "</svg>") {
+		t.Error("empty line chart should close the document")
+	}
+}

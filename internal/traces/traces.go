@@ -1,0 +1,413 @@
+// Package traces generates synthetic per-workload address traces in the two
+// block-execution orders the paper contrasts:
+//
+//   - Hardware order: the GPU's block-oriented scheduler deals thread blocks
+//     across SMs in waves, so the L2 observes many block streams interleaved
+//     at fine granularity with no ordering relationship between neighbours.
+//   - Slate order: persistent workers pull tasks (groups of SLATE_ITERS
+//     consecutive blocks) from a queue, so each worker's stream walks
+//     consecutive blocks, preserving the locality the kernel author designed.
+//
+// Feeding these traces to the internal/cache simulator yields the hit-rate
+// difference that drives Table III (GS +38% access bandwidth under Slate).
+package traces
+
+import (
+	"math/rand"
+
+	"slate/internal/cache"
+)
+
+// BlockPattern describes which cache lines a single thread block touches.
+type BlockPattern interface {
+	// NumBlocks is the total block count of the (possibly sampled) kernel.
+	NumBlocks() int
+	// AppendBlock appends the line-granular byte addresses touched by block
+	// b, in program order, to dst.
+	AppendBlock(dst []uint64, b int) []uint64
+}
+
+// Streaming models kernels whose blocks each read/write a private contiguous
+// chunk (stream triad, BlackScholes, transpose reads). There is no
+// inter-block reuse, so ordering barely matters — which is itself a property
+// the tests assert.
+type Streaming struct {
+	Blocks        int
+	BytesPerBlock int
+	LineBytes     int
+	// WriteStride, if nonzero, adds a second strided stream per block
+	// (modeling transpose's column writes at stride WriteStride).
+	WriteStride int
+	WriteBytes  int
+	Base        uint64
+	WriteBase   uint64
+}
+
+// NumBlocks implements BlockPattern.
+func (s Streaming) NumBlocks() int { return s.Blocks }
+
+// AppendBlock implements BlockPattern.
+func (s Streaming) AppendBlock(dst []uint64, b int) []uint64 {
+	start := s.Base + uint64(b)*uint64(s.BytesPerBlock)
+	for off := 0; off < s.BytesPerBlock; off += s.LineBytes {
+		dst = append(dst, start+uint64(off))
+	}
+	if s.WriteStride > 0 && s.WriteBytes > 0 {
+		wstart := s.WriteBase + uint64(b)*uint64(s.LineBytes)
+		for off := 0; off < s.WriteBytes; off += s.LineBytes {
+			n := off / s.LineBytes
+			dst = append(dst, wstart+uint64(n)*uint64(s.WriteStride))
+		}
+	}
+	return dst
+}
+
+// RowSweep models Gaussian elimination's inner kernels: every block reads a
+// shared pivot row (strong inter-block reuse) plus its own slice of the
+// working row. Consecutive blocks touch adjacent slices, so in-order
+// execution turns the pivot row and row boundaries into L2 hits.
+type RowSweep struct {
+	Blocks       int
+	PivotBytes   int // shared row, re-read by every block
+	SliceBytes   int // private slice of the working row
+	LineBytes    int
+	PivotBase    uint64
+	RowBase      uint64
+	SliceOverlap int // bytes of overlap with the previous block's slice
+}
+
+// NumBlocks implements BlockPattern.
+func (r RowSweep) NumBlocks() int { return r.Blocks }
+
+// AppendBlock implements BlockPattern.
+func (r RowSweep) AppendBlock(dst []uint64, b int) []uint64 {
+	for off := 0; off < r.PivotBytes; off += r.LineBytes {
+		dst = append(dst, r.PivotBase+uint64(off))
+	}
+	stride := r.SliceBytes - r.SliceOverlap
+	if stride < r.LineBytes {
+		stride = r.LineBytes
+	}
+	start := r.RowBase + uint64(b)*uint64(stride)
+	for off := 0; off < r.SliceBytes; off += r.LineBytes {
+		dst = append(dst, start+uint64(off))
+	}
+	return dst
+}
+
+// Tiled models SGEMM: block (i,j) reads row-panel i of A and column-panel j
+// of B. Blocks are laid out row-major in j-then-i order, so consecutive
+// blocks share the A panel; panels of B recur with period GridX.
+type Tiled struct {
+	GridX, GridY int // blocks per row / column
+	PanelBytes   int // bytes per A-row-panel and per B-column-panel
+	LineBytes    int
+	ABase, BBase uint64
+}
+
+// NumBlocks implements BlockPattern.
+func (t Tiled) NumBlocks() int { return t.GridX * t.GridY }
+
+// AppendBlock implements BlockPattern.
+func (t Tiled) AppendBlock(dst []uint64, b int) []uint64 {
+	i := b / t.GridX // row index → A panel
+	j := b % t.GridX // col index → B panel
+	aStart := t.ABase + uint64(i)*uint64(t.PanelBytes)
+	bStart := t.BBase + uint64(j)*uint64(t.PanelBytes)
+	// The k-loop stages panel chunks through shared memory; each panel is
+	// read as its own sequential stream (two concurrent streams at the
+	// memory controller, not one interleaved one).
+	for off := 0; off < t.PanelBytes; off += t.LineBytes {
+		dst = append(dst, aStart+uint64(off))
+	}
+	for off := 0; off < t.PanelBytes; off += t.LineBytes {
+		dst = append(dst, bStart+uint64(off))
+	}
+	return dst
+}
+
+// Random models the quasi-random generator: each block writes a modest
+// private region and performs a few scattered table reads. Low volume, low
+// reuse.
+type Random struct {
+	Blocks        int
+	BytesPerBlock int
+	TableBytes    int
+	TableReads    int
+	LineBytes     int
+	Seed          int64
+	Base          uint64
+	TableBase     uint64
+}
+
+// NumBlocks implements BlockPattern.
+func (r Random) NumBlocks() int { return r.Blocks }
+
+// AppendBlock implements BlockPattern.
+func (r Random) AppendBlock(dst []uint64, b int) []uint64 {
+	rng := rand.New(rand.NewSource(r.Seed + int64(b)))
+	start := r.Base + uint64(b)*uint64(r.BytesPerBlock)
+	for off := 0; off < r.BytesPerBlock; off += r.LineBytes {
+		dst = append(dst, start+uint64(off))
+	}
+	lines := r.TableBytes / r.LineBytes
+	if lines < 1 {
+		lines = 1
+	}
+	for k := 0; k < r.TableReads; k++ {
+		dst = append(dst, r.TableBase+uint64(rng.Intn(lines))*uint64(r.LineBytes))
+	}
+	return dst
+}
+
+// Order identifies a block-execution order for trace assembly.
+type Order int
+
+// Execution orders.
+const (
+	// HardwareOrder interleaves many block streams pseudo-randomly, modeling
+	// the hardware scheduler's wave dispatch.
+	HardwareOrder Order = iota
+	// SlateOrder interleaves per-worker streams where each worker executes
+	// tasks of consecutive blocks in queue order.
+	SlateOrder
+)
+
+// AssembleConfig controls trace assembly.
+type AssembleConfig struct {
+	Order Order
+	// Workers is the number of concurrent block streams (hardware: resident
+	// blocks; Slate: persistent workers).
+	Workers int
+	// TaskSize is the SLATE_ITERS grouping (Slate order only; >=1).
+	TaskSize int
+	// Chunk is the number of accesses a stream issues before the L2 sees
+	// another stream's accesses; models fine-grained interleaving.
+	Chunk int
+	// Seed drives the deterministic interleaving shuffle.
+	Seed int64
+	// MaxAccesses caps the assembled trace length (0 = no cap). Blocks are
+	// consumed from the start; patterns here are periodic so a prefix is
+	// representative.
+	MaxAccesses int
+}
+
+// Assemble builds a single interleaved address trace from the pattern under
+// the given execution order.
+func Assemble(p BlockPattern, cfg AssembleConfig) []uint64 {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.TaskSize < 1 {
+		cfg.TaskSize = 1
+	}
+	if cfg.Chunk < 1 {
+		cfg.Chunk = 8
+	}
+	// Cap cost by sampling a prefix of blocks, never by truncating the
+	// merged trace: per-block access composition must stay representative.
+	n := sampleBlocks(p, cfg.MaxAccesses)
+	if cfg.Workers > n {
+		cfg.Workers = n
+	}
+
+	// Deal blocks to worker queues.
+	queues := make([][]int, cfg.Workers)
+	switch cfg.Order {
+	case HardwareOrder:
+		// Wave dispatch with jitter: block start order drifts within a
+		// bounded window because block durations vary and SMs re-issue
+		// independently. The shuffled order is dealt round-robin, so each
+		// worker's stream is strided and neighbour blocks land on different
+		// workers at random relative phases — destroying the inter-block
+		// locality the kernel author laid out.
+		order := boundedWindowShuffle(n, 4*cfg.Workers, cfg.Seed)
+		for i, b := range order {
+			w := i % cfg.Workers
+			queues[w] = append(queues[w], b)
+		}
+	case SlateOrder:
+		// Task pulls: tasks of TaskSize consecutive blocks are claimed
+		// round-robin, so each worker walks runs of consecutive blocks.
+		task := 0
+		for b := 0; b < n; b += cfg.TaskSize {
+			w := task % cfg.Workers
+			for k := b; k < b+cfg.TaskSize && k < n; k++ {
+				queues[w] = append(queues[w], k)
+			}
+			task++
+		}
+	}
+
+	// Expand each worker queue into its access stream.
+	streams := make([][]uint64, cfg.Workers)
+	for w, q := range queues {
+		var s []uint64
+		for _, b := range q {
+			s = p.AppendBlock(s, b)
+		}
+		streams[w] = s
+	}
+
+	// Merge streams chunk-by-chunk with a deterministic shuffle over the
+	// set of streams that still have accesses left.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pos := make([]int, cfg.Workers)
+	live := make([]int, 0, cfg.Workers)
+	for w := range streams {
+		if len(streams[w]) > 0 {
+			live = append(live, w)
+		}
+	}
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	out := make([]uint64, 0, total)
+	for len(live) > 0 && len(out) < total {
+		i := rng.Intn(len(live))
+		w := live[i]
+		s := streams[w]
+		end := pos[w] + cfg.Chunk
+		if end > len(s) {
+			end = len(s)
+		}
+		out = append(out, s[pos[w]:end]...)
+		pos[w] = end
+		if pos[w] >= len(s) {
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	return out
+}
+
+// sampleBlocks returns how many leading blocks of the pattern to use so the
+// assembled trace stays within maxAccesses (0 = no cap). The patterns in
+// this package are periodic, so a prefix is representative.
+func sampleBlocks(p BlockPattern, maxAccesses int) int {
+	n := p.NumBlocks()
+	if maxAccesses <= 0 || n == 0 {
+		return n
+	}
+	per := len(p.AppendBlock(nil, 0))
+	if per == 0 {
+		return n
+	}
+	m := maxAccesses / per
+	if m < 1 {
+		m = 1
+	}
+	if m < n {
+		return m
+	}
+	return n
+}
+
+// HitRate assembles a trace for the pattern under cfg and simulates it
+// through a cache with the given geometry, returning the L2 hit rate.
+func HitRate(p BlockPattern, acfg AssembleConfig, ccfg cache.Config) float64 {
+	trace := Assemble(p, acfg)
+	st := cache.SimulateTrace(ccfg, trace)
+	return st.HitRate()
+}
+
+// boundedWindowShuffle returns a permutation of 0..n-1 where element i lands
+// within roughly ±window of position i: a Fisher–Yates restricted to a
+// sliding window, modeling hardware dispatch jitter.
+func boundedWindowShuffle(n, window int, seed int64) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	if window <= 1 {
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		hi := i + window
+		if hi > n {
+			hi = n
+		}
+		j := i + rng.Intn(hi-i)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// RunStats summarizes the sequential locality of per-worker access streams.
+// MeanRunBytes is the average length, in bytes, of maximal runs of
+// line-consecutive addresses within a single worker's stream. Long runs let
+// the DRAM controller keep rows open; the memory-system model maps this to
+// achievable bandwidth efficiency.
+type RunStats struct {
+	Runs         int
+	MeanRunBytes float64
+}
+
+// StreamRunStats computes RunStats for the pattern under the given execution
+// order without interleaving (runs are a per-stream property).
+func StreamRunStats(p BlockPattern, cfg AssembleConfig) RunStats {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.TaskSize < 1 {
+		cfg.TaskSize = 1
+	}
+	n := sampleBlocks(p, cfg.MaxAccesses)
+	if cfg.Workers > n {
+		cfg.Workers = n
+	}
+	queues := make([][]int, cfg.Workers)
+	switch cfg.Order {
+	case HardwareOrder:
+		order := boundedWindowShuffle(n, 4*cfg.Workers, cfg.Seed)
+		for i, b := range order {
+			queues[i%cfg.Workers] = append(queues[i%cfg.Workers], b)
+		}
+	case SlateOrder:
+		task := 0
+		for b := 0; b < n; b += cfg.TaskSize {
+			w := task % cfg.Workers
+			for k := b; k < b+cfg.TaskSize && k < n; k++ {
+				queues[w] = append(queues[w], k)
+			}
+			task++
+		}
+	}
+	// Runs are measured over each worker's first-touch lines only: repeat
+	// accesses (hot shared data like GS's pivot row) are served by the L2
+	// and neither extend nor break a DRAM access run.
+	var runs, coldLines int
+	lb := uint64(64)
+	var buf []uint64
+	for _, q := range queues {
+		buf = buf[:0]
+		for _, b := range q {
+			buf = p.AppendBlock(buf, b)
+		}
+		if len(buf) == 0 {
+			continue
+		}
+		seen := make(map[uint64]struct{}, len(buf))
+		havePrev := false
+		var prev uint64
+		for _, a := range buf {
+			ln := a / lb
+			if _, ok := seen[ln]; ok {
+				continue
+			}
+			seen[ln] = struct{}{}
+			coldLines++
+			if !havePrev || (ln != prev && ln != prev+1) {
+				runs++
+			}
+			prev = ln
+			havePrev = true
+		}
+	}
+	if runs == 0 {
+		return RunStats{}
+	}
+	return RunStats{Runs: runs, MeanRunBytes: float64(uint64(coldLines)*lb) / float64(runs)}
+}

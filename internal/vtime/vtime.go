@@ -1,0 +1,232 @@
+// Package vtime provides a deterministic virtual clock and discrete-event
+// queue. All simulation components in this repository advance time through a
+// vtime.Clock rather than the wall clock, which keeps every experiment
+// reproducible and allows the benchmark harness to simulate tens of seconds
+// of GPU execution in milliseconds of host time.
+package vtime
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, measured in nanoseconds from the start of
+// the simulation. Virtual nanoseconds map one-to-one to the nanoseconds the
+// modeled hardware would spend.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring the time package for readability at call sites.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Forever is a sentinel used by components that currently have no upcoming
+// event. It is safely beyond any realistic simulation horizon.
+const Forever Time = math.MaxInt64 / 4
+
+// Seconds converts a virtual duration to floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Millis converts a virtual duration to floating-point milliseconds.
+func (d Duration) Millis() float64 { return float64(d) / float64(Millisecond) }
+
+// Micros converts a virtual duration to floating-point microseconds.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+// FromSeconds converts floating-point seconds to a virtual duration, rounding
+// to the nearest nanosecond.
+func FromSeconds(s float64) Duration { return Duration(math.Round(s * float64(Second))) }
+
+func (t Time) String() string { return fmt.Sprintf("%.6fms", Duration(t).Millis()) }
+
+// Sub returns the duration from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Event is a scheduled callback. The callback runs exactly once, at its
+// scheduled time, unless cancelled first.
+type Event struct {
+	at     Time
+	seq    uint64 // tie-break: FIFO among same-time events
+	fn     func(now Time)
+	index  int // heap index, -1 once popped or cancelled
+	cancel bool
+}
+
+// Time reports when the event is scheduled to fire.
+func (e *Event) Time() Time { return e.at }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Clock is a discrete-event simulation clock. It is not safe for concurrent
+// use; the simulation engine is single-threaded by design (determinism), and
+// concurrency in the modeled system is expressed as interleaved events.
+type Clock struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	fired  uint64
+}
+
+// NewClock returns a clock positioned at time zero with an empty event queue.
+func NewClock() *Clock {
+	return &Clock{}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Fired returns the number of events dispatched so far, a useful progress and
+// complexity metric for tests.
+func (c *Clock) Fired() uint64 { return c.fired }
+
+// Pending returns the number of events still queued (including cancelled
+// events not yet reaped).
+func (c *Clock) Pending() int { return len(c.events) }
+
+// At schedules fn to run at absolute time at. Scheduling in the past (before
+// Now) panics: it always indicates a simulation bug and silently reordering
+// events would mask it.
+func (c *Clock) At(at Time, fn func(now Time)) *Event {
+	if at < c.now {
+		panic(fmt.Sprintf("vtime: scheduling event at %v before now %v", at, c.now))
+	}
+	e := &Event{at: at, seq: c.seq, fn: fn}
+	c.seq++
+	heap.Push(&c.events, e)
+	return e
+}
+
+// After schedules fn to run d after the current time.
+func (c *Clock) After(d Duration, fn func(now Time)) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("vtime: negative delay %d", d))
+	}
+	return c.At(c.now.Add(d), fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (c *Clock) Cancel(e *Event) {
+	if e == nil || e.cancel || e.index < 0 {
+		if e != nil {
+			e.cancel = true
+		}
+		return
+	}
+	e.cancel = true
+	heap.Remove(&c.events, e.index)
+	e.index = -1
+}
+
+// Step fires the next pending event, advancing the clock to its timestamp.
+// It reports false if the queue is empty.
+func (c *Clock) Step() bool {
+	for len(c.events) > 0 {
+		e := heap.Pop(&c.events).(*Event)
+		if e.cancel {
+			continue
+		}
+		c.now = e.at
+		c.fired++
+		e.fn(c.now)
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty or until limit events have fired
+// (limit <= 0 means no limit). It returns the number of events fired.
+func (c *Clock) Run(limit int) int {
+	n := 0
+	for limit <= 0 || n < limit {
+		if !c.Step() {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// RunUntil fires events with timestamps <= deadline, advancing the clock to
+// the deadline afterwards even if no event lands exactly there.
+func (c *Clock) RunUntil(deadline Time) {
+	for len(c.events) > 0 {
+		// Peek.
+		next := c.events[0]
+		if next.cancel {
+			heap.Pop(&c.events)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		c.Step()
+	}
+	if c.now < deadline {
+		c.now = deadline
+	}
+}
+
+// NextEventTime returns the timestamp of the next pending event, or Forever
+// if the queue is empty.
+func (c *Clock) NextEventTime() Time {
+	for len(c.events) > 0 {
+		if c.events[0].cancel {
+			heap.Pop(&c.events)
+			continue
+		}
+		return c.events[0].at
+	}
+	return Forever
+}
+
+// Advance moves the clock forward by d without firing events. It panics if an
+// event is pending within the window, since skipping it would corrupt the
+// simulation.
+func (c *Clock) Advance(d Duration) {
+	target := c.now.Add(d)
+	if next := c.NextEventTime(); next < target {
+		panic(fmt.Sprintf("vtime: Advance(%d) would skip event at %v", d, next))
+	}
+	c.now = target
+}

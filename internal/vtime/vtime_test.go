@@ -1,0 +1,283 @@
+package vtime
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", c.Now())
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", c.Pending())
+	}
+}
+
+func TestEventsFireInTimestampOrder(t *testing.T) {
+	c := NewClock()
+	var got []Time
+	for _, at := range []Time{50, 10, 30, 20, 40} {
+		at := at
+		c.At(at, func(now Time) { got = append(got, now) })
+	}
+	c.Run(0)
+	want := []Time{10, 20, 30, 40, 50}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSameTimeEventsFIFO(t *testing.T) {
+	c := NewClock()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.At(100, func(Time) { order = append(order, i) })
+	}
+	c.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	c := NewClock()
+	fired := Time(-1)
+	c.At(100, func(now Time) {
+		c.After(25, func(n2 Time) { fired = n2 })
+	})
+	c.Run(0)
+	if fired != 125 {
+		t.Fatalf("relative event fired at %v, want 125", fired)
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	c := NewClock()
+	fired := false
+	e := c.At(10, func(Time) { fired = true })
+	c.Cancel(e)
+	c.Run(0)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+	// Double-cancel is a no-op.
+	c.Cancel(e)
+}
+
+func TestCancelDuringDispatch(t *testing.T) {
+	c := NewClock()
+	var e2 *Event
+	fired := false
+	c.At(10, func(Time) { c.Cancel(e2) })
+	e2 = c.At(20, func(Time) { fired = true })
+	c.Run(0)
+	if fired {
+		t.Fatal("event cancelled mid-run still fired")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	c := NewClock()
+	c.At(100, func(Time) {})
+	c.Run(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	c.At(50, func(Time) {})
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	c := NewClock()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative After did not panic")
+		}
+	}()
+	c.After(-1, func(Time) {})
+}
+
+func TestRunUntilAdvancesToDeadline(t *testing.T) {
+	c := NewClock()
+	var fired []Time
+	c.At(10, func(n Time) { fired = append(fired, n) })
+	c.At(30, func(n Time) { fired = append(fired, n) })
+	c.RunUntil(20)
+	if len(fired) != 1 || fired[0] != 10 {
+		t.Fatalf("fired = %v, want [10]", fired)
+	}
+	if c.Now() != 20 {
+		t.Fatalf("Now() = %v, want 20", c.Now())
+	}
+	c.RunUntil(100)
+	if len(fired) != 2 {
+		t.Fatalf("second event did not fire: %v", fired)
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	c := NewClock()
+	n := 0
+	for i := 0; i < 10; i++ {
+		c.At(Time(i), func(Time) { n++ })
+	}
+	if got := c.Run(3); got != 3 || n != 3 {
+		t.Fatalf("Run(3) fired %d/%d, want 3/3", got, n)
+	}
+	if got := c.Run(0); got != 7 {
+		t.Fatalf("Run(0) fired %d, want 7", got)
+	}
+}
+
+func TestNextEventTime(t *testing.T) {
+	c := NewClock()
+	if c.NextEventTime() != Forever {
+		t.Fatal("empty queue should report Forever")
+	}
+	e := c.At(42, func(Time) {})
+	if c.NextEventTime() != 42 {
+		t.Fatalf("NextEventTime = %v, want 42", c.NextEventTime())
+	}
+	c.Cancel(e)
+	if c.NextEventTime() != Forever {
+		t.Fatal("cancelled head should be reaped")
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	c := NewClock()
+	c.Advance(100)
+	if c.Now() != 100 {
+		t.Fatalf("Now() = %v, want 100", c.Now())
+	}
+	c.At(150, func(Time) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance over a pending event did not panic")
+		}
+	}()
+	c.Advance(100)
+}
+
+func TestEventsScheduledDuringDispatchSameTime(t *testing.T) {
+	// An event scheduled at the current time during dispatch must still fire.
+	c := NewClock()
+	var order []string
+	c.At(10, func(now Time) {
+		order = append(order, "a")
+		c.At(now, func(Time) { order = append(order, "b") })
+	})
+	c.At(10, func(Time) { order = append(order, "c") })
+	c.Run(0)
+	want := []string{"a", "c", "b"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	if Second.Seconds() != 1.0 {
+		t.Errorf("Second.Seconds() = %v", Second.Seconds())
+	}
+	if Millisecond.Millis() != 1.0 {
+		t.Errorf("Millisecond.Millis() = %v", Millisecond.Millis())
+	}
+	if Microsecond.Micros() != 1.0 {
+		t.Errorf("Microsecond.Micros() = %v", Microsecond.Micros())
+	}
+	if FromSeconds(2.5) != 2500*Millisecond {
+		t.Errorf("FromSeconds(2.5) = %v", FromSeconds(2.5))
+	}
+	if Time(2000).Sub(Time(500)) != 1500 {
+		t.Errorf("Sub wrong")
+	}
+	if Time(2000).Add(500) != 2500 {
+		t.Errorf("Add wrong")
+	}
+}
+
+// Property: for any multiset of timestamps, the clock fires them in
+// nondecreasing sorted order.
+func TestPropertyFiringOrderIsSorted(t *testing.T) {
+	f := func(stamps []uint16) bool {
+		c := NewClock()
+		var got []Time
+		for _, s := range stamps {
+			at := Time(s)
+			c.At(at, func(now Time) { got = append(got, now) })
+		}
+		c.Run(0)
+		if len(got) != len(stamps) {
+			return false
+		}
+		want := make([]Time, len(stamps))
+		for i, s := range stamps {
+			want[i] = Time(s)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset leaves exactly the complement firing.
+func TestPropertyCancelSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		c := NewClock()
+		n := 1 + rng.Intn(50)
+		events := make([]*Event, n)
+		firedCount := 0
+		for i := 0; i < n; i++ {
+			events[i] = c.At(Time(rng.Intn(1000)), func(Time) { firedCount++ })
+		}
+		cancelled := 0
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				c.Cancel(events[i])
+				cancelled++
+			}
+		}
+		c.Run(0)
+		if firedCount != n-cancelled {
+			t.Fatalf("trial %d: fired %d, want %d", trial, firedCount, n-cancelled)
+		}
+	}
+}
+
+func BenchmarkClockScheduleAndFire(b *testing.B) {
+	c := NewClock()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.After(Duration(i%64), func(Time) {})
+		if i%64 == 63 {
+			c.Run(0)
+		}
+	}
+	c.Run(0)
+}

@@ -1,0 +1,142 @@
+package workloads
+
+import (
+	"math"
+
+	"slate/internal/kern"
+	"slate/internal/traces"
+)
+
+// BlackScholes model calibration (Table II: Med compute, Med memory,
+// 161.3 GFLOP/s, 401.49 GB/s). The CUDA sample launches a fixed 480-block
+// grid of 128 threads, each thread grid-striding over the 40M-option
+// problem; one launch reads three input arrays and writes two outputs
+// (20 B/option, 800 MB total).
+const (
+	bsBlocks        = 480
+	bsThreads       = 128
+	bsBytesPerBlock = 800_000_000 / bsBlocks // integer: 1,666,666 B
+	bsFLOPsPerBlock = 6.695e5                // 161.3 GF/s × 1.99 ms / 480 blocks
+	bsInstrPerBlock = 157.5e6 / bsBlocks
+)
+
+// BS returns the calibrated BlackScholes model kernel.
+func BS() *kern.Spec {
+	return &kern.Spec{
+		Name:            "BS",
+		Grid:            kern.D1(bsBlocks),
+		BlockDim:        kern.D1(bsThreads),
+		RegsPerThread:   24,
+		FLOPsPerBlock:   bsFLOPsPerBlock,
+		InstrPerBlock:   bsInstrPerBlock,
+		L2BytesPerBlock: bsBytesPerBlock,
+		ComputeEff:      0.05, // transcendental-heavy mix through the SFUs
+		MemMLP:          7.2,  // grid-stride loop keeps many loads in flight
+		MemEff:          0.833,
+		Pattern: traces.Streaming{
+			Blocks:        bsBlocks,
+			BytesPerBlock: int(bsBytesPerBlock),
+			LineBytes:     64,
+		},
+	}
+}
+
+// BlackScholesApp returns the application wrapper for Fig. 6/7 experiments.
+func BlackScholesApp() *App {
+	return &App{
+		Code:             "BS",
+		FullName:         "BlackScholes",
+		Kernel:           BS(),
+		InputBytes:       480e6, // S, X, T arrays
+		OutputBytes:      320e6, // call & put results
+		HostSetupSeconds: 0.35,
+	}
+}
+
+// BlackScholes is the real computation: European call/put option pricing
+// under the Black-Scholes model for n options.
+type BlackScholes struct {
+	// Inputs: stock price, strike price, time to expiry.
+	S, X, T []float32
+	// Outputs.
+	Call, Put []float32
+	// Model constants.
+	Riskfree, Volatility float32
+
+	blocks int
+}
+
+// NewBlackScholes allocates an n-option problem with deterministic
+// pseudo-random inputs in the CUDA sample's ranges (S∈[5,30], X∈[1,100],
+// T∈[0.25,10]).
+func NewBlackScholes(n int) *BlackScholes {
+	b := &BlackScholes{
+		S: make([]float32, n), X: make([]float32, n), T: make([]float32, n),
+		Call: make([]float32, n), Put: make([]float32, n),
+		Riskfree: 0.02, Volatility: 0.30,
+		blocks: (n + bsThreads - 1) / bsThreads,
+	}
+	rng := uint64(0x9E3779B97F4A7C15)
+	next := func() float32 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return float32(rng%1e6) / 1e6
+	}
+	for i := 0; i < n; i++ {
+		b.S[i] = 5 + 25*next()
+		b.X[i] = 1 + 99*next()
+		b.T[i] = 0.25 + 9.75*next()
+	}
+	return b
+}
+
+// cnd is the cumulative normal distribution via the polynomial approximation
+// the CUDA sample uses (Hull).
+func cnd(d float64) float64 {
+	const (
+		a1 = 0.31938153
+		a2 = -0.356563782
+		a3 = 1.781477937
+		a4 = -1.821255978
+		a5 = 1.330274429
+	)
+	k := 1.0 / (1.0 + 0.2316419*math.Abs(d))
+	cnd := 1.0 / math.Sqrt(2*math.Pi) * math.Exp(-0.5*d*d) *
+		(k * (a1 + k*(a2+k*(a3+k*(a4+k*a5)))))
+	if d > 0 {
+		return 1.0 - cnd
+	}
+	return cnd
+}
+
+// PriceOne computes the call/put price of option i (the scalar reference).
+func (b *BlackScholes) PriceOne(i int) (call, put float32) {
+	s, x, t := float64(b.S[i]), float64(b.X[i]), float64(b.T[i])
+	r, v := float64(b.Riskfree), float64(b.Volatility)
+	sqrtT := math.Sqrt(t)
+	d1 := (math.Log(s/x) + (r+0.5*v*v)*t) / (v * sqrtT)
+	d2 := d1 - v*sqrtT
+	expRT := math.Exp(-r * t)
+	c := s*cnd(d1) - x*expRT*cnd(d2)
+	p := x*expRT*(1-cnd(d2)) - s*(1-cnd(d1))
+	return float32(c), float32(p)
+}
+
+// Kernel returns an executable spec for this problem instance: block `blk`
+// prices options [blk*128, (blk+1)*128).
+func (b *BlackScholes) Kernel() *kern.Spec {
+	spec := BS()
+	spec.Grid = kern.D1(b.blocks)
+	spec.Exec = func(blk int) {
+		lo := blk * bsThreads
+		hi := lo + bsThreads
+		if hi > len(b.S) {
+			hi = len(b.S)
+		}
+		for i := lo; i < hi; i++ {
+			b.Call[i], b.Put[i] = b.PriceOne(i)
+		}
+	}
+	return spec
+}

@@ -1,0 +1,32 @@
+package workloads_test
+
+import (
+	"fmt"
+
+	"slate/internal/kern"
+	"slate/internal/policy"
+	"slate/internal/transform"
+	"slate/workloads"
+)
+
+// Run a real workload through the Slate grid transformation with
+// persistent workers — the semantics-preservation contract.
+func ExampleNewTranspose() {
+	tr := workloads.NewTranspose(256)
+	spec := tr.Kernel()
+	flat, err := transform.Transform(spec.Grid, 10)
+	if err != nil {
+		panic(err)
+	}
+	q := transform.NewQueue(flat)
+	transform.RunParallel(flat, q, 4, func(glob int, _ kern.Dim3) { spec.Exec(glob) })
+	fmt.Println("verified:", tr.Verify())
+	// Output: verified: true
+}
+
+// Generate a kernel of a chosen workload class for scheduler testing.
+func ExampleSynthetic() {
+	spec := workloads.MustSynthetic(policy.MM, workloads.SyntheticOpts{Name: "my-mm"})
+	fmt.Println(spec.Name, "blocks:", spec.NumBlocks())
+	// Output: my-mm blocks: 2400
+}

@@ -1,0 +1,158 @@
+package workloads
+
+import (
+	"testing"
+
+	"slate/internal/device"
+	"slate/internal/kern"
+	"slate/internal/policy"
+	"slate/internal/profile"
+	"slate/internal/transform"
+)
+
+// ---- real-math correctness ----
+
+func runExtSlate(t *testing.T, spec *kern.Spec, workers, taskSize int) {
+	t.Helper()
+	tr, err := transform.Transform(spec.Grid, taskSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := transform.NewQueue(tr)
+	res := transform.RunParallel(tr, q, workers, func(glob int, _ kern.Dim3) { spec.Exec(glob) })
+	if res.BlocksExecuted != spec.NumBlocks() {
+		t.Fatalf("executed %d of %d blocks", res.BlocksExecuted, spec.NumBlocks())
+	}
+}
+
+func TestHotspotStepMatchesReference(t *testing.T) {
+	h := NewHotspot(128)
+	runExtSlate(t, h.Kernel(), 6, 3)
+	// Interior, boundary, and hot-zone cells match the scalar stencil.
+	for _, ij := range [][2]int{{0, 0}, {1, 64}, {64, 64}, {127, 127}, {32, 96}} {
+		i, j := ij[0], ij[1]
+		want := h.StepCell(i, j)
+		if got := h.Next[i*h.N+j]; got != want {
+			t.Fatalf("cell (%d,%d) = %v, want %v", i, j, got, want)
+		}
+	}
+	// The hot zone heats up; the far corner does not.
+	if h.Next[64*h.N+64] <= h.Temp[64*h.N+64] {
+		t.Fatal("powered cell did not heat")
+	}
+	if h.Next[0] != h.Temp[0] {
+		t.Fatal("unpowered boundary cell changed with uniform initial field")
+	}
+	h.Swap()
+	if h.Temp[64*h.N+64] <= 300 {
+		t.Fatal("swap lost the update")
+	}
+}
+
+func TestPathfinderMatchesReference(t *testing.T) {
+	p := NewPathfinder(24, 4096)
+	for r := 1; r < p.Rows; r++ {
+		runExtSlate(t, p.RowKernel(r), 4, 2)
+		p.Advance()
+	}
+	want := p.Reference()
+	for j := 0; j < p.Cols; j += 97 {
+		if p.Cost[j] != want[j] {
+			t.Fatalf("cost[%d] = %d, want %d", j, p.Cost[j], want[j])
+		}
+	}
+}
+
+func TestKMeansAssignsSeededClusters(t *testing.T) {
+	m := NewKMeans(1<<13, 8, 8)
+	runExtSlate(t, m.Kernel(), 6, 3)
+	wrong := 0
+	for i := range m.Assign {
+		if m.Assign[i] != m.NearestCentroid(i) {
+			t.Fatalf("point %d assigned %d, reference %d", i, m.Assign[i], m.NearestCentroid(i))
+		}
+		// Points were generated around centroid i%K with tiny noise.
+		if m.Assign[i] != int32(i%m.K) {
+			wrong++
+		}
+	}
+	if wrong > len(m.Assign)/100 {
+		t.Fatalf("%d of %d points strayed from their seeded cluster", wrong, len(m.Assign))
+	}
+}
+
+// ---- model classification ----
+
+// The extended suite fills the class matrix with real workloads: HS → M_M,
+// PF → L_C, KM → M_C (previously only reachable synthetically).
+func TestExtendedWorkloadClasses(t *testing.T) {
+	dev := device.TitanXp()
+	prof := profile.New(dev, sharedModel)
+	cases := []struct {
+		spec *kern.Spec
+		want policy.Class
+	}{
+		{HS(), policy.MM},
+		{PF(), policy.LC},
+		{KM(), policy.MC},
+	}
+	for _, c := range cases {
+		p, err := prof.Get(c.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec.Name, err)
+		}
+		if p.Class != c.want {
+			t.Errorf("%s classified %v (%.1f GF/s, %.1f GB/s), want %v",
+				c.spec.Name, p.Class, p.GFLOPS, p.AccessBW, c.want)
+		}
+	}
+}
+
+func TestExtendedAppsValidate(t *testing.T) {
+	for _, app := range []*App{HotspotApp(), PathfinderApp(), KMeansApp()} {
+		if err := app.Kernel.Validate(); err != nil {
+			t.Errorf("%s: %v", app.Code, err)
+		}
+		if app.InputBytes <= 0 || app.HostSetupSeconds <= 0 {
+			t.Errorf("%s host model incomplete", app.Code)
+		}
+	}
+}
+
+// KM (M_C) corun decisions through Table I: coruns with L_C/M_C and H_M,
+// refuses M_M and H_C — the row the five original apps never exercised.
+func TestKMeansPolicyRow(t *testing.T) {
+	dev := device.TitanXp()
+	prof := profile.New(dev, sharedModel)
+	km, err := prof.Get(KM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	partners := map[string]bool{ // expected corun decision when KM is running
+		"RG": true,  // L_C
+		"PF": true,  // L_C
+		"TR": true,  // H_M
+		"BS": false, // M_M
+		"GS": false, // M_M
+	}
+	for code, want := range partners {
+		var spec *kern.Spec
+		switch code {
+		case "PF":
+			spec = PF()
+		default:
+			app, err := ByCode(code)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec = app.Kernel
+		}
+		p, err := prof.Get(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := policy.Corun(km.Class, p.Class); got != want {
+			t.Errorf("Corun(KM=%v, %s=%v) = %v, want %v", km.Class, code, p.Class, got, want)
+		}
+	}
+}

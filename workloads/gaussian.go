@@ -1,0 +1,265 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"slate/internal/kern"
+	"slate/internal/traces"
+)
+
+// Gaussian model calibration (Table II: Low compute, Med memory,
+// 19.6 GFLOP/s, ~300 GB/s access; Table III: 26.1% memory-throttle stalls
+// under CUDA). Rodinia's gaussian issues a pair of small kernels per
+// elimination step; the model spec aggregates one looped pass: many small
+// 64-thread blocks, each re-reading the shared pivot row (high inter-block
+// reuse) and updating its slice of the working rows with a column-strided,
+// poorly coalesced pattern (MemEff 0.45).
+const (
+	gsGridX         = 512
+	gsGridY         = 512
+	gsThreads       = 64
+	gsPivotBytes    = 9600  // 150 lines: the shared pivot row
+	gsSliceBytes    = 40768 // 637 lines: the block's slice of working rows
+	gsSliceOverlap  = 12800 // 200 lines shared with the neighbouring block
+	gsBytesPerBlock = gsPivotBytes + gsSliceBytes
+	gsFLOPsPerBlock = 3440
+	gsOpsPerBlock   = 15800
+	gsInstrPerBlock = 2993
+)
+
+// GS returns the calibrated Gaussian-elimination model kernel.
+func GS() *kern.Spec {
+	return &kern.Spec{
+		Name:            "GS",
+		Grid:            kern.D2(gsGridX, gsGridY),
+		BlockDim:        kern.D1(gsThreads),
+		RegsPerThread:   16,
+		FLOPsPerBlock:   gsFLOPsPerBlock,
+		InstrPerBlock:   gsInstrPerBlock,
+		L2BytesPerBlock: gsBytesPerBlock,
+		ComputeEff:      0.01, // sparse arithmetic between dependent loads
+		OpsPerBlock:     gsOpsPerBlock,
+		MemMLP:          2,
+		MemEff:          0.45, // column-strided accesses coalesce poorly
+		Pattern: traces.RowSweep{
+			Blocks:       4096, // periodic sample of the full grid
+			PivotBytes:   gsPivotBytes,
+			SliceBytes:   gsSliceBytes,
+			SliceOverlap: gsSliceOverlap,
+			LineBytes:    64,
+			RowBase:      1 << 22,
+		},
+	}
+}
+
+// GaussianApp returns the application wrapper for Fig. 6/7 experiments.
+func GaussianApp() *App {
+	return &App{
+		Code:             "GS",
+		FullName:         "Gaussian",
+		Kernel:           GS(),
+		InputBytes:       256e6,
+		OutputBytes:      128e6,
+		HostSetupSeconds: 0.40,
+	}
+}
+
+// Gaussian is the real computation: solve A·x = b by Gaussian elimination
+// without pivoting (Rodinia's gaussian assumes a diagonally dominant
+// system), structured as the Fan1/Fan2 kernel pair per elimination step.
+type Gaussian struct {
+	N int
+	// A is the n×n matrix (row-major); M holds the multipliers; B the RHS.
+	A, M []float32
+	B    []float32
+	X    []float32
+}
+
+// NewGaussian builds a diagonally dominant n×n system with a known solution
+// x*_i = 1 for all i (so B = row sums of A), which makes verification exact.
+func NewGaussian(n int) *Gaussian {
+	g := &Gaussian{
+		N: n,
+		A: make([]float32, n*n),
+		M: make([]float32, n*n),
+		B: make([]float32, n),
+		X: make([]float32, n),
+	}
+	rng := uint64(88172645463325252)
+	next := func() float32 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return float32(rng%1000) / 1000.0
+	}
+	for i := 0; i < n; i++ {
+		var sum float32
+		for j := 0; j < n; j++ {
+			v := next()
+			if i == j {
+				v += float32(n) // diagonal dominance
+			}
+			g.A[i*n+j] = v
+			sum += v
+		}
+		g.B[i] = sum // solution is all-ones
+	}
+	return g
+}
+
+// Fan1Kernel returns the executable spec of elimination step t's first
+// kernel: compute the column-t multipliers M[i][t] = A[i][t]/A[t][t] for
+// i > t. One thread per row below the pivot.
+func (g *Gaussian) Fan1Kernel(t int) *kern.Spec {
+	n := g.N
+	rows := n - t - 1
+	blocks := (rows + gsThreads - 1) / gsThreads
+	if blocks < 1 {
+		blocks = 1
+	}
+	return &kern.Spec{
+		Name:            fmt.Sprintf("GS.fan1.%d", t),
+		Grid:            kern.D1(blocks),
+		BlockDim:        kern.D1(gsThreads),
+		FLOPsPerBlock:   float64(gsThreads),
+		InstrPerBlock:   float64(8 * gsThreads),
+		L2BytesPerBlock: float64(8 * gsThreads),
+		ComputeEff:      0.01,
+		Exec: func(blk int) {
+			for k := 0; k < gsThreads; k++ {
+				i := t + 1 + blk*gsThreads + k
+				if i >= n {
+					return
+				}
+				g.M[i*n+t] = g.A[i*n+t] / g.A[t*n+t]
+			}
+		},
+	}
+}
+
+// Fan2Kernel returns the executable spec of elimination step t's second
+// kernel: A[i][j] -= M[i][t]·A[t][j] and B[i] -= M[i][t]·B[t] for i,j > t.
+// The 2D grid tiles the trailing submatrix; blockIdx.x walks columns.
+func (g *Gaussian) Fan2Kernel(t int) *kern.Spec {
+	n := g.N
+	rows := n - t - 1
+	cols := n - t
+	const tile = 16
+	gx := (cols + tile - 1) / tile
+	gy := (rows + tile - 1) / tile
+	if gx < 1 {
+		gx = 1
+	}
+	if gy < 1 {
+		gy = 1
+	}
+	return &kern.Spec{
+		Name:            fmt.Sprintf("GS.fan2.%d", t),
+		Grid:            kern.D2(gx, gy),
+		BlockDim:        kern.D2(tile, tile),
+		FLOPsPerBlock:   float64(2 * tile * tile),
+		InstrPerBlock:   float64(10 * tile * tile),
+		L2BytesPerBlock: float64(12 * tile * tile),
+		ComputeEff:      0.01,
+		MemEff:          0.45,
+		Exec: func(blk int) {
+			bx := blk % gx
+			by := blk / gx
+			for dy := 0; dy < tile; dy++ {
+				i := t + 1 + by*tile + dy
+				if i >= n {
+					break
+				}
+				m := g.M[i*n+t]
+				for dx := 0; dx < tile; dx++ {
+					j := t + bx*tile + dx
+					if j >= n {
+						break
+					}
+					g.A[i*n+j] -= m * g.A[t*n+j]
+				}
+				if bx == 0 {
+					// The first column block also updates the RHS for its rows.
+					g.B[i] -= m * g.B[t]
+				}
+			}
+		},
+	}
+}
+
+// BackSubstitute solves the triangularized system (host-side, as in
+// Rodinia).
+func (g *Gaussian) BackSubstitute() {
+	n := g.N
+	for i := n - 1; i >= 0; i-- {
+		sum := g.B[i]
+		for j := i + 1; j < n; j++ {
+			sum -= g.A[i*n+j] * g.X[j]
+		}
+		g.X[i] = sum / g.A[i*n+i]
+	}
+}
+
+// Steps returns the elimination step count (N-1).
+func (g *Gaussian) Steps() int { return g.N - 1 }
+
+// MaxError returns the largest |x_i - 1| against the known all-ones
+// solution.
+func (g *Gaussian) MaxError() float64 {
+	worst := 0.0
+	for _, x := range g.X {
+		if e := math.Abs(float64(x) - 1); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// GaussianModelSequence returns the model kernels of an n-step elimination
+// as the daemon sees them: 2(n-1) launches (Fan1 then Fan2 per step) whose
+// grids shrink as the trailing submatrix does. Iterative applications like
+// this exercise the scheduler with heterogeneous launch streams — every
+// step is a new kernel that must be profiled once and scheduled on its own
+// merits.
+func GaussianModelSequence(n int) []*kern.Spec {
+	base := GS()
+	var seq []*kern.Spec
+	for t := 0; t < n-1; t++ {
+		frac := float64(n-1-t) / float64(n-1) // remaining submatrix share
+		if frac <= 0 {
+			frac = 1.0 / float64(n)
+		}
+		rows := (n - 1 - t + gsThreads - 1) / gsThreads
+		if rows < 1 {
+			rows = 1
+		}
+		fan1 := &kern.Spec{
+			Name:            fmt.Sprintf("GS.fan1@%d", t),
+			Grid:            kern.D1(rows),
+			BlockDim:        kern.D1(gsThreads),
+			FLOPsPerBlock:   float64(gsThreads),
+			InstrPerBlock:   float64(8 * gsThreads),
+			L2BytesPerBlock: float64(8 * gsThreads),
+			ComputeEff:      0.01,
+		}
+		gx := int(float64(gsGridX)*frac) + 1
+		gy := int(float64(gsGridY)*frac) + 1
+		fan2 := &kern.Spec{
+			Name:            fmt.Sprintf("GS.fan2@%d", t),
+			Grid:            kern.D2(gx, gy),
+			BlockDim:        base.BlockDim,
+			RegsPerThread:   base.RegsPerThread,
+			FLOPsPerBlock:   base.FLOPsPerBlock,
+			InstrPerBlock:   base.InstrPerBlock,
+			L2BytesPerBlock: base.L2BytesPerBlock,
+			ComputeEff:      base.ComputeEff,
+			OpsPerBlock:     base.OpsPerBlock,
+			MemMLP:          base.MemMLP,
+			MemEff:          base.MemEff,
+			Pattern:         base.Pattern,
+		}
+		seq = append(seq, fan1, fan2)
+	}
+	return seq
+}

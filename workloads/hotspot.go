@@ -1,0 +1,143 @@
+package workloads
+
+import (
+	"slate/internal/kern"
+	"slate/internal/traces"
+)
+
+// Hotspot is Rodinia's thermal-simulation stencil: every cell of a 2D grid
+// is updated from its four neighbours plus a power term. The blocked
+// implementation gives each 16×16 block a halo of shared reads with its
+// neighbours — inter-block locality that Slate's in-order execution turns
+// into L2 hits, like Gaussian's row sweep but two-dimensional.
+//
+// Model calibration: a mid-intensity stencil — ≈220 GFLOP/s and
+// ≈330 GB/s on the Titan Xp → class M_M.
+const (
+	hsGrid          = 128 // 4096² cells in 32×32 tiles
+	hsTile          = 32
+	hsBytesPerBlock = 5 * hsTile * hsTile * 4 // 4 neighbours + power read
+	hsFLOPsPerBlock = 15 * hsTile * hsTile
+	hsInstrPerBlock = 22 * hsTile * hsTile
+)
+
+// HS returns the calibrated Hotspot model kernel.
+func HS() *kern.Spec {
+	return &kern.Spec{
+		Name:            "HS",
+		Grid:            kern.D2(hsGrid, hsGrid),
+		BlockDim:        kern.D2(hsTile, hsTile), // 1024 threads
+		RegsPerThread:   24,
+		SharedMemBytes:  (hsTile + 2) * (hsTile + 2) * 4,
+		FLOPsPerBlock:   hsFLOPsPerBlock,
+		InstrPerBlock:   hsInstrPerBlock,
+		L2BytesPerBlock: hsBytesPerBlock,
+		ComputeEff:      0.06,
+		MemMLP:          6,
+		MemEff:          0.70,
+		Pattern: traces.RowSweep{
+			// The halo overlap between row-adjacent blocks, expressed in
+			// the row-sweep form: each block's slice overlaps its
+			// neighbour's by one tile row per array.
+			Blocks:       4096,
+			PivotBytes:   0,
+			SliceBytes:   hsBytesPerBlock,
+			SliceOverlap: 5 * hsTile * 4,
+			LineBytes:    64,
+			RowBase:      1 << 23,
+		},
+	}
+}
+
+// HotspotApp returns the application wrapper.
+func HotspotApp() *App {
+	return &App{
+		Code:             "HS",
+		FullName:         "Hotspot (thermal stencil)",
+		Kernel:           HS(),
+		InputBytes:       2 * 4096 * 4096 * 4, // temperature + power grids
+		OutputBytes:      4096 * 4096 * 4,
+		HostSetupSeconds: 0.30,
+	}
+}
+
+// Hotspot is the real computation: one Jacobi step of the thermal stencil
+// T'[i][j] = T + k·(N + S + E + W − 4T) + c·P over an n×n grid.
+type Hotspot struct {
+	N          int
+	Temp, Next []float32
+	Power      []float32
+	K, C       float32
+	gridX      int
+}
+
+// NewHotspot allocates an n×n problem (n must be a multiple of 16) with a
+// hot square in the center.
+func NewHotspot(n int) *Hotspot {
+	if n%hsTile != 0 {
+		panic("workloads: hotspot size must be a multiple of 16")
+	}
+	h := &Hotspot{
+		N:     n,
+		Temp:  make([]float32, n*n),
+		Next:  make([]float32, n*n),
+		Power: make([]float32, n*n),
+		K:     0.1, C: 0.05,
+		gridX: n / hsTile,
+	}
+	for i := range h.Temp {
+		h.Temp[i] = 300
+	}
+	for i := n / 4; i < 3*n/4; i++ {
+		for j := n / 4; j < 3*n/4; j++ {
+			h.Power[i*n+j] = 10
+		}
+	}
+	return h
+}
+
+// at reads the temperature with clamped boundaries.
+func (h *Hotspot) at(i, j int) float32 {
+	if i < 0 {
+		i = 0
+	}
+	if i >= h.N {
+		i = h.N - 1
+	}
+	if j < 0 {
+		j = 0
+	}
+	if j >= h.N {
+		j = h.N - 1
+	}
+	return h.Temp[i*h.N+j]
+}
+
+// StepCell computes one cell's update (the scalar reference).
+func (h *Hotspot) StepCell(i, j int) float32 {
+	t := h.Temp[i*h.N+j]
+	lap := h.at(i-1, j) + h.at(i+1, j) + h.at(i, j-1) + h.at(i, j+1) - 4*t
+	return t + h.K*lap + h.C*h.Power[i*h.N+j]
+}
+
+// Kernel returns an executable spec: block blk updates its 16×16 tile into
+// Next.
+func (h *Hotspot) Kernel() *kern.Spec {
+	spec := HS()
+	spec.Grid = kern.D2(h.gridX, h.gridX)
+	spec.Exec = func(blk int) {
+		bx := blk % h.gridX
+		by := blk / h.gridX
+		for di := 0; di < hsTile; di++ {
+			i := by*hsTile + di
+			for dj := 0; dj < hsTile; dj++ {
+				j := bx*hsTile + dj
+				h.Next[i*h.N+j] = h.StepCell(i, j)
+			}
+		}
+	}
+	return spec
+}
+
+// Swap exchanges the temperature buffers after a step.
+func (h *Hotspot) Swap() { h.Temp, h.Next = h.Next, h.Temp }

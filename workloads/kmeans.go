@@ -1,0 +1,134 @@
+package workloads
+
+import (
+	"math"
+
+	"slate/internal/kern"
+	"slate/internal/traces"
+)
+
+// KMeans is Rodinia's clustering assignment step: every point computes its
+// squared distance to each centroid and takes the argmin. The centroid
+// table is tiny and red-hot (every block re-reads it — perfect L2 reuse);
+// the point stream is read once. Medium compute with modest bandwidth:
+// class M_C — the table's one previously-unfilled row, reachable with a
+// real workload rather than a synthetic one.
+const (
+	kmPoints        = 1 << 21 // 2M points
+	kmDims          = 16
+	kmClusters      = 32
+	kmThreads       = 128
+	kmBlocks        = kmPoints / kmThreads
+	kmBytesPerBlock = kmThreads*kmDims*4 + kmClusters*kmDims*4 + kmThreads*4
+	kmFLOPsPerBlock = 3 * kmThreads * kmDims * kmClusters
+	kmInstrPerBlock = 4 * kmThreads * kmDims * kmClusters
+)
+
+// KM returns the calibrated KMeans assignment model kernel.
+func KM() *kern.Spec {
+	return &kern.Spec{
+		Name:            "KM",
+		Grid:            kern.D1(kmBlocks),
+		BlockDim:        kern.D1(kmThreads),
+		RegsPerThread:   32,
+		SharedMemBytes:  kmClusters * kmDims * 4,
+		FLOPsPerBlock:   kmFLOPsPerBlock,
+		InstrPerBlock:   kmInstrPerBlock,
+		L2BytesPerBlock: kmBytesPerBlock,
+		ComputeEff:      0.045, // distance loops with dependent FMAs
+		MemMLP:          6,
+		Pattern: traces.RowSweep{
+			// The centroid table is the shared "pivot"; the point stream is
+			// each block's private slice.
+			Blocks:       4096,
+			PivotBytes:   kmClusters * kmDims * 4,
+			SliceBytes:   kmThreads*kmDims*4 + kmThreads*4,
+			SliceOverlap: 0,
+			LineBytes:    64,
+			RowBase:      1 << 25,
+		},
+	}
+}
+
+// KMeansApp returns the application wrapper.
+func KMeansApp() *App {
+	return &App{
+		Code:             "KM",
+		FullName:         "KMeans (assignment step)",
+		Kernel:           KM(),
+		InputBytes:       kmPoints * kmDims * 4,
+		OutputBytes:      kmPoints * 4,
+		HostSetupSeconds: 0.30,
+	}
+}
+
+// KMeans is the real computation: assign each point to its nearest
+// centroid.
+type KMeans struct {
+	N, Dims, K int
+	Points     []float32 // N×Dims row-major
+	Centroids  []float32 // K×Dims
+	Assign     []int32
+	blocks     int
+}
+
+// NewKMeans builds n points in dims dimensions around k seeded centers.
+func NewKMeans(n, dims, k int) *KMeans {
+	m := &KMeans{
+		N: n, Dims: dims, K: k,
+		Points:    make([]float32, n*dims),
+		Centroids: make([]float32, k*dims),
+		Assign:    make([]int32, n),
+		blocks:    (n + kmThreads - 1) / kmThreads,
+	}
+	rng := uint64(0x853C49E6748FEA9B)
+	next := func() float32 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return float32(rng>>40) / float32(1<<24)
+	}
+	for c := 0; c < k; c++ {
+		for d := 0; d < dims; d++ {
+			m.Centroids[c*dims+d] = float32(c) + 0.1*next()
+		}
+	}
+	for i := 0; i < n; i++ {
+		c := i % k
+		for d := 0; d < dims; d++ {
+			m.Points[i*dims+d] = m.Centroids[c*dims+d] + 0.01*(next()-0.5)
+		}
+	}
+	return m
+}
+
+// NearestCentroid is the scalar reference for one point.
+func (m *KMeans) NearestCentroid(i int) int32 {
+	best, bestD := int32(0), math.MaxFloat64
+	for c := 0; c < m.K; c++ {
+		var d2 float64
+		for d := 0; d < m.Dims; d++ {
+			diff := float64(m.Points[i*m.Dims+d] - m.Centroids[c*m.Dims+d])
+			d2 += diff * diff
+		}
+		if d2 < bestD {
+			bestD, best = d2, int32(c)
+		}
+	}
+	return best
+}
+
+// Kernel returns an executable spec: block blk assigns its 128 points.
+func (m *KMeans) Kernel() *kern.Spec {
+	spec := KM()
+	spec.Grid = kern.D1(m.blocks)
+	spec.Exec = func(blk int) {
+		lo := blk * kmThreads
+		hi := lo + kmThreads
+		if hi > m.N {
+			hi = m.N
+		}
+		for i := lo; i < hi; i++ {
+			m.Assign[i] = m.NearestCentroid(i)
+		}
+	}
+	return spec
+}

@@ -1,0 +1,149 @@
+package workloads
+
+import (
+	"slate/internal/kern"
+	"slate/internal/traces"
+)
+
+// Pathfinder is Rodinia's dynamic-programming grid walk: row r's cost is
+// the cell weight plus the minimum of the three adjacent costs in row r-1.
+// One kernel processes one row — small launches in a long dependent
+// sequence, the opposite launch profile from the fat streaming kernels.
+// Each block re-reads its neighbours' boundary cells (overlap 2 elements),
+// but the kernels are too small to stress anything: class L_C — another
+// good corun partner.
+const (
+	pfCols    = 1 << 20
+	pfThreads = 128
+	// Rodinia's pathfinder kernel advances pyramid_height DP rows inside
+	// one block (staging rows through shared memory) so launches stay
+	// coarse enough to amortize; the model uses the same design.
+	pfPyramid       = 16
+	pfBlocks        = pfCols / pfThreads // 8192
+	pfBytesPerBlock = pfPyramid * (2*pfThreads*4 + 16)
+	pfFLOPsPerBlock = pfPyramid * 3 * pfThreads
+	pfInstrPerBlock = pfPyramid * 9 * pfThreads
+)
+
+// PF returns the calibrated Pathfinder model kernel (one row step).
+func PF() *kern.Spec {
+	return &kern.Spec{
+		Name:            "PF",
+		Grid:            kern.D1(pfBlocks),
+		BlockDim:        kern.D1(pfThreads),
+		RegsPerThread:   14,
+		FLOPsPerBlock:   pfFLOPsPerBlock,
+		InstrPerBlock:   pfInstrPerBlock,
+		L2BytesPerBlock: pfBytesPerBlock,
+		ComputeEff:      0.015, // min-chains serialize
+		OpsPerBlock:     pfPyramid * 12 * pfThreads,
+		MemMLP:          2,
+		MemEff:          0.60,
+		Pattern: traces.RowSweep{
+			Blocks:       4096,
+			PivotBytes:   0,
+			SliceBytes:   pfBytesPerBlock,
+			SliceOverlap: 64,
+			LineBytes:    64,
+			RowBase:      1 << 24,
+		},
+	}
+}
+
+// PathfinderApp returns the application wrapper.
+func PathfinderApp() *App {
+	return &App{
+		Code:             "PF",
+		FullName:         "Pathfinder (grid DP)",
+		Kernel:           PF(),
+		InputBytes:       64 << 20,
+		OutputBytes:      4 << 20,
+		HostSetupSeconds: 0.25,
+	}
+}
+
+// Pathfinder is the real computation over an rows×cols weight grid.
+type Pathfinder struct {
+	Rows, Cols int
+	Weight     []int32
+	Cost, Next []int32
+	blocks     int
+}
+
+// NewPathfinder builds a deterministic weight grid.
+func NewPathfinder(rows, cols int) *Pathfinder {
+	p := &Pathfinder{
+		Rows: rows, Cols: cols,
+		Weight: make([]int32, rows*cols),
+		Cost:   make([]int32, cols),
+		Next:   make([]int32, cols),
+		blocks: (cols + pfThreads - 1) / pfThreads,
+	}
+	for i := range p.Weight {
+		p.Weight[i] = int32((i*2654435761 + 7) % 10)
+	}
+	for j := 0; j < cols; j++ {
+		p.Cost[j] = p.Weight[j] // row 0
+	}
+	return p
+}
+
+// minPrev returns min(cost[j-1], cost[j], cost[j+1]) with clamped edges.
+func (p *Pathfinder) minPrev(j int) int32 {
+	m := p.Cost[j]
+	if j > 0 && p.Cost[j-1] < m {
+		m = p.Cost[j-1]
+	}
+	if j+1 < p.Cols && p.Cost[j+1] < m {
+		m = p.Cost[j+1]
+	}
+	return m
+}
+
+// RowKernel returns the executable spec of the DP step for row r (r ≥ 1):
+// Next[j] = Weight[r][j] + minPrev(j).
+func (p *Pathfinder) RowKernel(r int) *kern.Spec {
+	spec := PF()
+	spec.Grid = kern.D1(p.blocks)
+	spec.Name = "PF.row"
+	spec.Exec = func(blk int) {
+		lo := blk * pfThreads
+		hi := lo + pfThreads
+		if hi > p.Cols {
+			hi = p.Cols
+		}
+		for j := lo; j < hi; j++ {
+			p.Next[j] = p.Weight[r*p.Cols+j] + p.minPrev(j)
+		}
+	}
+	return spec
+}
+
+// Advance commits a row step.
+func (p *Pathfinder) Advance() { p.Cost, p.Next = p.Next, p.Cost }
+
+// Reference computes the full DP serially for verification.
+func (p *Pathfinder) Reference() []int32 {
+	cost := make([]int32, p.Cols)
+	next := make([]int32, p.Cols)
+	for j := 0; j < p.Cols; j++ {
+		cost[j] = p.Weight[j]
+	}
+	minPrev := func(j int) int32 {
+		m := cost[j]
+		if j > 0 && cost[j-1] < m {
+			m = cost[j-1]
+		}
+		if j+1 < p.Cols && cost[j+1] < m {
+			m = cost[j+1]
+		}
+		return m
+	}
+	for r := 1; r < p.Rows; r++ {
+		for j := 0; j < p.Cols; j++ {
+			next[j] = p.Weight[r*p.Cols+j] + minPrev(j)
+		}
+		cost, next = next, cost
+	}
+	return cost
+}

@@ -1,0 +1,163 @@
+package workloads
+
+import (
+	"slate/internal/kern"
+	"slate/internal/traces"
+)
+
+// QuasiRandomGenerator model calibration (Table II: Low compute, Low
+// memory, 4.2 GFLOP/s, 71.6 GB/s). The generator's scattered table reads
+// and strided output writes coalesce terribly (MemEff ≈ 0.19), so the
+// kernel saturates its own achievable bandwidth — 71.6 GB/s, a seventh of
+// the bus — once ~9 SMs issue requests. That is what makes RG the ideal
+// corun partner in Fig. 7: it keeps its full (low) throughput on a third of
+// the device, and its demand coexists with a partner's on the shared bus.
+const (
+	rgBlocks        = 12288
+	rgThreads       = 64
+	rgBytesPerBlock = 5830
+	rgFLOPsPerBlock = 342
+	rgOpsPerBlock   = 5000 // direction-vector XOR/shift work
+	rgInstrPerBlock = 4000
+)
+
+// RG returns the calibrated QuasiRandomGenerator model kernel.
+func RG() *kern.Spec {
+	return &kern.Spec{
+		Name:            "RG",
+		Grid:            kern.D1(rgBlocks),
+		BlockDim:        kern.D1(rgThreads),
+		RegsPerThread:   20,
+		FLOPsPerBlock:   rgFLOPsPerBlock,
+		InstrPerBlock:   rgInstrPerBlock,
+		L2BytesPerBlock: rgBytesPerBlock,
+		ComputeEff:      0.02, // long integer dependency chains
+		OpsPerBlock:     rgOpsPerBlock,
+		MemMLP:          4,
+		MemEff:          0.19, // scattered, uncoalesced table reads/writes
+		Pattern: traces.Random{
+			Blocks:        rgBlocks,
+			BytesPerBlock: rgBytesPerBlock,
+			TableBytes:    64 << 10,
+			TableReads:    8,
+			LineBytes:     64,
+			Seed:          11,
+			TableBase:     1 << 34,
+		},
+	}
+}
+
+// QuasiRandomApp returns the application wrapper for Fig. 6/7 experiments.
+func QuasiRandomApp() *App {
+	return &App{
+		Code:             "RG",
+		FullName:         "QuasiRandomGenerator",
+		Kernel:           RG(),
+		InputBytes:       1 << 16, // direction-vector table
+		OutputBytes:      36e6,
+		HostSetupSeconds: 0.25,
+	}
+}
+
+// QuasiRandom is the real computation: a Sobol sequence over `dims`
+// dimensions and n points per dimension, using the standard
+// direction-vector construction (dimension 0 is the van der Corput
+// sequence; higher dimensions use small primitive polynomials).
+type QuasiRandom struct {
+	N, Dims int
+	// Directions[d][b] is direction vector b of dimension d (32 bits).
+	Directions [][]uint32
+	// Out[d*N+i] is point i of dimension d, in [0,1).
+	Out []float32
+
+	blocks int
+}
+
+// Primitive polynomials (degree, coefficient bits) for the first few Sobol
+// dimensions after the van der Corput base, per Joe & Kuo's tables.
+var sobolPolys = []struct {
+	degree int
+	coeff  uint32 // interior coefficient bits a_1..a_{d-1}
+	minit  []uint32
+}{
+	{1, 0, []uint32{1}},
+	{2, 1, []uint32{1, 3}},
+	{3, 1, []uint32{1, 3, 1}},
+	{3, 2, []uint32{1, 1, 1}},
+	{4, 1, []uint32{1, 1, 3, 3}},
+	{4, 4, []uint32{1, 3, 5, 13}},
+	{5, 2, []uint32{1, 1, 5, 5, 17}},
+	{5, 4, []uint32{1, 1, 5, 5, 5}},
+}
+
+// NewQuasiRandom builds the direction vectors for dims dimensions
+// (1 ≤ dims ≤ 9) and an n-point output buffer per dimension.
+func NewQuasiRandom(n, dims int) *QuasiRandom {
+	if dims < 1 || dims > len(sobolPolys)+1 {
+		panic("workloads: unsupported Sobol dimension count")
+	}
+	q := &QuasiRandom{
+		N: n, Dims: dims,
+		Directions: make([][]uint32, dims),
+		Out:        make([]float32, n*dims),
+		blocks:     (n + rgThreads - 1) / rgThreads,
+	}
+	const bits = 32
+	// Dimension 0: van der Corput — v_b = 1 << (31-b).
+	v0 := make([]uint32, bits)
+	for b := 0; b < bits; b++ {
+		v0[b] = 1 << (31 - b)
+	}
+	q.Directions[0] = v0
+	for d := 1; d < dims; d++ {
+		poly := sobolPolys[d-1]
+		s := poly.degree
+		v := make([]uint32, bits)
+		for b := 0; b < s; b++ {
+			v[b] = poly.minit[b] << (31 - b)
+		}
+		for b := s; b < bits; b++ {
+			v[b] = v[b-s] ^ (v[b-s] >> uint(s))
+			for k := 1; k < s; k++ {
+				if (poly.coeff>>uint(s-1-k))&1 == 1 {
+					v[b] ^= v[b-k]
+				}
+			}
+		}
+		q.Directions[d] = v
+	}
+	return q
+}
+
+// Point computes point i of dimension d directly (Gray-code-free scalar
+// reference): x_i = XOR of direction vectors at the set bits of i.
+func (q *QuasiRandom) Point(d, i int) float32 {
+	var x uint32
+	v := q.Directions[d]
+	for b := 0; b < 32 && i>>uint(b) != 0; b++ {
+		if (i>>uint(b))&1 == 1 {
+			x ^= v[b]
+		}
+	}
+	return float32(x) / float32(1<<32)
+}
+
+// Kernel returns an executable spec: block blk generates points
+// [blk*128, (blk+1)*128) for every dimension.
+func (q *QuasiRandom) Kernel() *kern.Spec {
+	spec := RG()
+	spec.Grid = kern.D1(q.blocks)
+	spec.Exec = func(blk int) {
+		lo := blk * rgThreads
+		hi := lo + rgThreads
+		if hi > q.N {
+			hi = q.N
+		}
+		for d := 0; d < q.Dims; d++ {
+			for i := lo; i < hi; i++ {
+				q.Out[d*q.N+i] = q.Point(d, i)
+			}
+		}
+	}
+	return spec
+}

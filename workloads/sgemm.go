@@ -1,0 +1,116 @@
+package workloads
+
+import (
+	"slate/internal/kern"
+	"slate/internal/traces"
+)
+
+// SGEMM model calibration (Table II: High compute, Med memory,
+// 1525 GFLOP/s, 403.5 GB/s). A 2048³ multiply with 16×16 thread blocks,
+// shared-memory tiling: block (i,j) streams row-panel i of A and
+// column-panel j of B (128 KiB each at the L2), achieving 12.5% of peak
+// issue — the CUDA-sample kernel, not a cuBLAS-class implementation.
+const (
+	mmN             = 2048
+	mmTile          = 16
+	mmGrid          = mmN / mmTile // 128
+	mmPanelBytes    = mmN * mmTile * 4
+	mmFLOPsPerBlock = 2.0 * mmN * mmTile * mmTile // 2·K per output element
+	mmBytesPerBlock = 277500
+	mmInstrPerBlock = 1.3e5
+)
+
+// MM returns the calibrated SGEMM model kernel.
+func MM() *kern.Spec {
+	return &kern.Spec{
+		Name:            "MM",
+		Grid:            kern.D2(mmGrid, mmGrid),
+		BlockDim:        kern.D2(mmTile, mmTile),
+		RegsPerThread:   32,
+		SharedMemBytes:  2 * mmTile * mmTile * 4,
+		FLOPsPerBlock:   mmFLOPsPerBlock,
+		InstrPerBlock:   mmInstrPerBlock,
+		L2BytesPerBlock: mmBytesPerBlock,
+		ComputeEff:      0.1255,
+		MemMLP:          4,
+		Pattern: traces.Tiled{
+			GridX:      mmGrid,
+			GridY:      mmGrid,
+			PanelBytes: mmPanelBytes,
+			LineBytes:  64,
+			BBase:      1 << 30,
+		},
+	}
+}
+
+// SGEMMApp returns the application wrapper for Fig. 6/7 experiments.
+func SGEMMApp() *App {
+	return &App{
+		Code:             "MM",
+		FullName:         "SGEMM",
+		Kernel:           MM(),
+		InputBytes:       2 * mmN * mmN * 4,
+		OutputBytes:      mmN * mmN * 4,
+		HostSetupSeconds: 0.30,
+	}
+}
+
+// SGEMM is the real computation: C = A·B for n×n row-major float32
+// matrices, tiled so each block computes one 16×16 tile of C.
+type SGEMM struct {
+	N       int
+	A, B, C []float32
+	gridX   int
+}
+
+// NewSGEMM allocates an n×n problem (n must be a multiple of 16) with
+// deterministic inputs.
+func NewSGEMM(n int) *SGEMM {
+	if n%mmTile != 0 {
+		panic("workloads: SGEMM size must be a multiple of 16")
+	}
+	m := &SGEMM{
+		N:     n,
+		A:     make([]float32, n*n),
+		B:     make([]float32, n*n),
+		C:     make([]float32, n*n),
+		gridX: n / mmTile,
+	}
+	for i := range m.A {
+		m.A[i] = float32((i*7)%13) / 13.0
+		m.B[i] = float32((i*11)%17) / 17.0
+	}
+	return m
+}
+
+// Kernel returns an executable spec: block blk computes C tile
+// (blk%gridX, blk/gridX).
+func (m *SGEMM) Kernel() *kern.Spec {
+	spec := MM()
+	spec.Grid = kern.D2(m.gridX, m.gridX)
+	n := m.N
+	spec.Exec = func(blk int) {
+		bx := blk % m.gridX
+		by := blk / m.gridX
+		i0, j0 := by*mmTile, bx*mmTile
+		for i := i0; i < i0+mmTile; i++ {
+			for j := j0; j < j0+mmTile; j++ {
+				var acc float32
+				for k := 0; k < n; k++ {
+					acc += m.A[i*n+k] * m.B[k*n+j]
+				}
+				m.C[i*n+j] = acc
+			}
+		}
+	}
+	return spec
+}
+
+// ReferenceCell computes C[i][j] directly for verification.
+func (m *SGEMM) ReferenceCell(i, j int) float32 {
+	var acc float32
+	for k := 0; k < m.N; k++ {
+		acc += m.A[i*m.N+k] * m.B[k*m.N+j]
+	}
+	return acc
+}

@@ -1,0 +1,103 @@
+package workloads
+
+import (
+	"slate/internal/kern"
+	"slate/internal/traces"
+)
+
+// Stream is the Fig. 1 microbenchmark: a pure global-memory read sweep over
+// a 6 GB buffer. Its bandwidth-vs-SM-count curve exposes the device's
+// saturation knee (9 SMs on the Titan Xp), the fact Slate's partitioning
+// exploits: a streaming kernel confined to 9 SMs keeps its full bandwidth
+// while the other 21 SMs do someone else's compute.
+const (
+	streamBytes         = 6 << 30
+	streamThreads       = 256
+	streamBytesPerBlock = 256 << 10
+	streamBlocks        = streamBytes / streamBytesPerBlock
+)
+
+// Stream returns the calibrated stream-read model kernel.
+func Stream() *kern.Spec {
+	return &kern.Spec{
+		Name:            "stream",
+		Grid:            kern.D1(streamBlocks),
+		BlockDim:        kern.D1(streamThreads),
+		RegsPerThread:   16,
+		FLOPsPerBlock:   0,
+		InstrPerBlock:   1.3e4,
+		L2BytesPerBlock: streamBytesPerBlock,
+		ComputeEff:      0.5,
+		OpsPerBlock:     8e3,
+		MemMLP:          8,
+		Pattern: traces.Streaming{
+			Blocks:        4096, // periodic sample
+			BytesPerBlock: streamBytesPerBlock,
+			LineBytes:     64,
+		},
+	}
+}
+
+// StreamApp returns the application wrapper.
+func StreamApp() *App {
+	return &App{
+		Code:             "ST",
+		FullName:         "Stream (global read)",
+		Kernel:           Stream(),
+		InputBytes:       streamBytes,
+		OutputBytes:      4096,
+		HostSetupSeconds: 0.2,
+	}
+}
+
+// StreamSum is the real computation: sum a large float32 buffer with one
+// partial sum per block (the read-bandwidth benchmark's work).
+type StreamSum struct {
+	Data     []float32
+	Partials []float64
+	elems    int // per block
+}
+
+// NewStreamSum allocates an n-element buffer with Data[i] = 1, so the total
+// must equal n exactly.
+func NewStreamSum(n int) *StreamSum {
+	elems := streamBytesPerBlock / 4
+	blocks := (n + elems - 1) / elems
+	s := &StreamSum{
+		Data:     make([]float32, n),
+		Partials: make([]float64, blocks),
+		elems:    elems,
+	}
+	for i := range s.Data {
+		s.Data[i] = 1
+	}
+	return s
+}
+
+// Kernel returns an executable spec: block blk sums its private chunk.
+func (s *StreamSum) Kernel() *kern.Spec {
+	spec := Stream()
+	spec.Grid = kern.D1(len(s.Partials))
+	spec.Exec = func(blk int) {
+		lo := blk * s.elems
+		hi := lo + s.elems
+		if hi > len(s.Data) {
+			hi = len(s.Data)
+		}
+		var acc float64
+		for i := lo; i < hi; i++ {
+			acc += float64(s.Data[i])
+		}
+		s.Partials[blk] = acc
+	}
+	return spec
+}
+
+// Total reduces the partial sums.
+func (s *StreamSum) Total() float64 {
+	var acc float64
+	for _, p := range s.Partials {
+		acc += p
+	}
+	return acc
+}

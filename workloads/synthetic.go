@@ -1,0 +1,138 @@
+package workloads
+
+import (
+	"fmt"
+
+	"slate/internal/kern"
+	"slate/internal/policy"
+	"slate/internal/traces"
+)
+
+// SyntheticOpts parameterizes a generated kernel.
+type SyntheticOpts struct {
+	// Name labels the kernel; empty derives one from the class.
+	Name string
+	// Blocks and Threads set the grid; zero selects 2400 × 256.
+	Blocks, Threads int
+	// Scale multiplies the per-block work (1.0 = ~2 ms solo on the Titan
+	// Xp for most classes); zero selects 1.
+	Scale float64
+}
+
+// Synthetic builds a kernel whose solo profile on the Titan Xp lands in the
+// requested workload class — the generator behind scheduler tests that need
+// every row and column of Table I, not just the five benchmark apps.
+//
+// The knobs per class:
+//
+//	L_C: light integer work, thin memory traffic (an RG-alike)
+//	M_C: a few hundred GFLOP/s, thin memory traffic
+//	H_C: dense FP32 work at high issue efficiency, thin memory traffic
+//	M_M: 150-450 GB/s of streaming traffic
+//	H_M: saturating streaming traffic (a TR-alike)
+func Synthetic(class policy.Class, opts SyntheticOpts) (*kern.Spec, error) {
+	if opts.Blocks <= 0 {
+		opts.Blocks = 2400
+	}
+	if opts.Threads <= 0 {
+		opts.Threads = 256
+	}
+	if opts.Threads > 1024 {
+		return nil, fmt.Errorf("workloads: synthetic block of %d threads exceeds 1024", opts.Threads)
+	}
+	if opts.Scale <= 0 {
+		opts.Scale = 1
+	}
+	name := opts.Name
+	if name == "" {
+		name = "synthetic-" + class.String()
+	}
+	s := &kern.Spec{
+		Name:     name,
+		Grid:     kern.D1(opts.Blocks),
+		BlockDim: kern.D1(opts.Threads),
+	}
+	// Derivation: target a solo duration T0 and make the intended
+	// bottleneck bind exactly there on the Titan Xp (30 SMs × 405 GF/s
+	// peak, 482 GB/s effective stream ceiling). If a kernel is
+	// compute-bound, achieved GFLOP/s = 12.15 TF × ComputeEff, so the
+	// efficiency IS the dial; if DRAM-bound, achieved GB/s = 482 × MemEff.
+	blocks := float64(opts.Blocks)
+	t0 := 2e-3 * opts.Scale
+	const (
+		peakFLOPS = 12.15e12
+		peakBW    = 482e9
+	)
+	perBlock := func(rate float64) float64 { return rate * t0 / blocks }
+	switch class {
+	case policy.LC:
+		// ≈5 GFLOP/s, ≈50 GB/s: integer-issue bound at 2% efficiency.
+		s.ComputeEff = 0.02
+		s.OpsPerBlock = perBlock(peakFLOPS * 0.02)
+		s.FLOPsPerBlock = perBlock(5e9)
+		s.L2BytesPerBlock = perBlock(50e9)
+		s.MemMLP = 2
+	case policy.MC:
+		// ≈400 GFLOP/s, compute-bound: efficiency = 400G/12.15T.
+		s.ComputeEff = 400e9 / peakFLOPS
+		s.FLOPsPerBlock = perBlock(400e9)
+		s.L2BytesPerBlock = perBlock(60e9)
+		s.MemMLP = 4
+	case policy.HC:
+		// ≈3 TFLOP/s, compute-bound.
+		s.ComputeEff = 3e12 / peakFLOPS
+		s.FLOPsPerBlock = perBlock(3e12)
+		s.L2BytesPerBlock = perBlock(80e9)
+		s.MemMLP = 4
+	case policy.MM:
+		// ≈300 GB/s, DRAM-bound through coalescing efficiency.
+		s.ComputeEff = 0.05
+		s.MemEff = 300e9 / peakBW
+		s.FLOPsPerBlock = perBlock(120e9)
+		s.L2BytesPerBlock = perBlock(300e9)
+		s.MemMLP = 8
+	case policy.HM:
+		// Saturating streaming traffic.
+		s.ComputeEff = 0.05
+		s.FLOPsPerBlock = perBlock(20e9)
+		s.L2BytesPerBlock = perBlock(peakBW)
+		s.MemMLP = 8
+	default:
+		return nil, fmt.Errorf("workloads: unknown class %v", class)
+	}
+	// Instruction count for plausible IPC; memory pattern is plain
+	// streaming (locality is not what synthetic kernels test).
+	s.InstrPerBlock = s.FLOPsPerBlock/2 + s.OpsPerBlock + s.L2BytesPerBlock/16 + 1000
+	pb := int(s.L2BytesPerBlock)
+	if pb >= 64 {
+		sample := opts.Blocks
+		if sample > 4096 {
+			sample = 4096
+		}
+		s.Pattern = traces.Streaming{Blocks: sample, BytesPerBlock: pb, LineBytes: 64}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MustSynthetic is Synthetic for static configurations; it panics on error.
+func MustSynthetic(class policy.Class, opts SyntheticOpts) *kern.Spec {
+	s, err := Synthetic(class, opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// SyntheticMatrix returns one kernel per workload class, in Table I order.
+func SyntheticMatrix() []*kern.Spec {
+	return []*kern.Spec{
+		MustSynthetic(policy.LC, SyntheticOpts{}),
+		MustSynthetic(policy.MC, SyntheticOpts{}),
+		MustSynthetic(policy.HC, SyntheticOpts{}),
+		MustSynthetic(policy.MM, SyntheticOpts{}),
+		MustSynthetic(policy.HM, SyntheticOpts{}),
+	}
+}

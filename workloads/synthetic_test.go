@@ -1,0 +1,78 @@
+package workloads
+
+import (
+	"testing"
+
+	"slate/internal/device"
+	"slate/internal/policy"
+	"slate/internal/profile"
+)
+
+// The generator's core contract: the profiler classifies each synthetic
+// kernel into the class it was generated for — every row and column of
+// Table I is reachable.
+func TestSyntheticMatrixClassifiesCorrectly(t *testing.T) {
+	dev := device.TitanXp()
+	prof := profile.New(dev, sharedModel)
+	wants := []policy.Class{policy.LC, policy.MC, policy.HC, policy.MM, policy.HM}
+	for i, spec := range SyntheticMatrix() {
+		p, err := prof.Get(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if p.Class != wants[i] {
+			t.Errorf("%s classified %v (%.1f GF/s, %.1f GB/s), want %v",
+				spec.Name, p.Class, p.GFLOPS, p.AccessBW, wants[i])
+		}
+	}
+}
+
+func TestSyntheticOptions(t *testing.T) {
+	s, err := Synthetic(policy.HC, SyntheticOpts{Name: "custom", Blocks: 1200, Threads: 128, Scale: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "custom" || s.NumBlocks() != 1200 || s.ThreadsPerBlock() != 128 {
+		t.Fatalf("options ignored: %+v", s)
+	}
+	base := MustSynthetic(policy.HC, SyntheticOpts{Blocks: 1200})
+	if s.FLOPsPerBlock <= base.FLOPsPerBlock {
+		t.Fatal("scale did not increase work")
+	}
+}
+
+func TestSyntheticRejectsBadOptions(t *testing.T) {
+	if _, err := Synthetic(policy.HC, SyntheticOpts{Threads: 2048}); err == nil {
+		t.Fatal("oversized block accepted")
+	}
+	if _, err := Synthetic(policy.Class(99), SyntheticOpts{}); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}
+
+// Every (class, class) policy decision from Table I is reachable through
+// the full profile-then-decide pipeline using synthetic kernels.
+func TestSyntheticDrivesFullPolicyMatrix(t *testing.T) {
+	dev := device.TitanXp()
+	prof := profile.New(dev, sharedModel)
+	classes := make([]policy.Class, 0, 5)
+	for _, spec := range SyntheticMatrix() {
+		p, err := prof.Get(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		classes = append(classes, p.Class)
+	}
+	coruns := 0
+	for _, a := range classes {
+		for _, b := range classes {
+			if policy.Corun(a, b) {
+				coruns++
+			}
+		}
+	}
+	// Table I contains exactly 12 corun entries (4+3+1+2+2 per row).
+	if coruns != 12 {
+		t.Fatalf("reached %d corun decisions through profiles, want Table I's 12", coruns)
+	}
+}

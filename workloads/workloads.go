@@ -1,0 +1,86 @@
+// Package workloads provides the five applications of the paper's evaluation
+// (Table II) plus the stream benchmark of Fig. 1, in two forms:
+//
+//   - A calibrated model spec (BS(), GS(), MM(), RG(), TR(), Stream()) whose
+//     work and locality parameters reproduce the profile the paper measured
+//     with nvprof on the Titan Xp (GFLOP/s, access bandwidth, intensity
+//     class) when run solo under the simulated hardware scheduler.
+//
+//   - A real, executable Go implementation of the computation (NewBlackScholes,
+//     NewGaussian, NewSGEMM, NewQuasiRandom, NewTranspose, NewStream) whose
+//     kernels run through the Slate transformation and runtime in examples
+//     and correctness tests.
+//
+// The calibration constants are documented inline; EXPERIMENTS.md records
+// paper-vs-measured values for every profile row.
+package workloads
+
+import (
+	"fmt"
+
+	"slate/internal/kern"
+)
+
+// App bundles a model kernel with the host-side behaviour the paper's
+// application-level experiments need (Fig. 6): one-time input/output
+// transfers and host setup, around a kernel looped to ~30 seconds.
+type App struct {
+	// Code is the two-letter identifier used throughout the paper.
+	Code string
+	// FullName is the benchmark's descriptive name.
+	FullName string
+	// Kernel is the calibrated model spec for one launch.
+	Kernel *kern.Spec
+	// InputBytes and OutputBytes are transferred once per application run.
+	InputBytes, OutputBytes int64
+	// HostSetupSeconds is the fixed host-side setup cost.
+	HostSetupSeconds float64
+}
+
+// Apps returns the paper's five evaluation applications in Table II order.
+func Apps() []*App {
+	return []*App{
+		BlackScholesApp(),
+		GaussianApp(),
+		SGEMMApp(),
+		QuasiRandomApp(),
+		TransposeApp(),
+	}
+}
+
+// ExtendedApps returns the additional Rodinia-style applications built on
+// top of the paper's five: Hotspot (M_M), Pathfinder (L_C), and KMeans
+// (M_C). They are kept out of Apps() so the Fig. 6/7 reproduction matches
+// the paper's application set exactly.
+func ExtendedApps() []*App {
+	return []*App{HotspotApp(), PathfinderApp(), KMeansApp()}
+}
+
+// ByCode returns the application with the given two-letter code.
+func ByCode(code string) (*App, error) {
+	for _, a := range Apps() {
+		if a.Code == code {
+			return a, nil
+		}
+	}
+	for _, a := range ExtendedApps() {
+		if a.Code == code {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown application %q", code)
+}
+
+// Pairs enumerates all 15 unordered pairings of the five applications,
+// including self-pairings, in the order Fig. 7 reports them.
+func Pairs() [][2]*App {
+	apps := Apps()
+	var out [][2]*App
+	for i := 0; i < len(apps); i++ {
+		for j := i; j < len(apps); j++ {
+			second := Apps()[j] // fresh instance so self-pairs are distinct
+			out = append(out, [2]*App{apps[i], second})
+		}
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"slate/internal/kern"
+	"slate/internal/transform"
+)
+
+// runSlate executes a workload's real kernel through the Slate
+// transformation with persistent parallel workers — the semantics check
+// that the paper's kernel transformation must preserve.
+func runSlate(t *testing.T, spec *kern.Spec, workers, taskSize int) {
+	t.Helper()
+	tr, err := transform.Transform(spec.Grid, taskSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := transform.NewQueue(tr)
+	res := transform.RunParallel(tr, q, workers, func(glob int, _ kern.Dim3) { spec.Exec(glob) })
+	if res.BlocksExecuted != spec.NumBlocks() {
+		t.Fatalf("executed %d of %d blocks", res.BlocksExecuted, spec.NumBlocks())
+	}
+}
+
+func TestBlackScholesParallelMatchesReference(t *testing.T) {
+	const n = 10000
+	b := NewBlackScholes(n)
+	runSlate(t, b.Kernel(), 8, 3)
+	for _, i := range []int{0, 1, n / 2, n - 1} {
+		c, p := b.PriceOne(i)
+		if b.Call[i] != c || b.Put[i] != p {
+			t.Fatalf("option %d: got (%v,%v), want (%v,%v)", i, b.Call[i], b.Put[i], c, p)
+		}
+	}
+	// Put-call parity: C - P = S - X·e^{-rT} within float tolerance.
+	for i := 0; i < n; i += 97 {
+		lhs := float64(b.Call[i] - b.Put[i])
+		rhs := float64(b.S[i]) - float64(b.X[i])*math.Exp(-float64(b.Riskfree)*float64(b.T[i]))
+		if math.Abs(lhs-rhs) > 1e-2 {
+			t.Fatalf("put-call parity violated at %d: %v vs %v", i, lhs, rhs)
+		}
+	}
+}
+
+func TestGaussianSolvesKnownSystem(t *testing.T) {
+	const n = 96
+	g := NewGaussian(n)
+	for step := 0; step < g.Steps(); step++ {
+		runSlate(t, g.Fan1Kernel(step), 4, 2)
+		runSlate(t, g.Fan2Kernel(step), 4, 2)
+	}
+	g.BackSubstitute()
+	if err := g.MaxError(); err > 1e-3 {
+		t.Fatalf("solution error %v against known all-ones solution", err)
+	}
+}
+
+func TestSGEMMMatchesReference(t *testing.T) {
+	m := NewSGEMM(64)
+	runSlate(t, m.Kernel(), 6, 2)
+	for _, ij := range [][2]int{{0, 0}, {5, 7}, {63, 63}, {31, 0}} {
+		i, j := ij[0], ij[1]
+		got := m.C[i*m.N+j]
+		want := m.ReferenceCell(i, j)
+		if math.Abs(float64(got-want)) > 1e-3*math.Abs(float64(want))+1e-4 {
+			t.Fatalf("C[%d][%d] = %v, want %v", i, j, got, want)
+		}
+	}
+}
+
+func TestTransposeExact(t *testing.T) {
+	tr := NewTranspose(128)
+	runSlate(t, tr.Kernel(), 8, 3)
+	if !tr.Verify() {
+		t.Fatal("transpose output incorrect")
+	}
+}
+
+func TestQuasiRandomProperties(t *testing.T) {
+	const n = 4096
+	q := NewQuasiRandom(n, 3)
+	runSlate(t, q.Kernel(), 4, 2)
+	// Dimension 0 is the van der Corput sequence: x_1 = 0.5, x_2 = 0.25,
+	// x_3 = 0.75.
+	cases := map[int]float32{0: 0, 1: 0.5, 2: 0.25, 3: 0.75}
+	for i, want := range cases {
+		if got := q.Out[i]; got != want {
+			t.Fatalf("vdC[%d] = %v, want %v", i, got, want)
+		}
+	}
+	// Low-discrepancy sanity for every dimension: the first n points fill
+	// [0,1) with near-uniform quartile counts, and are distinct nonzero
+	// values after index 0.
+	for d := 0; d < q.Dims; d++ {
+		var quart [4]int
+		for i := 0; i < n; i++ {
+			v := q.Out[d*n+i]
+			if v < 0 || v >= 1 {
+				t.Fatalf("dim %d point %d = %v outside [0,1)", d, i, v)
+			}
+			quart[int(v*4)]++
+		}
+		for k := 0; k < 4; k++ {
+			if quart[k] < n/4-2 || quart[k] > n/4+2 {
+				t.Fatalf("dim %d quartile %d has %d of %d points; not low-discrepancy", d, k, quart[k], n)
+			}
+		}
+	}
+}
+
+func TestStreamSumExact(t *testing.T) {
+	const n = 1 << 20
+	s := NewStreamSum(n)
+	runSlate(t, s.Kernel(), 8, 2)
+	if got := s.Total(); got != float64(n) {
+		t.Fatalf("sum = %v, want %v", got, float64(n))
+	}
+}
+
+func TestAppsRegistry(t *testing.T) {
+	apps := Apps()
+	if len(apps) != 5 {
+		t.Fatalf("Apps() returned %d, want 5", len(apps))
+	}
+	codes := map[string]bool{}
+	for _, a := range apps {
+		if codes[a.Code] {
+			t.Fatalf("duplicate code %s", a.Code)
+		}
+		codes[a.Code] = true
+		if err := a.Kernel.Validate(); err != nil {
+			t.Errorf("app %s kernel invalid: %v", a.Code, err)
+		}
+		if a.InputBytes <= 0 || a.HostSetupSeconds <= 0 {
+			t.Errorf("app %s host model incomplete", a.Code)
+		}
+	}
+	for _, want := range []string{"BS", "GS", "MM", "RG", "TR"} {
+		if !codes[want] {
+			t.Errorf("missing app %s", want)
+		}
+	}
+	if _, err := ByCode("BS"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByCode("ZZ"); err == nil {
+		t.Error("unknown code accepted")
+	}
+}
+
+func TestPairsEnumeration(t *testing.T) {
+	pairs := Pairs()
+	if len(pairs) != 15 {
+		t.Fatalf("Pairs() returned %d, want 15 (5 choose 2 + 5 self-pairs)", len(pairs))
+	}
+	seen := map[string]bool{}
+	for _, p := range pairs {
+		key := p[0].Code + "-" + p[1].Code
+		if seen[key] {
+			t.Fatalf("duplicate pair %s", key)
+		}
+		seen[key] = true
+	}
+	if !seen["GS-GS"] {
+		t.Error("self-pairing GS-GS missing (the paper's §V-E special case)")
+	}
+}
+
+func TestModelSpecsValidate(t *testing.T) {
+	for _, s := range []*kern.Spec{BS(), GS(), MM(), RG(), TR(), Stream()} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
