@@ -22,8 +22,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|fig1|…|fig7|ablation|staticmerge|triples|cloud|extpairs|sensitivity")
+	exp := flag.String("exp", "all", "experiment: all|fig1|…|fig7|ablation|staticmerge|triples|cloud|extpairs|sensitivity|faults")
 	loop := flag.Float64("loop", 3.0, "solo kernel loop target in seconds (paper used ~30)")
+	seed := flag.Int64("seed", 1, "seed for the faults chaos driver (same seed = same failure sequence)")
+	chaosSessions := flag.Int("chaos-sessions", 12, "hostile client sessions per faults chaos run")
 	csvDir := flag.String("csv", "", "directory to write CSV series into (optional)")
 	svgDir := flag.String("svg", "", "directory to write SVG figures into (optional)")
 	devName := flag.String("device", "titanxp", "device preset: titanxp|p100|v100|jetson")
@@ -200,6 +202,10 @@ func main() {
 				return "", "", err
 			}
 			return r.Render(), "", nil
+		}},
+		{name: "faults", run: func() (string, string, error) {
+			r, err := runFaults(*seed, *chaosSessions)
+			return r, "", err
 		}},
 	}
 

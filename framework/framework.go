@@ -13,9 +13,11 @@ package framework
 
 import (
 	"net"
+	"time"
 
 	"slate/internal/client"
 	"slate/internal/daemon"
+	"slate/internal/fault"
 	"slate/internal/inject"
 	"slate/internal/kern"
 	"slate/internal/nvrtc"
@@ -48,7 +50,43 @@ type (
 	InjectOptions = inject.Options
 	// Compiler is the runtime compiler with its compile cache.
 	Compiler = nvrtc.Compiler
+	// ClientOption configures a client connection (timeouts, sharing).
+	ClientOption = client.Option
+	// RetryConfig shapes DialRetry's exponential backoff.
+	RetryConfig = client.RetryConfig
+	// FaultConfig sets seeded fault-injection probabilities.
+	FaultConfig = fault.Config
+	// FaultInjector deterministically perturbs the transport, allocator,
+	// and compiler for chaos testing.
+	FaultInjector = fault.Injector
 )
+
+// Typed sentinel errors every failed client call wraps; branch with
+// errors.Is.
+var (
+	// ErrTimeout: a per-op deadline expired (see WithTimeout).
+	ErrTimeout = client.ErrTimeout
+	// ErrDaemonDown: the daemon is unreachable or the transport failed.
+	ErrDaemonDown = client.ErrDaemonDown
+	// ErrDeviceOOM: device memory allocation failed.
+	ErrDeviceOOM = client.ErrDeviceOOM
+	// ErrKernelPanic: a kernel body panicked and poisoned its session.
+	ErrKernelPanic = client.ErrKernelPanic
+)
+
+// WithTimeout bounds every command round trip; expired calls fail with
+// ErrTimeout instead of blocking forever.
+func WithTimeout(d time.Duration) ClientOption { return client.WithTimeout(d) }
+
+// DialRetry connects over an arbitrary transport with exponential backoff
+// plus jitter, for clients that may start before the daemon (or outlive a
+// daemon restart).
+func DialRetry(dial func() (net.Conn, error), proc string, rc RetryConfig, opts ...ClientOption) (*Client, error) {
+	return client.DialRetry(dial, proc, rc, opts...)
+}
+
+// NewFaultInjector builds a seeded deterministic fault injector.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector { return fault.New(cfg) }
 
 // DefaultTaskSize is the paper's SLATE_ITERS default of 10 user blocks per
 // task.
@@ -62,15 +100,15 @@ func NewDaemon(budget int) *Daemon { return daemon.NewServer(budget) }
 func NewLocalDaemon(budget int) (*Daemon, func() net.Conn) { return daemon.NewLocal(budget) }
 
 // Connect attaches a new in-process client to a local daemon.
-func Connect(srv *Daemon, dial func() net.Conn, proc string) (*Client, error) {
-	return client.Local(srv, dial, proc)
+func Connect(srv *Daemon, dial func() net.Conn, proc string, opts ...ClientOption) (*Client, error) {
+	return client.Local(srv, dial, proc, opts...)
 }
 
 // Dial attaches a client over an arbitrary transport (e.g. a Unix socket to
 // cmd/slated). Remote clients move data through transfer commands and use
 // LaunchSource rather than executable specs.
-func Dial(conn net.Conn, proc string) (*Client, error) {
-	return client.New(conn, proc)
+func Dial(conn net.Conn, proc string, opts ...ClientOption) (*Client, error) {
+	return client.New(conn, proc, opts...)
 }
 
 // Transform flattens a kernel grid for Slate scheduling.

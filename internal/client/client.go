@@ -6,14 +6,45 @@
 package client
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
+	"os"
 	"sync"
+	"time"
 
 	"slate/internal/daemon"
 	"slate/internal/ipc"
 	"slate/internal/kern"
 )
+
+// Typed sentinel errors. Every failure a call returns wraps one of these
+// (or none, for plain command rejections), so callers branch with
+// errors.Is instead of parsing strings.
+var (
+	// ErrTimeout: a per-op deadline expired; the connection is abandoned
+	// because a half-read frame cannot be resynchronized.
+	ErrTimeout = errors.New("operation timed out")
+	// ErrDaemonDown: the transport failed or the daemon is unreachable.
+	ErrDaemonDown = errors.New("daemon unavailable")
+	// ErrDeviceOOM: device memory allocation failed.
+	ErrDeviceOOM = ipc.ErrDeviceOOM
+	// ErrKernelPanic: a kernel body panicked; the session is poisoned
+	// (CUDA sticky-context semantics).
+	ErrKernelPanic = daemon.ErrKernelPanic
+)
+
+// opError is a failed command: the op, the daemon's message, and the typed
+// cause (nil for plain rejections).
+type opError struct {
+	op   ipc.Op
+	msg  string
+	kind error
+}
+
+func (e *opError) Error() string { return fmt.Sprintf("client: %s: %s", e.op, e.msg) }
+func (e *opError) Unwrap() error { return e.kind }
 
 // Buffer is a device allocation visible to the client.
 type Buffer struct {
@@ -28,14 +59,24 @@ type Buffer struct {
 // Size returns the allocation size.
 func (b *Buffer) Size() int64 { return b.size }
 
+// Session returns the daemon-assigned session ID from the handshake.
+func (c *Client) Session() uint64 { return c.sess }
+
 // Client is one application process's connection to the Slate daemon.
 type Client struct {
 	conn  *ipc.Conn
 	reg   *ipc.BufferRegistry // shared registry when in-process
 	specs *daemon.SpecTable   // shared spec table when in-process
 
-	mu  sync.Mutex
-	seq uint64
+	// timeout bounds each command round trip (0 = wait forever).
+	timeout time.Duration
+	// sess is the daemon-assigned session ID from the hello reply; it tags
+	// spec deposits so the daemon can purge orphans on disconnect.
+	sess uint64
+
+	mu     sync.Mutex
+	seq    uint64
+	broken error // sticky transport failure; all later calls fail fast
 }
 
 // Option configures a Client.
@@ -50,44 +91,159 @@ func WithShared(reg *ipc.BufferRegistry, specs *daemon.SpecTable) Option {
 	}
 }
 
+// WithTimeout bounds every command round trip: a call that has not received
+// its reply within d fails with ErrTimeout instead of blocking forever (a
+// hung Synchronize included). The connection is then abandoned — a half-read
+// gob frame cannot be resynchronized — and later calls fail with
+// ErrDaemonDown.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.timeout = d }
+}
+
 // New wraps a transport connection and performs the hello handshake.
 func New(nc net.Conn, proc string, opts ...Option) (*Client, error) {
 	c := &Client{conn: ipc.NewConn(nc)}
 	for _, o := range opts {
 		o(c)
 	}
-	if _, err := c.call(&ipc.Request{Op: ipc.OpHello, Proc: proc}); err != nil {
+	rep, err := c.call(&ipc.Request{Op: ipc.OpHello, Proc: proc})
+	if err != nil {
 		return nil, fmt.Errorf("client: handshake: %w", err)
 	}
+	c.sess = rep.Session
 	return c, nil
+}
+
+// RetryConfig shapes DialRetry's exponential backoff. Zero fields take the
+// documented defaults.
+type RetryConfig struct {
+	// Attempts is the total number of connection attempts (default 5).
+	Attempts int
+	// BaseDelay seeds the backoff before the second attempt (default 10ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 1s).
+	MaxDelay time.Duration
+	// Seed makes the jitter deterministic for tests (default 1).
+	Seed int64
+}
+
+func (rc RetryConfig) withDefaults() RetryConfig {
+	if rc.Attempts <= 0 {
+		rc.Attempts = 5
+	}
+	if rc.BaseDelay <= 0 {
+		rc.BaseDelay = 10 * time.Millisecond
+	}
+	if rc.MaxDelay <= 0 {
+		rc.MaxDelay = time.Second
+	}
+	if rc.Seed == 0 {
+		rc.Seed = 1
+	}
+	return rc
+}
+
+// DialRetry connects to the daemon with exponential backoff plus jitter:
+// each failed dial or handshake doubles the delay (capped at MaxDelay), and
+// a random half-delay jitter decorrelates stampeding clients after a daemon
+// restart. The final failure wraps ErrDaemonDown.
+func DialRetry(dial func() (net.Conn, error), proc string, rc RetryConfig, opts ...Option) (*Client, error) {
+	rc = rc.withDefaults()
+	rng := rand.New(rand.NewSource(rc.Seed))
+	delay := rc.BaseDelay
+	var lastErr error
+	for attempt := 0; attempt < rc.Attempts; attempt++ {
+		if attempt > 0 {
+			jitter := time.Duration(rng.Int63n(int64(delay)/2 + 1))
+			time.Sleep(delay/2 + jitter)
+			delay *= 2
+			if delay > rc.MaxDelay {
+				delay = rc.MaxDelay
+			}
+		}
+		nc, err := dial()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c, err := New(nc, proc, opts...)
+		if err != nil {
+			nc.Close()
+			lastErr = err
+			continue
+		}
+		return c, nil
+	}
+	return nil, fmt.Errorf("client: dial failed after %d attempts: %v: %w", rc.Attempts, lastErr, ErrDaemonDown)
 }
 
 // Local connects a new in-process client to a daemon built with
 // daemon.NewLocal.
-func Local(srv *daemon.Server, dial func() net.Conn, proc string) (*Client, error) {
-	return New(dial(), proc, WithShared(srv.Registry, srv.Specs))
+func Local(srv *daemon.Server, dial func() net.Conn, proc string, opts ...Option) (*Client, error) {
+	return New(dial(), proc, append([]Option{WithShared(srv.Registry, srv.Specs)}, opts...)...)
 }
 
-// call issues one synchronous command round trip.
+// call issues one synchronous command round trip, honoring the per-op
+// deadline and mapping wire error codes back to typed sentinels. Transport
+// failures are sticky: the first one poisons the client, and every later
+// call fails fast with ErrDaemonDown.
 func (c *Client) call(req *ipc.Request) (*ipc.Reply, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.broken != nil {
+		return nil, &opError{op: req.Op, msg: c.broken.Error(), kind: ErrDaemonDown}
+	}
 	c.seq++
 	req.Seq = c.seq
 	if err := c.conn.SendRequest(req); err != nil {
-		return nil, err
+		c.broken = err
+		return nil, &opError{op: req.Op, msg: err.Error(), kind: ErrDaemonDown}
+	}
+	if c.timeout > 0 {
+		_ = c.conn.SetReadDeadline(time.Now().Add(c.timeout))
 	}
 	rep, err := c.conn.RecvReply()
+	if c.timeout > 0 {
+		_ = c.conn.SetReadDeadline(time.Time{})
+	}
 	if err != nil {
-		return nil, err
+		c.broken = err
+		if isTimeout(err) {
+			return nil, &opError{op: req.Op, msg: fmt.Sprintf("no reply within %v", c.timeout), kind: ErrTimeout}
+		}
+		return nil, &opError{op: req.Op, msg: err.Error(), kind: ErrDaemonDown}
 	}
 	if rep.Seq != req.Seq {
-		return nil, fmt.Errorf("client: reply %d for request %d", rep.Seq, req.Seq)
+		c.broken = fmt.Errorf("client: reply %d for request %d", rep.Seq, req.Seq)
+		return nil, c.broken
 	}
 	if rep.Err != "" {
-		return rep, fmt.Errorf("client: %s: %s", req.Op, rep.Err)
+		return rep, &opError{op: req.Op, msg: rep.Err, kind: sentinelFor(rep.Code)}
 	}
 	return rep, nil
+}
+
+// sentinelFor maps a wire error code to its typed sentinel (nil for plain
+// rejections).
+func sentinelFor(code ipc.ErrCode) error {
+	switch code {
+	case ipc.CodeOOM:
+		return ErrDeviceOOM
+	case ipc.CodeKernelPanic:
+		return ErrKernelPanic
+	default:
+		return nil
+	}
+}
+
+// isTimeout recognizes an expired read deadline however the transport
+// reports it.
+func isTimeout(err error) bool {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // Malloc allocates a shared buffer, mirroring cudaMalloc.
@@ -166,7 +322,7 @@ func (c *Client) LaunchStream(spec *kern.Spec, taskSize, stream int) error {
 	if err := spec.Validate(); err != nil {
 		return err
 	}
-	tok := c.specs.Put(spec)
+	tok := c.specs.PutOwned(spec, c.sess)
 	_, err := c.call(&ipc.Request{Op: ipc.OpLaunch, Token: tok, TaskSize: taskSize, Stream: stream})
 	return err
 }
@@ -174,14 +330,24 @@ func (c *Client) LaunchStream(spec *kern.Spec, taskSize, stream int) error {
 // LaunchSource runs the injection + runtime-compilation pipeline on CUDA
 // source and returns the compiled Slate entry points.
 func (c *Client) LaunchSource(source, kernel string, grid, block kern.Dim3, taskSize int) ([]string, error) {
+	entries, _, err := c.LaunchSourceDegraded(source, kernel, grid, block, taskSize)
+	return entries, err
+}
+
+// LaunchSourceDegraded is LaunchSource plus the degradation flag: degraded
+// is true when injection or compilation failed and the daemon fell back to
+// launching the untransformed kernel through the vanilla hardware-scheduler
+// path (the transparency contract) — the program ran, without Slate's
+// scheduling benefits.
+func (c *Client) LaunchSourceDegraded(source, kernel string, grid, block kern.Dim3, taskSize int) (entries []string, degraded bool, err error) {
 	rep, err := c.call(&ipc.Request{
 		Op: ipc.OpLaunchSource, Source: source, Kernel: kernel, TaskSize: taskSize,
 		GridX: grid.X, GridY: grid.Y, BlockX: block.X, BlockY: block.Y,
 	})
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	return rep.Entries, nil
+	return rep.Entries, rep.Degraded, nil
 }
 
 // Synchronize blocks until every launched kernel completes, mirroring

@@ -1,14 +1,54 @@
 package daemon
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"slate/internal/kern"
 	"slate/internal/policy"
 	"slate/internal/transform"
 )
+
+// ErrKernelPanic is the typed cause of every launch failure produced by a
+// panicking kernel body. Like a CUDA sticky context error, it poisons the
+// launching session (later launches fail immediately) but never the daemon:
+// the panic is recovered inside the worker, the offending kernel's remaining
+// blocks drain, and other sessions' kernels keep running.
+var ErrKernelPanic = errors.New("daemon: kernel panicked")
+
+// panicTrap contains panics escaping user kernel bodies: the first one is
+// recorded, every one is recovered, and the surrounding launch turns into an
+// ErrKernelPanic instead of a daemon crash.
+type panicTrap struct {
+	mu    sync.Mutex
+	first error
+}
+
+// wrap guards one kernel body. A panicking block abandons only its own
+// remaining work; the queue keeps draining so the launch terminates.
+func (p *panicTrap) wrap(spec *kern.Spec) func(glob int, id kern.Dim3) {
+	return func(glob int, _ kern.Dim3) {
+		defer func() {
+			if r := recover(); r != nil {
+				p.mu.Lock()
+				if p.first == nil {
+					p.first = fmt.Errorf("%w: kernel %q at block %d: %v", ErrKernelPanic, spec.Name, glob, r)
+				}
+				p.mu.Unlock()
+			}
+		}()
+		spec.Exec(glob)
+	}
+}
+
+func (p *panicTrap) err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.first
+}
 
 // Executor runs registered Go kernels for real, with Slate's scheduling
 // semantics mapped onto host CPUs: the "SM" pool is a worker-goroutine
@@ -72,6 +112,7 @@ func (x *Executor) Run(spec *kern.Spec, taskSize int) error {
 		return err
 	}
 
+	trap := &panicTrap{}
 	x.mu.Lock()
 	prof, profiled := x.profiles[spec.Name]
 	if !profiled {
@@ -82,14 +123,22 @@ func (x *Executor) Run(spec *kern.Spec, taskSize int) error {
 		x.mu.Unlock()
 		start := time.Now()
 		q := transform.NewQueue(tr)
-		transform.RunParallel(tr, q, x.Budget, func(glob int, _ kern.Dim3) { spec.Exec(glob) })
+		transform.RunParallel(tr, q, x.Budget, trap.wrap(spec))
 		sec := time.Since(start).Seconds()
 		if sec <= 0 {
 			sec = 1e-9
 		}
+		x.mu.Lock()
+		if perr := trap.err(); perr != nil {
+			// A panicking first run is not classified; the next launch of
+			// the (presumably fixed) kernel profiles afresh.
+			x.record(fmt.Sprintf("panic %s: %v", spec.Name, perr))
+			x.cond.Broadcast()
+			x.mu.Unlock()
+			return perr
+		}
 		gflops := spec.TotalFLOPs() / sec / 1e9
 		bw := spec.TotalL2Bytes() / sec / 1e9
-		x.mu.Lock()
 		x.profiles[spec.Name] = &execProfile{class: x.Th.Classify(gflops, bw), soloSec: sec}
 		x.record(fmt.Sprintf("profile %s: class=%v solo=%.3fms", spec.Name, x.profiles[spec.Name].class, sec*1e3))
 		x.cond.Broadcast()
@@ -134,7 +183,7 @@ func (x *Executor) Run(spec *kern.Spec, taskSize int) error {
 			x.mu.Unlock()
 			return w
 		},
-		func(glob int, _ kern.Dim3) { spec.Exec(glob) })
+		trap.wrap(spec))
 
 	x.mu.Lock()
 	for i, t := range x.running {
@@ -144,9 +193,62 @@ func (x *Executor) Run(spec *kern.Spec, taskSize int) error {
 		}
 	}
 	x.rebalanceLocked()
+	if perr := trap.err(); perr != nil {
+		x.record(fmt.Sprintf("panic %s: %v", spec.Name, perr))
+		x.cond.Broadcast()
+		x.mu.Unlock()
+		return perr
+	}
 	x.cond.Broadcast()
 	x.mu.Unlock()
 	return nil
+}
+
+// RunVanilla executes spec through the plain hardware-scheduler path: no
+// profiling, no corun admission, no retreat signal — a fixed worker pool
+// draining the untransformed grid. It is the graceful-degradation target
+// when injection or compilation fails (the paper's transparency contract:
+// Slate must never make a program that ran before stop running). Panicking
+// bodies are still contained and reported as ErrKernelPanic.
+func (x *Executor) RunVanilla(spec *kern.Spec, _ int) error {
+	if spec.Exec == nil {
+		return fmt.Errorf("daemon: kernel %q has no executable body", spec.Name)
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	blocks := spec.Grid.X * spec.Grid.Y
+	trap := &panicTrap{}
+	body := trap.wrap(spec)
+	workers := x.Budget
+	if workers > blocks {
+		workers = blocks
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				glob := int(next.Add(1)) - 1
+				if glob >= blocks {
+					return
+				}
+				body(glob, kern.Dim3{})
+			}
+		}()
+	}
+	wg.Wait()
+	return trap.err()
+}
+
+// NoteFallback records a graceful-degradation decision (vanilla-path launch
+// after an injection/compilation failure) in the decision log.
+func (x *Executor) NoteFallback(name, reason string) {
+	x.mu.Lock()
+	x.record(fmt.Sprintf("fallback %s: vanilla path (%s)", name, reason))
+	x.mu.Unlock()
 }
 
 func (x *Executor) maxConcurrent() int {

@@ -3,7 +3,6 @@ package daemon
 import (
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 
@@ -16,25 +15,35 @@ import (
 // SpecTable exchanges executable kernel specs between in-process clients
 // and the daemon: closures cannot cross the wire, so the client deposits
 // the spec here and sends only its token (the launch command stays small,
-// like the paper's named-pipe commands).
+// like the paper's named-pipe commands). Entries carry the depositing
+// session's ID so a crashed client's orphaned specs can be purged.
 type SpecTable struct {
 	mu    sync.Mutex
 	next  uint64
-	specs map[uint64]*kern.Spec
+	specs map[uint64]specEntry
+}
+
+type specEntry struct {
+	spec  *kern.Spec
+	owner uint64
 }
 
 // NewSpecTable returns an empty table.
 func NewSpecTable() *SpecTable {
-	return &SpecTable{next: 1, specs: map[uint64]*kern.Spec{}}
+	return &SpecTable{next: 1, specs: map[uint64]specEntry{}}
 }
 
-// Put deposits a spec and returns its token.
-func (t *SpecTable) Put(s *kern.Spec) uint64 {
+// Put deposits an unowned spec and returns its token.
+func (t *SpecTable) Put(s *kern.Spec) uint64 { return t.PutOwned(s, 0) }
+
+// PutOwned deposits a spec tagged with the owning session ID (0 = unowned)
+// and returns its token.
+func (t *SpecTable) PutOwned(s *kern.Spec, owner uint64) uint64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	tok := t.next
 	t.next++
-	t.specs[tok] = s
+	t.specs[tok] = specEntry{spec: s, owner: owner}
 	return tok
 }
 
@@ -42,12 +51,42 @@ func (t *SpecTable) Put(s *kern.Spec) uint64 {
 func (t *SpecTable) Take(tok uint64) (*kern.Spec, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	s, ok := t.specs[tok]
+	e, ok := t.specs[tok]
 	if ok {
 		delete(t.specs, tok)
 	}
-	return s, ok
+	return e.spec, ok
 }
+
+// PurgeOwner drops every spec a session deposited but never launched —
+// the orphan reclaim on abnormal disconnect — and reports how many.
+func (t *SpecTable) PurgeOwner(owner uint64) int {
+	if owner == 0 {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for tok, e := range t.specs {
+		if e.owner == owner {
+			delete(t.specs, tok)
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of deposited, not-yet-launched specs.
+func (t *SpecTable) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.specs)
+}
+
+// maxStreamTails bounds the per-session stream-ordering map: beyond it,
+// tails whose launches already drained are pruned, so a client cycling
+// through stream IDs cannot grow daemon memory without bound.
+const maxStreamTails = 64
 
 // Server is the Slate daemon: it accepts client sessions, proxies the CUDA
 // API (§IV-A), funnels every client's kernels into the shared executor
@@ -61,6 +100,7 @@ type Server struct {
 
 	mu       sync.Mutex
 	sessions int
+	nextSess uint64
 }
 
 // NewServer builds a daemon with the given executor budget.
@@ -96,23 +136,91 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
-// ServeConn runs one client session to completion.
+// session is the per-connection state ServeConn tracks so teardown can
+// return the daemon to a clean slate however the client leaves.
+type session struct {
+	id    uint64
+	owned map[uint64]bool // buffers to reclaim if the client vanishes
+
+	mu     sync.Mutex
+	launch error // first failed launch, reported at Synchronize/Close
+	sticky bool  // a kernel panicked: the error poisons the session
+}
+
+// recordLaunch notes an asynchronous launch failure. Kernel panics are
+// sticky (CUDA sticky-context semantics): the session stays poisoned and
+// rejects further launches.
+func (ss *session) recordLaunch(err error) {
+	ss.mu.Lock()
+	if ss.launch == nil {
+		ss.launch = err
+	}
+	if errors.Is(err, ErrKernelPanic) {
+		ss.sticky = true
+	}
+	ss.mu.Unlock()
+}
+
+// stickyErr returns the poisoning error, if any.
+func (ss *session) stickyErr() error {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.sticky {
+		return ss.launch
+	}
+	return nil
+}
+
+// takeLaunch reports the pending launch error; non-sticky errors clear on
+// report (like cudaGetLastError), sticky ones persist.
+func (ss *session) takeLaunch() error {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	err := ss.launch
+	if !ss.sticky {
+		ss.launch = nil
+	}
+	return err
+}
+
+// fail marks a reply failed, classifying the error so clients recover
+// typed sentinels.
+func fail(rep *ipc.Reply, err error) {
+	rep.Err = err.Error()
+	switch {
+	case errors.Is(err, ipc.ErrDeviceOOM):
+		rep.Code = ipc.CodeOOM
+	case errors.Is(err, ErrKernelPanic):
+		rep.Code = ipc.CodeKernelPanic
+	default:
+		rep.Code = ipc.CodeGeneric
+	}
+}
+
+// ServeConn runs one client session to completion. Whatever way the session
+// ends — clean OpClose, abrupt disconnect, garbage on the wire — teardown
+// drains in-flight launches and reclaims every session-owned resource:
+// shared buffers and orphaned spec-table entries.
 func (s *Server) ServeConn(nc net.Conn) {
 	conn := ipc.NewConn(nc)
 	defer conn.Close()
 	s.mu.Lock()
 	s.sessions++
+	s.nextSess++
+	ss := &session{id: s.nextSess, owned: map[uint64]bool{}}
 	s.mu.Unlock()
+
+	var pending sync.WaitGroup
 	defer func() {
+		pending.Wait()
+		for h := range ss.owned {
+			_ = s.Registry.Release(h)
+		}
+		s.Specs.PurgeOwner(ss.id)
 		s.mu.Lock()
 		s.sessions--
 		s.mu.Unlock()
 	}()
-
-	var pending sync.WaitGroup
-	var launchErr error
-	var launchMu sync.Mutex
-	owned := map[uint64]bool{} // buffers to reclaim if the client vanishes
 
 	// Stream ordering (§III, "a queue for each process and CUDA stream"):
 	// launches on one stream chain behind each other; different streams run
@@ -126,37 +234,59 @@ func (s *Server) ServeConn(nc net.Conn) {
 		}
 		return closedCh
 	}
+	// enqueue chains a launch behind the stream's tail and runs it through
+	// the given execution path, bounding the tail map as streams retire.
+	enqueue := func(stream int, run func() error) {
+		prev := tailOf(stream)
+		next := make(chan struct{})
+		streamTail[stream] = next
+		if len(streamTail) > maxStreamTails {
+			for id, ch := range streamTail {
+				select {
+				case <-ch:
+					delete(streamTail, id)
+				default:
+				}
+			}
+		}
+		pending.Add(1)
+		go func() {
+			defer pending.Done()
+			defer close(next)
+			<-prev // in-order within the stream
+			if err := run(); err != nil {
+				ss.recordLaunch(err)
+			}
+		}()
+	}
 
 	for {
 		req, err := conn.RecvRequest()
 		if err != nil {
-			if err != io.EOF {
-				// Connection torn down mid-command; reclaim and exit.
-				_ = err
-			}
-			pending.Wait()
-			for h := range owned {
-				_ = s.Registry.Release(h)
-			}
+			// EOF is a vanished client; anything else is a torn or garbage
+			// frame. Either way the deferred teardown reclaims the session.
+			_ = err
 			return
 		}
 		rep := &ipc.Reply{Seq: req.Seq}
 		switch req.Op {
 		case ipc.OpHello:
-			// Session established; nothing else to do.
+			// Session established; hand the client its session ID so its
+			// spec deposits carry an owner tag.
+			rep.Session = ss.id
 		case ipc.OpMalloc:
 			h, dev, err := s.Registry.Create(req.Size)
 			if err != nil {
-				rep.Err = err.Error()
+				fail(rep, err)
 			} else {
 				rep.Buf, rep.DevPtr = h, dev
-				owned[h] = true
+				ss.owned[h] = true
 			}
 		case ipc.OpFree:
 			if err := s.Registry.Release(req.Buf); err != nil {
-				rep.Err = err.Error()
+				fail(rep, err)
 			}
-			delete(owned, req.Buf)
+			delete(ss.owned, req.Buf)
 		case ipc.OpMemcpyH2D:
 			// In-process clients already wrote the shared buffer; remote
 			// clients ship bytes on the command's data field.
@@ -164,19 +294,19 @@ func (s *Server) ServeConn(nc net.Conn) {
 				dst, err := s.Registry.Get(req.Buf)
 				switch {
 				case err != nil:
-					rep.Err = err.Error()
+					fail(rep, err)
 				case len(req.Data) > len(dst):
-					rep.Err = fmt.Sprintf("daemon: H2D overflow: %d into %d", len(req.Data), len(dst))
+					fail(rep, fmt.Errorf("daemon: H2D overflow: %d into %d", len(req.Data), len(dst)))
 				default:
 					copy(dst, req.Data)
 				}
 			} else if _, err := s.Registry.Get(req.Buf); err != nil {
-				rep.Err = err.Error()
+				fail(rep, err)
 			}
 		case ipc.OpMemcpyD2H:
 			src, err := s.Registry.Get(req.Buf)
 			if err != nil {
-				rep.Err = err.Error()
+				fail(rep, err)
 			} else if req.Size > 0 { // remote readback
 				n := req.Size
 				if n > int64(len(src)) {
@@ -185,90 +315,112 @@ func (s *Server) ServeConn(nc net.Conn) {
 				rep.Data = append([]byte(nil), src[:n]...)
 			}
 		case ipc.OpLaunch:
+			if err := ss.stickyErr(); err != nil {
+				fail(rep, err)
+				break
+			}
 			spec, ok := s.Specs.Take(req.Token)
 			if !ok {
-				rep.Err = fmt.Sprintf("daemon: unknown kernel token %d", req.Token)
+				fail(rep, fmt.Errorf("daemon: unknown kernel token %d", req.Token))
 				break
 			}
 			task := req.TaskSize
-			prev := tailOf(req.Stream)
-			next := make(chan struct{})
-			streamTail[req.Stream] = next
-			pending.Add(1)
-			go func() {
-				defer pending.Done()
-				defer close(next)
-				<-prev // in-order within the stream
-				if err := s.Exec.Run(spec, task); err != nil {
-					launchMu.Lock()
-					if launchErr == nil {
-						launchErr = err
-					}
-					launchMu.Unlock()
-				}
-			}()
+			enqueue(req.Stream, func() error { return s.Exec.Run(spec, task) })
 		case ipc.OpLaunchSource:
-			out, err := inject.Transform(req.Source, inject.Options{TaskSize: req.TaskSize, EmitDispatcher: true})
-			if err != nil {
-				rep.Err = err.Error()
+			if err := ss.stickyErr(); err != nil {
+				fail(rep, err)
 				break
 			}
-			img, err := s.Compiler.Compile(out)
-			if err != nil {
-				rep.Err = err.Error()
-				break
-			}
-			want := "slate_" + req.Kernel
-			if !img.HasEntry(want) {
-				rep.Err = fmt.Sprintf("daemon: kernel %q not found after injection", req.Kernel)
-				break
-			}
-			rep.Entries = img.Entries
-			// Execute the compiled kernel through the scheduler with a
-			// synthesized work model (this host cannot run CUDA device
-			// code; the placeholder body preserves the scheduling path so
-			// remote clients get end-to-end launch/synchronize semantics).
-			if spec := synthesizeSourceSpec(req); spec != nil {
-				prev := tailOf(req.Stream)
-				next := make(chan struct{})
-				streamTail[req.Stream] = next
-				pending.Add(1)
-				go func() {
-					defer pending.Done()
-					defer close(next)
-					<-prev
-					if err := s.Exec.Run(spec, req.TaskSize); err != nil {
-						launchMu.Lock()
-						if launchErr == nil {
-							launchErr = err
-						}
-						launchMu.Unlock()
-					}
-				}()
-			}
+			s.launchSource(req, rep, enqueue)
 		case ipc.OpSynchronize:
 			if req.Stream >= 0 {
 				<-tailOf(req.Stream) // cudaStreamSynchronize
 			} else {
 				pending.Wait() // cudaDeviceSynchronize
 			}
-			launchMu.Lock()
-			if launchErr != nil {
-				rep.Err = launchErr.Error()
-				launchErr = nil
+			if err := ss.takeLaunch(); err != nil {
+				fail(rep, err)
 			}
-			launchMu.Unlock()
 		case ipc.OpClose:
 			pending.Wait()
+			// Surface a pending async launch failure to clients that exit
+			// without a final Synchronize.
+			if err := ss.takeLaunch(); err != nil {
+				fail(rep, err)
+			}
 			_ = conn.SendReply(rep)
-			return
+			return // deferred teardown reclaims buffers and specs
 		default:
-			rep.Err = fmt.Sprintf("daemon: unknown op %v", req.Op)
+			fail(rep, fmt.Errorf("daemon: unknown op %v", req.Op))
 		}
 		if err := conn.SendReply(rep); err != nil {
 			return
 		}
 	}
+}
+
+// launchSource runs the injection + runtime-compilation pipeline for one
+// OpLaunchSource and schedules the synthesized execution. When injection or
+// compilation fails for a source whose requested kernel is otherwise valid
+// CUDA, the launch degrades to the untransformed vanilla hardware-scheduler
+// path instead of failing — the paper's transparency contract — and the
+// downgrade is recorded in the executor's decision log.
+func (s *Server) launchSource(req *ipc.Request, rep *ipc.Reply, enqueue func(stream int, run func() error)) {
+	want := "slate_" + req.Kernel
+	out, pipeErr := inject.Transform(req.Source, inject.Options{TaskSize: req.TaskSize, EmitDispatcher: true})
+	if pipeErr == nil {
+		var img *nvrtc.Compiled
+		img, pipeErr = s.Compiler.Compile(out)
+		if pipeErr == nil {
+			if !img.HasEntry(want) {
+				fail(rep, fmt.Errorf("daemon: kernel %q not found after injection", req.Kernel))
+				return
+			}
+			rep.Entries = img.Entries
+		}
+	}
+	if pipeErr != nil {
+		// Degradation is only for kernels that would have run without
+		// Slate: the original source must itself define the kernel.
+		if !sourceHasKernel(req.Source, req.Kernel) {
+			fail(rep, pipeErr)
+			return
+		}
+		rep.Degraded = true
+		rep.Entries = []string{req.Kernel}
+		s.Exec.NoteFallback("src:"+req.Kernel, pipeErr.Error())
+	}
+	// Execute through the scheduler with a synthesized work model (this
+	// host cannot run CUDA device code; the placeholder body preserves the
+	// scheduling path so remote clients get end-to-end launch/synchronize
+	// semantics).
+	spec := synthesizeSourceSpec(req)
+	if spec == nil {
+		fail(rep, fmt.Errorf("daemon: launchSource %q: invalid geometry grid=(%d,%d) block=(%d,%d)",
+			req.Kernel, req.GridX, req.GridY, req.BlockX, req.BlockY))
+		return
+	}
+	task := req.TaskSize
+	if rep.Degraded {
+		enqueue(req.Stream, func() error { return s.Exec.RunVanilla(spec, task) })
+	} else {
+		enqueue(req.Stream, func() error { return s.Exec.Run(spec, task) })
+	}
+}
+
+// sourceHasKernel reports whether the raw, untransformed source defines the
+// requested __global__ kernel — the precondition for vanilla fallback.
+func sourceHasKernel(source, kernel string) bool {
+	kernels, err := inject.FindKernels(source)
+	if err != nil {
+		return false
+	}
+	for _, k := range kernels {
+		if k.Name == kernel {
+			return true
+		}
+	}
+	return false
 }
 
 // synthesizeSourceSpec builds an executable placeholder spec for a

@@ -1,0 +1,52 @@
+package fault
+
+import (
+	"errors"
+	"net"
+	"time"
+)
+
+// ErrInjected tags every transport error the injector manufactures, so tests
+// can tell injected failures from organic ones.
+var ErrInjected = errors.New("fault: injected transport failure")
+
+// Conn wraps a net.Conn with injected transport faults: reads may be
+// delayed, writes may be replaced by a connection reset or a torn
+// (truncated) frame followed by a reset. It models both a flaky link and a
+// client that crashes mid-command.
+type Conn struct {
+	net.Conn
+	inj *Injector
+}
+
+// WrapConn attaches the injector's transport faults to a connection.
+func (i *Injector) WrapConn(c net.Conn) *Conn {
+	return &Conn{Conn: c, inj: i}
+}
+
+// Read delivers bytes, possibly after an injected delay.
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.inj.fire(SiteReadDelay, c.inj.cfg.ReadDelayProb, "delay") {
+		v, _ := c.inj.roll(SiteReadDelay + ".len")
+		time.Sleep(time.Duration(v * float64(c.inj.cfg.DelayMax)))
+	}
+	return c.Conn.Read(p)
+}
+
+// Write sends bytes, or injects a reset / torn write. After a fault the
+// underlying connection is closed: every later operation fails, exactly like
+// a peer whose process died.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.inj.fire(SiteWriteReset, c.inj.cfg.WriteResetProb, "reset") {
+		c.Conn.Close()
+		return 0, ErrInjected
+	}
+	if c.inj.fire(SiteWriteTruncate, c.inj.cfg.WriteTruncateProb, "truncate") {
+		if len(p) > 1 {
+			_, _ = c.Conn.Write(p[:len(p)/2])
+		}
+		c.Conn.Close()
+		return 0, ErrInjected
+	}
+	return c.Conn.Write(p)
+}

@@ -1,0 +1,153 @@
+package fault
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// The same seed must produce the same decision stream per site; different
+// seeds must diverge.
+func TestDeterministicDecisions(t *testing.T) {
+	cfg := Config{Seed: 42, WriteResetProb: 0.3, AllocFailProb: 0.2, CompileFailProb: 0.5}
+	draw := func(seed int64) []Event {
+		i := New(Config{Seed: seed, WriteResetProb: cfg.WriteResetProb,
+			AllocFailProb: cfg.AllocFailProb, CompileFailProb: cfg.CompileFailProb})
+		alloc, comp := i.AllocHook(), i.CompileHook()
+		for n := 0; n < 200; n++ {
+			_ = alloc(64)
+			_ = comp("src")
+			i.fire(SiteWriteReset, i.cfg.WriteResetProb, "reset")
+		}
+		return i.Events()
+	}
+	a, b := draw(42), draw(42)
+	if len(a) == 0 {
+		t.Fatal("no faults fired at these probabilities")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed diverged: %d vs %d events", len(a), len(b))
+	}
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("event %d differs: %v vs %v", k, a[k], b[k])
+		}
+	}
+	c := draw(43)
+	if len(c) == len(a) {
+		same := true
+		for k := range a {
+			if a[k] != c[k] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical fault sequences")
+		}
+	}
+}
+
+// Sites draw from independent streams: enabling a second site must not
+// change the first site's decisions.
+func TestSiteIsolation(t *testing.T) {
+	seq := func(cfg Config) []Event {
+		i := New(cfg)
+		alloc := i.AllocHook()
+		comp := i.CompileHook()
+		for n := 0; n < 100; n++ {
+			_ = alloc(1)
+			_ = comp("s")
+		}
+		var allocs []Event
+		for _, e := range i.Events() {
+			if e.Site == SiteAlloc {
+				allocs = append(allocs, e)
+			}
+		}
+		return allocs
+	}
+	only := seq(Config{Seed: 7, AllocFailProb: 0.3})
+	both := seq(Config{Seed: 7, AllocFailProb: 0.3, CompileFailProb: 0.9})
+	if len(only) != len(both) {
+		t.Fatalf("compile faults shifted alloc decisions: %d vs %d", len(only), len(both))
+	}
+	for k := range only {
+		if only[k] != both[k] {
+			t.Fatalf("alloc event %d shifted: %v vs %v", k, only[k], both[k])
+		}
+	}
+}
+
+// A reset-injected write closes the transport so the peer observes EOF, the
+// same signature as a crashed client.
+func TestConnResetFault(t *testing.T) {
+	i := New(Config{Seed: 1, WriteResetProb: 1})
+	a, b := net.Pipe()
+	fc := i.WrapConn(a)
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 16)
+		_, err := b.Read(buf)
+		done <- err
+	}()
+	if _, err := fc.Write([]byte("hello")); err == nil {
+		t.Fatal("reset-injected write succeeded")
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("peer read succeeded after injected reset")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("peer never observed the reset")
+	}
+	if evs := i.Events(); len(evs) != 1 || evs[0].Kind != "reset" {
+		t.Fatalf("events = %v", evs)
+	}
+}
+
+// A truncate-injected write delivers a torn frame prefix and then closes.
+func TestConnTruncateFault(t *testing.T) {
+	i := New(Config{Seed: 1, WriteTruncateProb: 1})
+	a, b := net.Pipe()
+	fc := i.WrapConn(a)
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 64)
+		n, _ := b.Read(buf)
+		got <- buf[:n]
+	}()
+	payload := []byte("0123456789abcdef")
+	if _, err := fc.Write(payload); err == nil {
+		t.Fatal("truncate-injected write reported success")
+	}
+	select {
+	case torn := <-got:
+		if len(torn) == 0 || len(torn) >= len(payload) {
+			t.Fatalf("torn frame length %d of %d", len(torn), len(payload))
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("peer never saw the torn prefix")
+	}
+}
+
+// Zero-probability sites never fire and never log.
+func TestDisabledSitesAreSilent(t *testing.T) {
+	i := New(Config{Seed: 9})
+	alloc, comp := i.AllocHook(), i.CompileHook()
+	for n := 0; n < 1000; n++ {
+		if err := alloc(8); err != nil {
+			t.Fatal(err)
+		}
+		if err := comp("x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(i.Events()) != 0 {
+		t.Fatalf("disabled injector fired %d events", len(i.Events()))
+	}
+	if i.Trace() != "" {
+		t.Fatal("trace not empty")
+	}
+}

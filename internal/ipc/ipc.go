@@ -11,9 +11,32 @@ package ipc
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
+)
+
+// ErrDeviceOOM is the typed cause of every device-memory allocation failure
+// (cudaErrorMemoryAllocation); callers test it with errors.Is.
+var ErrDeviceOOM = errors.New("ipc: out of device memory")
+
+// ErrCode classifies a Reply's failure so clients can map wire errors back
+// to typed sentinels without parsing strings.
+type ErrCode uint8
+
+// Reply error codes.
+const (
+	// CodeOK is the zero value: no error.
+	CodeOK ErrCode = iota
+	// CodeGeneric is an untyped failure; Reply.Err carries the detail.
+	CodeGeneric
+	// CodeOOM is a device-memory allocation failure.
+	CodeOOM
+	// CodeKernelPanic is a panicking kernel body caught by the executor
+	// (sticky, like a CUDA sticky context error).
+	CodeKernelPanic
 )
 
 // Op enumerates command-channel operations.
@@ -90,6 +113,14 @@ type Request struct {
 type Reply struct {
 	Seq uint64
 	Err string
+	// Code classifies Err so clients recover typed sentinel errors.
+	Code ErrCode
+	// Session is the daemon-assigned session ID (hello); it tags
+	// session-owned resources so teardown can reclaim them.
+	Session uint64
+	// Degraded reports that a source launch fell back to the untransformed
+	// vanilla path after an injection/compilation failure (launchSource).
+	Degraded bool
 	// Buf is the allocated shared-buffer handle (malloc).
 	Buf uint64
 	// DevPtr is the daemon-side device pointer recorded in the hash table
@@ -148,6 +179,12 @@ func (c *Conn) RecvReply() (*Reply, error) {
 	return &r, nil
 }
 
+// SetReadDeadline bounds the next Recv on the transport; a zero time clears
+// it. Clients use it for per-operation deadlines.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	return c.c.SetReadDeadline(t)
+}
+
 // Close closes the transport once.
 func (c *Conn) Close() error {
 	var err error
@@ -169,6 +206,9 @@ type BufferRegistry struct {
 	// Capacity bounds total live allocation (0 = unbounded); allocations
 	// beyond it fail like cudaMalloc returning cudaErrorMemoryAllocation.
 	Capacity int64
+	// AllocHook, when set, runs before every allocation; a non-nil return
+	// fails the allocation with ErrDeviceOOM (fault injection).
+	AllocHook func(size int64) error
 }
 
 // NewBufferRegistry returns an empty, unbounded registry.
@@ -192,9 +232,14 @@ func (r *BufferRegistry) Create(size int64) (handle, devPtr uint64, err error) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.AllocHook != nil {
+		if err := r.AllocHook(size); err != nil {
+			return 0, 0, fmt.Errorf("%v: %w", err, ErrDeviceOOM)
+		}
+	}
 	if r.Capacity > 0 && r.TotalBytes+size > r.Capacity {
-		return 0, 0, fmt.Errorf("ipc: out of device memory: %d requested, %d of %d in use",
-			size, r.TotalBytes, r.Capacity)
+		return 0, 0, fmt.Errorf("%w: %d requested, %d of %d in use",
+			ErrDeviceOOM, size, r.TotalBytes, r.Capacity)
 	}
 	h := r.next
 	r.next++

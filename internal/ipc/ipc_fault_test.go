@@ -1,0 +1,96 @@
+package ipc
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// Garbage bytes where a frame should be must error, never panic or hang.
+func TestRecvRequestGarbageFrame(t *testing.T) {
+	a, b := net.Pipe()
+	conn := NewConn(b)
+	go func() {
+		a.Write([]byte("\x00\xff\xfenot a gob stream\x01\x02\x03"))
+		a.Close()
+	}()
+	if _, err := conn.RecvRequest(); err == nil {
+		t.Fatal("garbage frame decoded successfully")
+	}
+}
+
+// A frame cut off mid-body must surface as an error once the peer closes.
+func TestRecvRequestTruncatedFrame(t *testing.T) {
+	var frame bytes.Buffer
+	if err := gob.NewEncoder(&frame).Encode(&Request{Op: OpLaunchSource, Seq: 9, Source: "__global__ void k() {}"}); err != nil {
+		t.Fatal(err)
+	}
+	a, b := net.Pipe()
+	conn := NewConn(b)
+	go func() {
+		a.Write(frame.Bytes()[:frame.Len()/2])
+		a.Close()
+	}()
+	_, err := conn.RecvRequest()
+	if err == nil {
+		t.Fatal("truncated frame decoded successfully")
+	}
+	if errors.Is(err, nil) {
+		t.Fatal("unreachable")
+	}
+	_ = io.EOF // truncated streams surface EOF/ErrUnexpectedEOF; either is fine
+}
+
+// OOM failures are typed: both the capacity limit and the fault hook wrap
+// ErrDeviceOOM.
+func TestCreateOOMIsTyped(t *testing.T) {
+	r := NewBoundedBufferRegistry(100)
+	if _, _, err := r.Create(200); !errors.Is(err, ErrDeviceOOM) {
+		t.Fatalf("capacity OOM = %v, want ErrDeviceOOM", err)
+	}
+	r2 := NewBufferRegistry()
+	r2.AllocHook = func(int64) error { return errors.New("injected") }
+	if _, _, err := r2.Create(8); !errors.Is(err, ErrDeviceOOM) {
+		t.Fatalf("hook OOM = %v, want ErrDeviceOOM", err)
+	}
+	if r2.Len() != 0 || r2.TotalBytes != 0 {
+		t.Fatal("failed allocation leaked accounting")
+	}
+	// Hook cleared: allocation succeeds again.
+	r2.AllocHook = nil
+	if _, _, err := r2.Create(8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Read deadlines propagate to the transport so a silent peer cannot block a
+// receive forever.
+func TestConnReadDeadline(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	conn := NewConn(b)
+	if err := conn.SetReadDeadline(time.Now().Add(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := conn.RecvReply()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("read of silent peer returned without error")
+		}
+		var ne net.Error
+		if !errors.As(err, &ne) || !ne.Timeout() {
+			t.Fatalf("deadline error = %v, want net.Error timeout", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("read deadline never fired")
+	}
+}

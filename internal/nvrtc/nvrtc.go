@@ -40,6 +40,11 @@ type Compiler struct {
 	mu    sync.Mutex
 	cache map[uint64]*Compiled
 
+	// FailHook, when set, runs on every cache miss before compilation; a
+	// non-nil return fails the compile transiently without poisoning the
+	// cache (fault injection).
+	FailHook func(src string) error
+
 	// Compiles and CacheHits are counters for the overhead analysis.
 	Compiles  int
 	CacheHits int
@@ -65,6 +70,11 @@ func (c *Compiler) Compile(src string) (*Compiled, error) {
 	}
 	c.mu.Unlock()
 
+	if c.FailHook != nil {
+		if err := c.FailHook(src); err != nil {
+			return nil, fmt.Errorf("nvrtc: %w", err)
+		}
+	}
 	img, err := compile(src, key)
 	if err != nil {
 		return nil, err
