@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|fig1|…|fig7|ablation|staticmerge|triples|cloud|extpairs|sensitivity|faults")
+	exp := flag.String("exp", "all", "experiment: all|fig1|…|fig7|ablation|staticmerge|triples|cloud|extpairs|sensitivity|faults|overload")
 	loop := flag.Float64("loop", 3.0, "solo kernel loop target in seconds (paper used ~30)")
 	seed := flag.Int64("seed", 1, "seed for the faults chaos driver (same seed = same failure sequence)")
 	chaosSessions := flag.Int("chaos-sessions", 12, "hostile client sessions per faults chaos run")
@@ -205,6 +205,10 @@ func main() {
 		}},
 		{name: "faults", run: func() (string, string, error) {
 			r, err := runFaults(*seed, *chaosSessions)
+			return r, "", err
+		}},
+		{name: "overload", run: func() (string, string, error) {
+			r, err := runOverload(*seed)
 			return r, "", err
 		}},
 	}

@@ -3,17 +3,25 @@
 // synchronization, and the source injection + runtime-compilation pipeline
 // (executable Go kernels require an in-process daemon).
 //
+// Signals: SIGTERM and SIGINT put the daemon into drain mode — new sessions
+// and new work are refused with the DRAINING error code, in-flight launches
+// finish, and once every session has wound down (or the drain timeout forces
+// stragglers closed) the process exits 0. A second signal aborts immediately.
+//
 // Usage:
 //
-//	slated -listen /tmp/slate.sock -budget 8
+//	slated -listen /tmp/slate.sock -budget 8 -drain-timeout 30s
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"os"
 	"os/signal"
+	"syscall"
+	"time"
 
 	"slate/framework"
 )
@@ -21,6 +29,7 @@ import (
 func main() {
 	addr := flag.String("listen", "/tmp/slate.sock", "unix socket path")
 	budget := flag.Int("budget", 8, "executor worker budget (the host 'SM pool')")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long drain waits for sessions before force-closing them")
 	flag.Parse()
 
 	_ = os.Remove(*addr)
@@ -29,22 +38,42 @@ func main() {
 		fmt.Fprintf(os.Stderr, "slated: %v\n", err)
 		os.Exit(1)
 	}
-	defer l.Close()
 	defer os.Remove(*addr)
 
 	srv := framework.NewDaemon(*budget)
 	fmt.Printf("slated: listening on %s (budget %d)\n", *addr, *budget)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	drained := make(chan error, 1)
 	go func() {
-		<-sig
-		fmt.Println("\nslated: shutting down")
+		s := <-sig
+		fmt.Printf("\nslated: %v received, draining (timeout %v)\n", s, *drainTimeout)
+		go func() {
+			<-sig
+			fmt.Fprintln(os.Stderr, "slated: second signal, aborting")
+			os.Remove(*addr)
+			os.Exit(1)
+		}()
+		drained <- srv.Drain(*drainTimeout)
 		l.Close()
 	}()
 
-	if err := srv.Serve(l); err != nil {
-		fmt.Fprintf(os.Stderr, "slated: %v\n", err)
-		os.Exit(1)
+	err = srv.Serve(l)
+	select {
+	case derr := <-drained:
+		// Listener closed by the drain path: a clean shutdown.
+		if derr != nil {
+			fmt.Fprintf(os.Stderr, "slated: drain: %v\n", derr)
+			os.Remove(*addr)
+			os.Exit(1)
+		}
+		fmt.Println("slated: drained cleanly")
+	default:
+		if err != nil && !errors.Is(err, net.ErrClosed) {
+			fmt.Fprintf(os.Stderr, "slated: %v\n", err)
+			os.Remove(*addr)
+			os.Exit(1)
+		}
 	}
 }

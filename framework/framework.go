@@ -54,6 +54,9 @@ type (
 	ClientOption = client.Option
 	// RetryConfig shapes DialRetry's exponential backoff.
 	RetryConfig = client.RetryConfig
+	// BackoffConfig shapes WithBackpressureRetry's backoff and circuit
+	// breaker.
+	BackoffConfig = client.BackoffConfig
 	// FaultConfig sets seeded fault-injection probabilities.
 	FaultConfig = fault.Config
 	// FaultInjector deterministically perturbs the transport, allocator,
@@ -72,11 +75,29 @@ var (
 	ErrDeviceOOM = client.ErrDeviceOOM
 	// ErrKernelPanic: a kernel body panicked and poisoned its session.
 	ErrKernelPanic = client.ErrKernelPanic
+	// ErrKernelTimeout: a launch was abandoned at the containment deadline
+	// and poisoned its session.
+	ErrKernelTimeout = client.ErrKernelTimeout
+	// ErrBackpressure: the session's pending-launch queue is full.
+	ErrBackpressure = client.ErrBackpressure
+	// ErrQuota: the session's device-memory quota is exceeded.
+	ErrQuota = client.ErrQuota
+	// ErrDraining: the daemon is shutting down and admits no new work.
+	ErrDraining = client.ErrDraining
+	// ErrCircuitOpen: the client's breaker tripped after repeated
+	// rejections; launches fail fast without a round trip.
+	ErrCircuitOpen = client.ErrCircuitOpen
 )
 
 // WithTimeout bounds every command round trip; expired calls fail with
 // ErrTimeout instead of blocking forever.
 func WithTimeout(d time.Duration) ClientOption { return client.WithTimeout(d) }
+
+// WithBackpressureRetry retries backpressured launches with capped jittered
+// backoff, failing fast with ErrCircuitOpen once the breaker trips.
+func WithBackpressureRetry(bc BackoffConfig) ClientOption {
+	return client.WithBackpressureRetry(bc)
+}
 
 // DialRetry connects over an arbitrary transport with exponential backoff
 // plus jitter, for clients that may start before the daemon (or outlive a

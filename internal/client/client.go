@@ -33,6 +33,19 @@ var (
 	// ErrKernelPanic: a kernel body panicked; the session is poisoned
 	// (CUDA sticky-context semantics).
 	ErrKernelPanic = daemon.ErrKernelPanic
+	// ErrKernelTimeout: a launch was abandoned by the daemon's containment
+	// deadline; the session is poisoned like a panic.
+	ErrKernelTimeout = daemon.ErrKernelTimeout
+	// ErrBackpressure: the session's launch queue is full; retry after
+	// backing off (WithBackpressureRetry does this automatically).
+	ErrBackpressure = daemon.ErrBackpressure
+	// ErrQuota: the request would exceed a per-session resource quota.
+	ErrQuota = daemon.ErrQuota
+	// ErrDraining: the daemon is shutting down and admits no new work.
+	ErrDraining = daemon.ErrDraining
+	// ErrCircuitOpen: repeated backpressure rejections opened the client's
+	// circuit breaker; launches fail fast until the cooldown elapses.
+	ErrCircuitOpen = errors.New("circuit open after repeated rejections")
 )
 
 // opError is a failed command: the op, the daemon's message, and the typed
@@ -73,6 +86,9 @@ type Client struct {
 	// sess is the daemon-assigned session ID from the hello reply; it tags
 	// spec deposits so the daemon can purge orphans on disconnect.
 	sess uint64
+	// bp is the backpressure retry + circuit-breaker state (nil = launches
+	// surface ErrBackpressure directly).
+	bp *breaker
 
 	mu     sync.Mutex
 	seq    uint64
@@ -88,6 +104,118 @@ func WithShared(reg *ipc.BufferRegistry, specs *daemon.SpecTable) Option {
 	return func(c *Client) {
 		c.reg = reg
 		c.specs = specs
+	}
+}
+
+// BackoffConfig shapes the backpressure retry policy and circuit breaker.
+// Zero fields take the documented defaults.
+type BackoffConfig struct {
+	// Attempts is how many times a backpressured launch is retried before
+	// the rejection is surfaced (default 4).
+	Attempts int
+	// BaseDelay seeds the exponential backoff (default 1ms).
+	BaseDelay time.Duration
+	// MaxDelay caps each backoff step (default 50ms).
+	MaxDelay time.Duration
+	// TripAfter is how many consecutive retry-exhausted launches open the
+	// circuit (default 3).
+	TripAfter int
+	// Cooldown is how long an open circuit fails fast before allowing a
+	// probe launch through (default 100ms).
+	Cooldown time.Duration
+	// Seed makes the jitter deterministic for tests (default 1).
+	Seed int64
+}
+
+func (bc BackoffConfig) withDefaults() BackoffConfig {
+	if bc.Attempts <= 0 {
+		bc.Attempts = 4
+	}
+	if bc.BaseDelay <= 0 {
+		bc.BaseDelay = time.Millisecond
+	}
+	if bc.MaxDelay <= 0 {
+		bc.MaxDelay = 50 * time.Millisecond
+	}
+	if bc.TripAfter <= 0 {
+		bc.TripAfter = 3
+	}
+	if bc.Cooldown <= 0 {
+		bc.Cooldown = 100 * time.Millisecond
+	}
+	if bc.Seed == 0 {
+		bc.Seed = 1
+	}
+	return bc
+}
+
+// breaker is the client-side resilience state for backpressured launches:
+// capped jittered exponential backoff per call, and a circuit that opens
+// after TripAfter consecutive retry-exhausted calls so a saturated daemon
+// is not hammered (fail fast with ErrCircuitOpen until the cooldown
+// elapses; the next launch then probes, closing the circuit on success).
+type breaker struct {
+	cfg BackoffConfig
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	fails    int // consecutive retry-exhausted launches
+	openedAt time.Time
+	open     bool
+}
+
+// WithBackpressureRetry makes launches retry ErrBackpressure rejections
+// with capped jittered exponential backoff, and opens a circuit breaker
+// after repeated exhausted retries.
+func WithBackpressureRetry(bc BackoffConfig) Option {
+	bc = bc.withDefaults()
+	return func(c *Client) {
+		c.bp = &breaker{cfg: bc, rng: rand.New(rand.NewSource(bc.Seed))}
+	}
+}
+
+// admit reports whether a launch may proceed, failing fast while the
+// circuit is open and its cooldown has not elapsed.
+func (b *breaker) admit() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return nil
+	}
+	if time.Since(b.openedAt) < b.cfg.Cooldown {
+		return ErrCircuitOpen
+	}
+	// Half-open: let this launch probe the daemon.
+	return nil
+}
+
+// backoff sleeps the jittered exponential delay before retry `attempt`
+// (1-based).
+func (b *breaker) backoff(attempt int) {
+	delay := b.cfg.BaseDelay << (attempt - 1)
+	if delay > b.cfg.MaxDelay || delay <= 0 {
+		delay = b.cfg.MaxDelay
+	}
+	b.mu.Lock()
+	jitter := time.Duration(b.rng.Int63n(int64(delay)/2 + 1))
+	b.mu.Unlock()
+	time.Sleep(delay/2 + jitter)
+}
+
+// settle records a launch outcome: a non-backpressure result closes the
+// circuit, an exhausted retry loop counts toward (or re-trips) it.
+func (b *breaker) settle(stillBackpressured bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !stillBackpressured {
+		b.fails = 0
+		b.open = false
+		return
+	}
+	b.fails++
+	if b.fails >= b.cfg.TripAfter {
+		b.open = true
+		b.openedAt = time.Now()
 	}
 }
 
@@ -108,6 +236,7 @@ func New(nc net.Conn, proc string, opts ...Option) (*Client, error) {
 	}
 	rep, err := c.call(&ipc.Request{Op: ipc.OpHello, Proc: proc})
 	if err != nil {
+		c.conn.Close() // a refused handshake must not leak the transport
 		return nil, fmt.Errorf("client: handshake: %w", err)
 	}
 	c.sess = rep.Session
@@ -231,9 +360,37 @@ func sentinelFor(code ipc.ErrCode) error {
 		return ErrDeviceOOM
 	case ipc.CodeKernelPanic:
 		return ErrKernelPanic
+	case ipc.CodeKernelTimeout:
+		return ErrKernelTimeout
+	case ipc.CodeBackpressure:
+		return ErrBackpressure
+	case ipc.CodeQuota:
+		return ErrQuota
+	case ipc.CodeDraining:
+		return ErrDraining
 	default:
 		return nil
 	}
+}
+
+// callLaunch issues a launch command through the backpressure policy: a
+// rejected launch is retried with capped jittered backoff, and repeated
+// exhausted retries open the circuit so later launches fail fast instead
+// of hammering a saturated daemon.
+func (c *Client) callLaunch(req *ipc.Request) (*ipc.Reply, error) {
+	if c.bp == nil {
+		return c.call(req)
+	}
+	if err := c.bp.admit(); err != nil {
+		return nil, &opError{op: req.Op, msg: "launch rejected locally", kind: ErrCircuitOpen}
+	}
+	rep, err := c.call(req)
+	for attempt := 1; attempt <= c.bp.cfg.Attempts && errors.Is(err, ErrBackpressure); attempt++ {
+		c.bp.backoff(attempt)
+		rep, err = c.call(req)
+	}
+	c.bp.settle(errors.Is(err, ErrBackpressure))
+	return rep, err
 }
 
 // isTimeout recognizes an expired read deadline however the transport
@@ -323,7 +480,7 @@ func (c *Client) LaunchStream(spec *kern.Spec, taskSize, stream int) error {
 		return err
 	}
 	tok := c.specs.PutOwned(spec, c.sess)
-	_, err := c.call(&ipc.Request{Op: ipc.OpLaunch, Token: tok, TaskSize: taskSize, Stream: stream})
+	_, err := c.callLaunch(&ipc.Request{Op: ipc.OpLaunch, Token: tok, TaskSize: taskSize, Stream: stream})
 	return err
 }
 
@@ -340,7 +497,7 @@ func (c *Client) LaunchSource(source, kernel string, grid, block kern.Dim3, task
 // path (the transparency contract) — the program ran, without Slate's
 // scheduling benefits.
 func (c *Client) LaunchSourceDegraded(source, kernel string, grid, block kern.Dim3, taskSize int) (entries []string, degraded bool, err error) {
-	rep, err := c.call(&ipc.Request{
+	rep, err := c.callLaunch(&ipc.Request{
 		Op: ipc.OpLaunchSource, Source: source, Kernel: kernel, TaskSize: taskSize,
 		GridX: grid.X, GridY: grid.Y, BlockX: block.X, BlockY: block.Y,
 	})

@@ -19,6 +19,14 @@ import (
 // blocks drain, and other sessions' kernels keep running.
 var ErrKernelPanic = errors.New("daemon: kernel panicked")
 
+// ErrKernelTimeout is the typed cause of a launch abandoned by the
+// executor's wall-clock containment deadline. Like ErrKernelPanic it is
+// sticky for the launching session. Go cannot kill a goroutine, so a worker
+// blocked *inside* a kernel body is stranded (a contained leak: it holds
+// only its queue and spec); every worker between pulls, and the launch
+// itself, stops promptly.
+var ErrKernelTimeout = errors.New("daemon: kernel exceeded wall-clock deadline")
+
 // panicTrap contains panics escaping user kernel bodies: the first one is
 // recorded, every one is recovered, and the surrounding launch turns into an
 // ErrKernelPanic instead of a daemon crash.
@@ -62,6 +70,11 @@ type Executor struct {
 	// MaxConcurrent bounds how many kernels may share the pool (default 2,
 	// as in the paper's evaluation; raise for N-way sharing).
 	MaxConcurrent int
+	// MaxRunSeconds is the wall-clock containment deadline per launch
+	// (0 = unbounded). A launch still running past it is abandoned with
+	// ErrKernelTimeout: its workers stop at the next queue pull, its budget
+	// share is rebalanced to the survivors, and the daemon stays up.
+	MaxRunSeconds float64
 	// Th classifies first-run profiles.
 	Th policy.Thresholds
 
@@ -79,11 +92,12 @@ type execProfile struct {
 }
 
 type execTask struct {
-	spec    *kern.Spec
-	class   policy.Class
-	queue   *transform.Queue
-	target  int // assigned workers; changed under Executor.mu
-	started time.Time
+	spec      *kern.Spec
+	class     policy.Class
+	queue     *transform.Queue
+	target    int // assigned workers; changed under Executor.mu
+	abandoned bool
+	started   time.Time
 }
 
 // NewExecutor builds an executor with the given worker budget (<=0 selects
@@ -123,7 +137,21 @@ func (x *Executor) Run(spec *kern.Spec, taskSize int) error {
 		x.mu.Unlock()
 		start := time.Now()
 		q := transform.NewQueue(tr)
-		transform.RunParallel(tr, q, x.Budget, trap.wrap(spec))
+		profDone := make(chan struct{})
+		go func() {
+			defer close(profDone)
+			transform.RunParallel(tr, q, x.Budget, trap.wrap(spec))
+		}()
+		select {
+		case <-profDone:
+		case <-x.deadline():
+			q.Retreat()
+			x.mu.Lock()
+			x.record(fmt.Sprintf("timeout %s: abandoned during profiling after %.1fs", spec.Name, x.MaxRunSeconds))
+			x.cond.Broadcast()
+			x.mu.Unlock()
+			return fmt.Errorf("daemon: profiling %q: %w", spec.Name, ErrKernelTimeout)
+		}
 		sec := time.Since(start).Seconds()
 		if sec <= 0 {
 			sec = 1e-9
@@ -172,18 +200,38 @@ func (x *Executor) Run(spec *kern.Spec, taskSize int) error {
 	} else {
 		x.record(fmt.Sprintf("solo %s(%d workers)", spec.Name, task.target))
 	}
+	initialWorkers := task.target
 	x.mu.Unlock()
 
 	// Drive the dispatch loop: relaunch after every retreat with the
-	// freshly assigned worker count, carrying the queue cursor.
-	transform.RunToCompletion(tr, task.queue, task.target,
-		func(int) int {
-			x.mu.Lock()
-			w := task.target
-			x.mu.Unlock()
-			return w
-		},
-		trap.wrap(spec))
+	// freshly assigned worker count, carrying the queue cursor. It runs on
+	// its own goroutine so the containment deadline can abandon the launch
+	// without waiting on a wedged kernel body.
+	runDone := make(chan struct{})
+	go func() {
+		defer close(runDone)
+		transform.RunToCompletion(tr, task.queue, initialWorkers,
+			func(int) int {
+				x.mu.Lock()
+				w := task.target
+				if task.abandoned {
+					w = -1
+				}
+				x.mu.Unlock()
+				return w
+			},
+			trap.wrap(spec))
+	}()
+	var timedOut bool
+	select {
+	case <-runDone:
+	case <-x.deadline():
+		timedOut = true
+		x.mu.Lock()
+		task.abandoned = true
+		x.mu.Unlock()
+		task.queue.Retreat()
+	}
 
 	x.mu.Lock()
 	for i, t := range x.running {
@@ -193,6 +241,13 @@ func (x *Executor) Run(spec *kern.Spec, taskSize int) error {
 		}
 	}
 	x.rebalanceLocked()
+	if timedOut {
+		x.record(fmt.Sprintf("timeout %s: abandoned after %.1fs, %d of %d blocks claimed",
+			spec.Name, x.MaxRunSeconds, task.queue.Progress(), tr.NumBlocks))
+		x.cond.Broadcast()
+		x.mu.Unlock()
+		return fmt.Errorf("daemon: kernel %q: %w", spec.Name, ErrKernelTimeout)
+	}
 	if perr := trap.err(); perr != nil {
 		x.record(fmt.Sprintf("panic %s: %v", spec.Name, perr))
 		x.cond.Broadcast()
@@ -202,6 +257,15 @@ func (x *Executor) Run(spec *kern.Spec, taskSize int) error {
 	x.cond.Broadcast()
 	x.mu.Unlock()
 	return nil
+}
+
+// deadline returns a channel firing at the containment deadline, or nil
+// (never fires) when unbounded.
+func (x *Executor) deadline() <-chan time.Time {
+	if x.MaxRunSeconds <= 0 {
+		return nil
+	}
+	return time.After(time.Duration(x.MaxRunSeconds * float64(time.Second)))
 }
 
 // RunVanilla executes spec through the plain hardware-scheduler path: no
@@ -225,12 +289,13 @@ func (x *Executor) RunVanilla(spec *kern.Spec, _ int) error {
 		workers = blocks
 	}
 	var next atomic.Int64
+	var abort atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for !abort.Load() {
 				glob := int(next.Add(1)) - 1
 				if glob >= blocks {
 					return
@@ -239,7 +304,20 @@ func (x *Executor) RunVanilla(spec *kern.Spec, _ int) error {
 			}
 		}()
 	}
-	wg.Wait()
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-x.deadline():
+		abort.Store(true)
+		x.mu.Lock()
+		x.record(fmt.Sprintf("timeout %s: vanilla launch abandoned after %.1fs", spec.Name, x.MaxRunSeconds))
+		x.mu.Unlock()
+		return fmt.Errorf("daemon: kernel %q: %w", spec.Name, ErrKernelTimeout)
+	}
 	return trap.err()
 }
 

@@ -5,11 +5,26 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"slate/internal/inject"
 	"slate/internal/ipc"
 	"slate/internal/kern"
 	"slate/internal/nvrtc"
+)
+
+// Admission-control errors, mapped onto the wire as typed reply codes so
+// clients recover them with errors.Is.
+var (
+	// ErrBackpressure rejects a launch because the session already has its
+	// full quota of accepted-but-unfinished launches; back off and retry.
+	ErrBackpressure = errors.New("daemon: session launch queue full")
+	// ErrQuota rejects an allocation that would exceed the session's device
+	// memory quota.
+	ErrQuota = errors.New("daemon: session quota exceeded")
+	// ErrDraining rejects new work while the daemon shuts down gracefully.
+	ErrDraining = errors.New("daemon: draining, not accepting new work")
 )
 
 // SpecTable exchanges executable kernel specs between in-process clients
@@ -98,18 +113,37 @@ type Server struct {
 	Exec     *Executor
 	Compiler *nvrtc.Compiler
 
+	// MaxSessionPending bounds each session's accepted-but-unfinished
+	// launches; beyond it OpLaunch/OpLaunchSource fail with
+	// ErrBackpressure (0 = unbounded).
+	MaxSessionPending int
+	// MaxSessionBytes bounds each session's live device memory; an OpMalloc
+	// that would exceed it fails with ErrQuota (0 = unbounded).
+	MaxSessionBytes int64
+
 	mu       sync.Mutex
 	sessions int
 	nextSess uint64
+	draining bool
+	conns    map[net.Conn]struct{}
 }
 
-// NewServer builds a daemon with the given executor budget.
+// DefaultMaxSessionPending is the per-session launch-queue bound NewServer
+// installs: deep enough that well-behaved looped clients never see it,
+// shallow enough that one flooding session cannot queue unbounded daemon
+// work.
+const DefaultMaxSessionPending = 64
+
+// NewServer builds a daemon with the given executor budget and default
+// per-session admission bounds.
 func NewServer(budget int) *Server {
 	return &Server{
-		Registry: ipc.NewBufferRegistry(),
-		Specs:    NewSpecTable(),
-		Exec:     NewExecutor(budget),
-		Compiler: nvrtc.New(),
+		Registry:          ipc.NewBufferRegistry(),
+		Specs:             NewSpecTable(),
+		Exec:              NewExecutor(budget),
+		Compiler:          nvrtc.New(),
+		MaxSessionPending: DefaultMaxSessionPending,
+		conns:             map[net.Conn]struct{}{},
 	}
 }
 
@@ -118,6 +152,50 @@ func (s *Server) Sessions() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.sessions
+}
+
+// Draining reports whether the daemon is in drain mode.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain puts the daemon into graceful shutdown: new sessions and new work
+// are rejected with ErrDraining while in-flight streams finish and
+// sessions tear down. It returns nil once every session has closed —
+// leaving the buffer registry and spec table empty — and force-closes
+// stragglers still connected after timeout (their teardown still reclaims
+// session resources; only a second timeout after the forced close is an
+// error).
+func (s *Server) Drain(timeout time.Duration) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	wait := func(d time.Duration) bool {
+		dead := time.Now().Add(d)
+		for time.Now().Before(dead) {
+			if s.Sessions() == 0 {
+				return true
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		return s.Sessions() == 0
+	}
+	if wait(timeout) {
+		return nil
+	}
+	// Clients that never said goodbye: close their transports so teardown
+	// runs. In-flight launches still drain through pending.Wait.
+	s.mu.Lock()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	if wait(timeout) {
+		return nil
+	}
+	return fmt.Errorf("daemon: %d sessions still alive after forced close", s.Sessions())
 }
 
 // Serve accepts connections until the listener closes. Each session runs
@@ -140,22 +218,26 @@ func (s *Server) Serve(l net.Listener) error {
 // return the daemon to a clean slate however the client leaves.
 type session struct {
 	id    uint64
-	owned map[uint64]bool // buffers to reclaim if the client vanishes
+	owned map[uint64]int64 // buffer handle → size, reclaimed if the client vanishes
+	bytes int64            // live session-owned device memory (quota accounting)
+	// pending counts accepted-but-unfinished launches (the backpressure
+	// measure); bumped on the session goroutine, dropped by launch workers.
+	pending atomic.Int64
 
 	mu     sync.Mutex
 	launch error // first failed launch, reported at Synchronize/Close
-	sticky bool  // a kernel panicked: the error poisons the session
+	sticky bool  // a kernel panicked or timed out: the error poisons the session
 }
 
-// recordLaunch notes an asynchronous launch failure. Kernel panics are
-// sticky (CUDA sticky-context semantics): the session stays poisoned and
-// rejects further launches.
+// recordLaunch notes an asynchronous launch failure. Kernel panics and
+// containment timeouts are sticky (CUDA sticky-context semantics): the
+// session stays poisoned and rejects further launches.
 func (ss *session) recordLaunch(err error) {
 	ss.mu.Lock()
 	if ss.launch == nil {
 		ss.launch = err
 	}
-	if errors.Is(err, ErrKernelPanic) {
+	if errors.Is(err, ErrKernelPanic) || errors.Is(err, ErrKernelTimeout) {
 		ss.sticky = true
 	}
 	ss.mu.Unlock()
@@ -192,6 +274,14 @@ func fail(rep *ipc.Reply, err error) {
 		rep.Code = ipc.CodeOOM
 	case errors.Is(err, ErrKernelPanic):
 		rep.Code = ipc.CodeKernelPanic
+	case errors.Is(err, ErrKernelTimeout):
+		rep.Code = ipc.CodeKernelTimeout
+	case errors.Is(err, ErrBackpressure):
+		rep.Code = ipc.CodeBackpressure
+	case errors.Is(err, ErrQuota):
+		rep.Code = ipc.CodeQuota
+	case errors.Is(err, ErrDraining):
+		rep.Code = ipc.CodeDraining
 	default:
 		rep.Code = ipc.CodeGeneric
 	}
@@ -207,7 +297,11 @@ func (s *Server) ServeConn(nc net.Conn) {
 	s.mu.Lock()
 	s.sessions++
 	s.nextSess++
-	ss := &session{id: s.nextSess, owned: map[uint64]bool{}}
+	if s.conns == nil {
+		s.conns = map[net.Conn]struct{}{}
+	}
+	s.conns[nc] = struct{}{}
+	ss := &session{id: s.nextSess, owned: map[uint64]int64{}}
 	s.mu.Unlock()
 
 	var pending sync.WaitGroup
@@ -219,45 +313,42 @@ func (s *Server) ServeConn(nc net.Conn) {
 		s.Specs.PurgeOwner(ss.id)
 		s.mu.Lock()
 		s.sessions--
+		delete(s.conns, nc)
 		s.mu.Unlock()
 	}()
 
 	// Stream ordering (§III, "a queue for each process and CUDA stream"):
 	// launches on one stream chain behind each other; different streams run
-	// concurrently and meet the executor's corun logic independently.
-	closedCh := make(chan struct{})
-	close(closedCh)
-	streamTail := map[int]chan struct{}{}
-	tailOf := func(stream int) chan struct{} {
-		if t, ok := streamTail[stream]; ok {
-			return t
-		}
-		return closedCh
-	}
+	// concurrently and meet the executor's corun logic independently. The
+	// tracker bounds its map by pruning retired streams LRU-first.
+	streams := newStreamTracker(maxStreamTails)
 	// enqueue chains a launch behind the stream's tail and runs it through
-	// the given execution path, bounding the tail map as streams retire.
+	// the given execution path, holding one unit of the session's pending
+	// quota until the launch finishes.
 	enqueue := func(stream int, run func() error) {
-		prev := tailOf(stream)
-		next := make(chan struct{})
-		streamTail[stream] = next
-		if len(streamTail) > maxStreamTails {
-			for id, ch := range streamTail {
-				select {
-				case <-ch:
-					delete(streamTail, id)
-				default:
-				}
-			}
-		}
+		prev, next := streams.push(stream)
+		ss.pending.Add(1)
 		pending.Add(1)
 		go func() {
 			defer pending.Done()
+			defer ss.pending.Add(-1)
 			defer close(next)
 			<-prev // in-order within the stream
 			if err := run(); err != nil {
 				ss.recordLaunch(err)
 			}
 		}()
+	}
+	// admitLaunch gates new launches on drain mode and the session's
+	// pending-launch quota.
+	admitLaunch := func() error {
+		if s.Draining() {
+			return ErrDraining
+		}
+		if n := ss.pending.Load(); s.MaxSessionPending > 0 && n >= int64(s.MaxSessionPending) {
+			return fmt.Errorf("%w: %d launches pending (max %d)", ErrBackpressure, n, s.MaxSessionPending)
+		}
+		return nil
 	}
 
 	for {
@@ -272,19 +363,40 @@ func (s *Server) ServeConn(nc net.Conn) {
 		switch req.Op {
 		case ipc.OpHello:
 			// Session established; hand the client its session ID so its
-			// spec deposits carry an owner tag.
+			// spec deposits carry an owner tag. A draining daemon admits no
+			// new sessions.
+			if s.Draining() {
+				// A refused session must not linger holding the conn open —
+				// drain's polite phase waits on the session count.
+				fail(rep, ErrDraining)
+				_ = conn.SendReply(rep)
+				return
+			}
 			rep.Session = ss.id
 		case ipc.OpMalloc:
+			if s.Draining() {
+				fail(rep, ErrDraining)
+				break
+			}
+			if s.MaxSessionBytes > 0 && ss.bytes+req.Size > s.MaxSessionBytes {
+				fail(rep, fmt.Errorf("%w: %d bytes requested, %d of %d in use",
+					ErrQuota, req.Size, ss.bytes, s.MaxSessionBytes))
+				break
+			}
 			h, dev, err := s.Registry.Create(req.Size)
 			if err != nil {
 				fail(rep, err)
 			} else {
 				rep.Buf, rep.DevPtr = h, dev
-				ss.owned[h] = true
+				ss.owned[h] = req.Size
+				ss.bytes += req.Size
 			}
 		case ipc.OpFree:
 			if err := s.Registry.Release(req.Buf); err != nil {
 				fail(rep, err)
+			}
+			if sz, ok := ss.owned[req.Buf]; ok {
+				ss.bytes -= sz
 			}
 			delete(ss.owned, req.Buf)
 		case ipc.OpMemcpyH2D:
@@ -319,6 +431,10 @@ func (s *Server) ServeConn(nc net.Conn) {
 				fail(rep, err)
 				break
 			}
+			if err := admitLaunch(); err != nil {
+				fail(rep, err)
+				break
+			}
 			spec, ok := s.Specs.Take(req.Token)
 			if !ok {
 				fail(rep, fmt.Errorf("daemon: unknown kernel token %d", req.Token))
@@ -331,10 +447,14 @@ func (s *Server) ServeConn(nc net.Conn) {
 				fail(rep, err)
 				break
 			}
+			if err := admitLaunch(); err != nil {
+				fail(rep, err)
+				break
+			}
 			s.launchSource(req, rep, enqueue)
 		case ipc.OpSynchronize:
 			if req.Stream >= 0 {
-				<-tailOf(req.Stream) // cudaStreamSynchronize
+				<-streams.tailOf(req.Stream) // cudaStreamSynchronize
 			} else {
 				pending.Wait() // cudaDeviceSynchronize
 			}

@@ -1,0 +1,79 @@
+package daemon
+
+// streamTracker keeps the per-stream launch-ordering state for one session
+// (§III: "a queue for each process and CUDA stream"): each stream's tail is
+// the completion channel of its most recently enqueued launch, so the next
+// launch on that stream chains behind it while different streams proceed
+// concurrently. The map is bounded: retired (drained) tails are pruned
+// least-recently-used first, so a client cycling through stream IDs cannot
+// grow daemon memory without bound. It is confined to the session's
+// ServeConn goroutine — no locking.
+type streamTracker struct {
+	closed chan struct{}
+	max    int
+	seq    uint64
+	tails  map[int]*streamTail
+}
+
+type streamTail struct {
+	ch   chan struct{}
+	used uint64 // last-touch sequence, the LRU ordering key
+}
+
+func newStreamTracker(max int) *streamTracker {
+	c := make(chan struct{})
+	close(c)
+	return &streamTracker{closed: c, max: max, tails: map[int]*streamTail{}}
+}
+
+// tailOf returns the stream's current tail: a channel that closes when its
+// last enqueued launch finishes (already closed when the stream is idle).
+func (st *streamTracker) tailOf(stream int) chan struct{} {
+	if t, ok := st.tails[stream]; ok {
+		st.seq++
+		t.used = st.seq
+		return t.ch
+	}
+	return st.closed
+}
+
+// push chains a new launch onto the stream: it returns the previous tail to
+// wait on and the new tail the launch must close on completion.
+func (st *streamTracker) push(stream int) (prev <-chan struct{}, next chan struct{}) {
+	prev = st.tailOf(stream)
+	next = make(chan struct{})
+	st.seq++
+	st.tails[stream] = &streamTail{ch: next, used: st.seq}
+	st.prune()
+	return prev, next
+}
+
+// prune evicts drained tails, least-recently-used first, until the map is
+// back under its bound. Only drained tails are eligible — evicting a live
+// tail would break intra-stream ordering — and when every tail is live the
+// bound yields to correctness. (An earlier version pruned arbitrary drained
+// victims in map-iteration order, so which streams kept their bookkeeping
+// varied run to run; recently active streams could be dropped while cold
+// retired ones pinned the map at its cap.)
+func (st *streamTracker) prune() {
+	for len(st.tails) > st.max {
+		victim, victimUsed, found := 0, uint64(0), false
+		for id, t := range st.tails {
+			select {
+			case <-t.ch:
+			default:
+				continue // live launch: not evictable
+			}
+			if !found || t.used < victimUsed {
+				victim, victimUsed, found = id, t.used, true
+			}
+		}
+		if !found {
+			return
+		}
+		delete(st.tails, victim)
+	}
+}
+
+// len reports the tracked stream count (for tests).
+func (st *streamTracker) len() int { return len(st.tails) }

@@ -1,0 +1,132 @@
+package daemon
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"slate/internal/kern"
+)
+
+// Regression: pruning must evict the least-recently-used drained tail, not
+// an arbitrary map-iteration victim — recently touched streams keep their
+// bookkeeping while cold retired ones go first.
+func TestStreamTrackerPrunesLRUDrained(t *testing.T) {
+	st := newStreamTracker(4)
+	for id := 1; id <= 4; id++ {
+		_, next := st.push(id)
+		close(next) // stream retires immediately
+	}
+	// Touch streams 1 and 3: they become the most recently used.
+	st.tailOf(1)
+	st.tailOf(3)
+	// A fifth stream overflows the bound; the coldest drained tail
+	// (stream 2, never touched since retiring) must be the victim.
+	_, next := st.push(5)
+	close(next)
+	if st.len() != 4 {
+		t.Fatalf("tracker holds %d tails, want 4", st.len())
+	}
+	for _, id := range []int{1, 3, 5} {
+		if _, ok := st.tails[id]; !ok {
+			t.Fatalf("recently used stream %d was evicted", id)
+		}
+	}
+	if _, ok := st.tails[2]; ok {
+		t.Fatal("LRU victim (stream 2) survived pruning")
+	}
+	// An evicted retired stream still synchronizes correctly: its tail is
+	// the closed channel.
+	select {
+	case <-st.tailOf(2):
+	default:
+		t.Fatal("evicted stream's tail is not closed")
+	}
+}
+
+// Live tails are never evicted — the bound yields to ordering correctness —
+// and pruning catches up once they drain.
+func TestStreamTrackerNeverEvictsLiveTails(t *testing.T) {
+	st := newStreamTracker(2)
+	var live []chan struct{}
+	for id := 0; id < 5; id++ {
+		_, next := st.push(id)
+		live = append(live, next)
+	}
+	if st.len() != 5 {
+		t.Fatalf("live tails pruned: %d of 5 left", st.len())
+	}
+	for _, ch := range live {
+		close(ch)
+	}
+	_, next := st.push(9)
+	close(next)
+	if st.len() > 2 {
+		t.Fatalf("tracker holds %d tails after drain, want <= 2", st.len())
+	}
+}
+
+// slowKernel's blocks each sleep briefly, so total runtime comfortably
+// exceeds a containment deadline while every worker remains responsive
+// between pulls (no stranded goroutines).
+func slowKernel(name string, blocks int, perBlock time.Duration) *kern.Spec {
+	return &kern.Spec{
+		Name: name, Grid: kern.D1(blocks), BlockDim: kern.D1(32),
+		FLOPsPerBlock: 1e4, InstrPerBlock: 1e4, L2BytesPerBlock: 1e4,
+		ComputeEff: 0.5,
+		Exec:       func(int) { time.Sleep(perBlock) },
+	}
+}
+
+// The wall-clock deadline abandons a stuck launch on the profiling path and
+// leaves the executor healthy for the next kernel.
+func TestExecutorDeadlineAbandonsProfilingRun(t *testing.T) {
+	x := NewExecutor(2)
+	x.MaxRunSeconds = 0.05
+	err := x.Run(slowKernel("stuck", 400, 2*time.Millisecond), 1)
+	if !errors.Is(err, ErrKernelTimeout) {
+		t.Fatalf("err = %v, want ErrKernelTimeout", err)
+	}
+	if _, ok := x.Profile("stuck"); ok {
+		t.Fatal("timed-out profiling run was classified")
+	}
+	// The executor still runs healthy kernels afterwards.
+	if err := x.Run(slowKernel("ok", 4, 0), 1); err != nil {
+		t.Fatalf("healthy kernel after timeout: %v", err)
+	}
+	if x.RunningCount() != 0 {
+		t.Fatalf("running = %d, want 0", x.RunningCount())
+	}
+}
+
+// The deadline also abandons a profiled kernel mid-dispatch: the task is
+// removed from the running set and the budget rebalances to survivors.
+func TestExecutorDeadlineAbandonsDispatchRun(t *testing.T) {
+	x := NewExecutor(2)
+	// Profile under the name with a fast body first.
+	if err := x.Run(slowKernel("turns-slow", 8, 0), 1); err != nil {
+		t.Fatal(err)
+	}
+	x.MaxRunSeconds = 0.05
+	start := time.Now()
+	err := x.Run(slowKernel("turns-slow", 400, 2*time.Millisecond), 1)
+	if !errors.Is(err, ErrKernelTimeout) {
+		t.Fatalf("err = %v, want ErrKernelTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("abandonment took %v; deadline not enforced promptly", elapsed)
+	}
+	if x.RunningCount() != 0 {
+		t.Fatalf("abandoned task still in running set")
+	}
+}
+
+// The vanilla (hardware-scheduler) path is contained by the same deadline.
+func TestExecutorDeadlineAbandonsVanillaRun(t *testing.T) {
+	x := NewExecutor(2)
+	x.MaxRunSeconds = 0.05
+	err := x.RunVanilla(slowKernel("vstuck", 400, 2*time.Millisecond), 1)
+	if !errors.Is(err, ErrKernelTimeout) {
+		t.Fatalf("err = %v, want ErrKernelTimeout", err)
+	}
+}

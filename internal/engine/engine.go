@@ -148,6 +148,7 @@ type Handle struct {
 	blocksDone float64
 	metrics    Metrics
 	done       bool
+	evicted    bool
 	onComplete []func(vtime.Time)
 
 	// cached static parameters
@@ -170,8 +171,13 @@ type Handle struct {
 // Spec returns the kernel descriptor.
 func (h *Handle) Spec() *kern.Spec { return h.spec }
 
-// Done reports whether the instance has completed.
+// Done reports whether the instance has completed (or was evicted).
 func (h *Handle) Done() bool { return h.done }
+
+// Evicted reports whether the instance was stopped by Evict rather than
+// running to completion. Its Metrics are partial: they cover only the blocks
+// executed before the eviction point.
+func (h *Handle) Evicted() bool { return h.evicted }
 
 // Metrics returns a copy of the instance's counters (final after Done).
 func (h *Handle) Metrics() Metrics { return h.metrics }
@@ -274,6 +280,71 @@ func (e *Engine) Resize(h *Handle, smLow, smHigh int) error {
 	h.opts.SMLow, h.opts.SMHigh = smLow, smHigh
 	h.metrics.Resizes++
 	h.pausedUntil = now.Add(vtime.FromSeconds(e.Dev.ResizeSeconds))
+	e.Clock.At(h.pausedUntil, func(t vtime.Time) { e.recompute(t) })
+	e.recompute(now)
+	return nil
+}
+
+// Evict stops a running instance at a block boundary — the software
+// analogue of the containment MPS cannot provide (§III): because Slate
+// dispatches work in task-sized pulls from a queue, the runtime can simply
+// stop granting tasks and reclaim the SM range at the next boundary. The
+// instance is marked done (and Evicted), its partial Metrics are finalized
+// and returned, its SM range frees immediately for co-runners, and its
+// OnComplete callbacks do NOT fire — eviction is the caller's decision and
+// the caller owns the aftermath (requeue, quarantine, abandon).
+func (e *Engine) Evict(h *Handle) (Metrics, error) {
+	if h.done {
+		return h.metrics, fmt.Errorf("engine: evict of completed kernel %q", h.spec.Name)
+	}
+	now := e.Clock.Now()
+	e.advanceProgress(now)
+	// Stop at the enclosing block boundary: a block that has started finishes
+	// (the queue pull is irrevocable, Listing 2), partial blocks do not count.
+	h.blocksDone = math.Floor(h.blocksDone)
+	if h.blocksDone > h.numBlocks {
+		h.blocksDone = h.numBlocks
+	}
+	h.done = true
+	h.evicted = true
+	h.metrics.Completed = now
+	if h.metrics.Busy > 0 {
+		h.metrics.StallMemThrottle /= h.metrics.Busy.Seconds()
+	}
+	if h.completion != nil {
+		e.Clock.Cancel(h.completion)
+		h.completion = nil
+	}
+	if h.checkpoint != nil {
+		e.Clock.Cancel(h.checkpoint)
+		h.checkpoint = nil
+	}
+	for i, r := range e.running {
+		if r == h {
+			e.running = append(e.running[:i], e.running[i+1:]...)
+			break
+		}
+	}
+	// Reallocate: survivors see the freed SMs at once.
+	e.recompute(now)
+	return h.metrics, nil
+}
+
+// Stall freezes a running instance for d of virtual time: its allocation
+// drops to zero and its progress stops, modeling a runaway kernel wedged in
+// a retreat/relaunch cycle or an infinite loop. It is the engine-level fault
+// injection the watchdog exists to catch. Stalling an instance again before
+// the first stall elapses extends the stall.
+func (e *Engine) Stall(h *Handle, d vtime.Duration) error {
+	if h.done {
+		return fmt.Errorf("engine: stall of completed kernel %q", h.spec.Name)
+	}
+	if d < 0 {
+		return fmt.Errorf("engine: negative stall duration %d", d)
+	}
+	now := e.Clock.Now()
+	e.advanceProgress(now)
+	h.pausedUntil = now.Add(d)
 	e.Clock.At(h.pausedUntil, func(t vtime.Time) { e.recompute(t) })
 	e.recompute(now)
 	return nil
@@ -436,7 +507,7 @@ func (e *Engine) allocate(now vtime.Time) []float64 {
 	})
 	for _, i := range order {
 		h := e.running[i]
-		if free <= 0 {
+		if free <= 0 || now < h.pausedUntil {
 			alloc[i] = 0
 			continue
 		}

@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"slate/internal/vtime"
+)
+
+// Watchdog polls watched kernel instances on the virtual clock and reports
+// the two runaway signatures software scheduling can catch (and hardware
+// leftover policy cannot): a kernel whose Progress has stopped moving for
+// several consecutive checks ("stall"), and a kernel that has overrun a
+// caller-supplied deadline derived from its profile-predicted duration
+// ("overrun"). The watchdog only detects — it never evicts. OnViolation
+// fires at most once per watch; the caller decides whether to Evict,
+// requeue, or ignore.
+type Watchdog struct {
+	Eng *Engine
+	// Interval is the check period (default 500µs of virtual time).
+	Interval vtime.Duration
+	// StallChecks is how many consecutive zero-progress checks constitute a
+	// stall (default 4). Short pauses — a resize retreat/relaunch — span at
+	// most one check at the default interval and never trip it.
+	StallChecks int
+	// OnViolation receives each violation: the offending handle and the
+	// reason, "stall" or "overrun".
+	OnViolation func(now vtime.Time, h *Handle, reason string)
+
+	watches map[*Handle]*watch
+}
+
+type watch struct {
+	deadline     vtime.Time // absolute overrun deadline (Forever = none)
+	lastProgress float64
+	stalls       int
+	ev           *vtime.Event
+}
+
+// NewWatchdog builds a watchdog over the engine with default thresholds.
+func NewWatchdog(eng *Engine) *Watchdog {
+	return &Watchdog{
+		Eng:         eng,
+		Interval:    500 * vtime.Microsecond,
+		StallChecks: 4,
+		watches:     map[*Handle]*watch{},
+	}
+}
+
+// Watch starts monitoring a running instance. budget is the instance's
+// allowed runtime from now (typically an overrun multiple of its
+// profile-predicted duration); budget <= 0 disables the overrun check and
+// watches for stalls only.
+func (w *Watchdog) Watch(h *Handle, budget vtime.Duration) {
+	if h.Done() {
+		return
+	}
+	w.Unwatch(h)
+	now := w.Eng.Clock.Now()
+	deadline := vtime.Forever
+	if budget > 0 {
+		deadline = now.Add(budget)
+	}
+	wt := &watch{deadline: deadline, lastProgress: h.Progress()}
+	w.watches[h] = wt
+	wt.ev = w.Eng.Clock.After(w.interval(), func(t vtime.Time) { w.check(t, h) })
+}
+
+// Unwatch stops monitoring an instance (idempotent).
+func (w *Watchdog) Unwatch(h *Handle) {
+	if wt, ok := w.watches[h]; ok {
+		if wt.ev != nil {
+			w.Eng.Clock.Cancel(wt.ev)
+		}
+		delete(w.watches, h)
+	}
+}
+
+// Watched returns the number of instances under watch (for tests).
+func (w *Watchdog) Watched() int { return len(w.watches) }
+
+func (w *Watchdog) interval() vtime.Duration {
+	if w.Interval > 0 {
+		return w.Interval
+	}
+	return 500 * vtime.Microsecond
+}
+
+func (w *Watchdog) stallChecks() int {
+	if w.StallChecks > 0 {
+		return w.StallChecks
+	}
+	return 4
+}
+
+// check is one poll of one instance. It runs inside a clock callback, so it
+// may call Sync and (through OnViolation) Evict safely.
+func (w *Watchdog) check(now vtime.Time, h *Handle) {
+	wt, ok := w.watches[h]
+	if !ok {
+		return
+	}
+	if h.Done() {
+		delete(w.watches, h)
+		return
+	}
+	w.Eng.Sync()
+	violation := ""
+	switch {
+	case now >= wt.deadline:
+		violation = "overrun"
+	case h.Progress() <= wt.lastProgress:
+		wt.stalls++
+		if wt.stalls >= w.stallChecks() {
+			violation = "stall"
+		}
+	default:
+		wt.stalls = 0
+	}
+	wt.lastProgress = h.Progress()
+	if violation != "" {
+		delete(w.watches, h)
+		if w.OnViolation != nil {
+			w.OnViolation(now, h, violation)
+		}
+		return
+	}
+	wt.ev = w.Eng.Clock.After(w.interval(), func(t vtime.Time) { w.check(t, h) })
+}

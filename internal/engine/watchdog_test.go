@@ -1,0 +1,180 @@
+package engine
+
+import (
+	"testing"
+
+	"slate/internal/vtime"
+)
+
+func TestEvictReturnsPartialMetricsAndFreesSMs(t *testing.T) {
+	e, clk := newEngine()
+	victim, err := e.Launch(computeKernel("victim", 4800), LaunchOpts{
+		Mode: SlateSched, SMLow: 0, SMHigh: 14, TaskSize: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	partner, err := e.Launch(computeKernel("partner", 4800), LaunchOpts{
+		Mode: SlateSched, SMLow: 15, SMHigh: 29, TaskSize: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Let both make some progress, then evict the first.
+	evictAt := vtime.Time(5 * vtime.Millisecond)
+	var partial Metrics
+	clk.At(evictAt, func(now vtime.Time) {
+		m, err := e.Evict(victim)
+		if err != nil {
+			t.Errorf("evict: %v", err)
+		}
+		partial = m
+	})
+	run(t, clk)
+
+	if !victim.Evicted() || !victim.Done() {
+		t.Fatal("victim not marked evicted/done")
+	}
+	if partner.Evicted() {
+		t.Fatal("partner wrongly evicted")
+	}
+	if partial.Completed != evictAt {
+		t.Fatalf("partial metrics completed at %v, want %v", partial.Completed, evictAt)
+	}
+	done := victim.Progress()
+	if done <= 0 || done >= 4800 {
+		t.Fatalf("evicted progress = %v, want partial (0, 4800)", done)
+	}
+	if done != float64(int64(done)) {
+		t.Fatalf("eviction left fractional progress %v; want a block boundary", done)
+	}
+	if e.Running() != 0 {
+		t.Fatalf("running = %d after completion, want 0", e.Running())
+	}
+	if !partner.Done() {
+		t.Fatal("partner did not complete after the eviction")
+	}
+	// Double eviction is rejected.
+	if _, err := e.Evict(victim); err == nil {
+		t.Fatal("evicting a finished kernel succeeded")
+	}
+}
+
+func TestStallFreezesProgress(t *testing.T) {
+	e, clk := newEngine()
+	h, err := e.Launch(computeKernel("stuck", 4800), LaunchOpts{
+		Mode: SlateSched, SMLow: 0, SMHigh: 29, TaskSize: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before, after float64
+	clk.At(vtime.Time(2*vtime.Millisecond), func(vtime.Time) {
+		e.Sync()
+		before = h.Progress()
+		if err := e.Stall(h, 10*vtime.Millisecond); err != nil {
+			t.Errorf("stall: %v", err)
+		}
+	})
+	clk.At(vtime.Time(11*vtime.Millisecond), func(vtime.Time) {
+		e.Sync()
+		after = h.Progress()
+	})
+	run(t, clk)
+	if before <= 0 {
+		t.Fatal("kernel made no progress before the stall")
+	}
+	if after != before {
+		t.Fatalf("progress moved during stall: %v -> %v", before, after)
+	}
+	if !h.Done() {
+		t.Fatal("kernel never resumed after the stall elapsed")
+	}
+}
+
+func TestWatchdogDetectsStall(t *testing.T) {
+	e, clk := newEngine()
+	h, err := e.Launch(computeKernel("stuck", 48000), LaunchOpts{
+		Mode: SlateSched, SMLow: 0, SMHigh: 29, TaskSize: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWatchdog(e)
+	var gotReason string
+	var gotAt vtime.Time
+	w.OnViolation = func(now vtime.Time, vh *Handle, reason string) {
+		if vh != h {
+			t.Errorf("violation for wrong handle")
+		}
+		gotReason, gotAt = reason, now
+		if _, err := e.Evict(vh); err != nil {
+			t.Errorf("evict on violation: %v", err)
+		}
+	}
+	w.Watch(h, 0) // stall-only watch
+	stallAt := vtime.Time(2 * vtime.Millisecond)
+	clk.At(stallAt, func(vtime.Time) { _ = e.Stall(h, vtime.Duration(10*vtime.Second)) })
+	run(t, clk)
+	if gotReason != "stall" {
+		t.Fatalf("violation = %q, want stall", gotReason)
+	}
+	// Detection latency is bounded by StallChecks+1 intervals.
+	bound := vtime.Duration(w.stallChecks()+1) * w.interval()
+	if lat := gotAt.Sub(stallAt); lat > bound {
+		t.Fatalf("stall detected after %v, want <= %v", lat, bound)
+	}
+	if w.Watched() != 0 {
+		t.Fatal("watch not released after violation")
+	}
+}
+
+func TestWatchdogDetectsOverrun(t *testing.T) {
+	e, clk := newEngine()
+	h, err := e.Launch(computeKernel("hog", 48000), LaunchOpts{
+		Mode: SlateSched, SMLow: 0, SMHigh: 29, TaskSize: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWatchdog(e)
+	var gotReason string
+	w.OnViolation = func(now vtime.Time, vh *Handle, reason string) {
+		gotReason = reason
+		_, _ = e.Evict(vh)
+	}
+	// The kernel needs hundreds of ms; the budget says 5ms.
+	w.Watch(h, 5*vtime.Millisecond)
+	run(t, clk)
+	if gotReason != "overrun" {
+		t.Fatalf("violation = %q, want overrun", gotReason)
+	}
+	if !h.Evicted() {
+		t.Fatal("hog not evicted")
+	}
+}
+
+func TestWatchdogIgnoresHealthyKernel(t *testing.T) {
+	e, clk := newEngine()
+	h, err := e.Launch(computeKernel("ok", 2400), LaunchOpts{
+		Mode: SlateSched, SMLow: 0, SMHigh: 29, TaskSize: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWatchdog(e)
+	fired := false
+	w.OnViolation = func(vtime.Time, *Handle, string) { fired = true }
+	w.Watch(h, vtime.Duration(10*vtime.Second))
+	run(t, clk)
+	if fired {
+		t.Fatal("watchdog fired on a healthy kernel")
+	}
+	if !h.Done() || h.Evicted() {
+		t.Fatal("healthy kernel did not complete normally")
+	}
+	if w.Watched() != 0 {
+		t.Fatal("watch not released after completion")
+	}
+}

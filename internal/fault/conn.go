@@ -3,6 +3,8 @@ package fault
 import (
 	"errors"
 	"net"
+	"os"
+	"sync"
 	"time"
 )
 
@@ -17,6 +19,9 @@ var ErrInjected = errors.New("fault: injected transport failure")
 type Conn struct {
 	net.Conn
 	inj *Injector
+
+	mu           sync.Mutex
+	readDeadline time.Time
 }
 
 // WrapConn attaches the injector's transport faults to a connection.
@@ -24,11 +29,46 @@ func (i *Injector) WrapConn(c net.Conn) *Conn {
 	return &Conn{Conn: c, inj: i}
 }
 
-// Read delivers bytes, possibly after an injected delay.
+// SetReadDeadline records the deadline so injected delays honor it, then
+// forwards to the wrapped connection.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
+// SetDeadline sets both read and write deadlines; the read half is recorded
+// for delay capping like SetReadDeadline.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+// Read delivers bytes, possibly after an injected delay. The delay respects
+// any read deadline: sleeping never overshoots it, and a delay that would
+// cross it returns os.ErrDeadlineExceeded exactly like a slow peer would —
+// before the fix, an injected delay could stall a Read far past the
+// deadline the caller set, defeating client-side timeouts.
 func (c *Conn) Read(p []byte) (int, error) {
 	if c.inj.fire(SiteReadDelay, c.inj.cfg.ReadDelayProb, "delay") {
 		v, _ := c.inj.roll(SiteReadDelay + ".len")
-		time.Sleep(time.Duration(v * float64(c.inj.cfg.DelayMax)))
+		delay := time.Duration(v * float64(c.inj.cfg.DelayMax))
+		c.mu.Lock()
+		deadline := c.readDeadline
+		c.mu.Unlock()
+		if !deadline.IsZero() {
+			remain := time.Until(deadline)
+			if delay >= remain {
+				if remain > 0 {
+					time.Sleep(remain)
+				}
+				return 0, os.ErrDeadlineExceeded
+			}
+		}
+		time.Sleep(delay)
 	}
 	return c.Conn.Read(p)
 }

@@ -1,7 +1,9 @@
 package fault
 
 import (
+	"errors"
 	"net"
+	"os"
 	"testing"
 	"time"
 )
@@ -129,6 +131,55 @@ func TestConnTruncateFault(t *testing.T) {
 		}
 	case <-time.After(2 * time.Second):
 		t.Fatal("peer never saw the torn prefix")
+	}
+}
+
+// An injected read delay must honor the caller's read deadline: the Read
+// returns os.ErrDeadlineExceeded at (or before) the deadline instead of
+// sleeping out the full injected delay. Before the fix, a delay drawn near
+// DelayMax stalled the Read far past the deadline, defeating the client's
+// per-operation timeout.
+func TestReadDelayHonorsDeadline(t *testing.T) {
+	i := New(Config{Seed: 1, ReadDelayProb: 1, DelayMax: 10 * time.Second})
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	fc := i.WrapConn(a)
+	if err := fc.SetReadDeadline(time.Now().Add(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := fc.Read(make([]byte, 8))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("read succeeded with nothing to read")
+	}
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("injected delay ignored the deadline: read blocked %v", elapsed)
+	}
+}
+
+// A delay that fits inside the deadline still delivers the bytes.
+func TestReadDelayWithinDeadlineDelivers(t *testing.T) {
+	i := New(Config{Seed: 2, ReadDelayProb: 1, DelayMax: time.Millisecond})
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	fc := i.WrapConn(a)
+	if err := fc.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	go func() { _, _ = b.Write([]byte("ping")) }()
+	buf := make([]byte, 16)
+	n, err := fc.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "ping" {
+		t.Fatalf("read %q, want ping", buf[:n])
 	}
 }
 

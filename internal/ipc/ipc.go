@@ -37,6 +37,18 @@ const (
 	// CodeKernelPanic is a panicking kernel body caught by the executor
 	// (sticky, like a CUDA sticky context error).
 	CodeKernelPanic
+	// CodeBackpressure rejects a launch because the session's pending queue
+	// is full; the client should back off and retry.
+	CodeBackpressure
+	// CodeQuota rejects a request because it would exceed a per-session
+	// resource quota (in-flight launches or device memory).
+	CodeQuota
+	// CodeDraining rejects new work because the daemon is shutting down
+	// gracefully; retrying on this connection is pointless.
+	CodeDraining
+	// CodeKernelTimeout is a launch abandoned by the executor's wall-clock
+	// containment deadline (sticky, like a panic).
+	CodeKernelTimeout
 )
 
 // Op enumerates command-channel operations.

@@ -86,6 +86,7 @@ func (s *Scheduler) admitNWay(now vtime.Time, en *entry) error {
 				SMLow: lo, SMHigh: targetHi, Partner: partnersOf(entries, en),
 			})
 			s.Eng.OnComplete(h, func(t vtime.Time) { s.onComplete(t, en) })
+			s.watch(en)
 			lo = targetHi + 1
 			continue
 		}

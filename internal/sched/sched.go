@@ -21,12 +21,17 @@ import (
 type Decision struct {
 	At     vtime.Time
 	Kernel string
-	// Action is "solo", "corun", "queue", "grow", "dequeue", or "complete".
+	// Action is "solo", "corun", "queue", "grow", "dequeue", "complete", or —
+	// with containment enabled — "evict", "requeue", "quarantine", "vanilla",
+	// or "abandon".
 	Action string
 	// SMLow and SMHigh are the designated range for launch/resize actions.
 	SMLow, SMHigh int
 	// Partner is the co-running kernel, if any.
 	Partner string
+	// Reason annotates containment actions ("stall", "overrun", strike
+	// counts, "quarantined").
+	Reason string
 }
 
 // Scheduler is the daemon-side kernel scheduler. It is single-threaded by
@@ -62,6 +67,11 @@ type Scheduler struct {
 	queue       []*entry
 	decisions   []Decision
 	pendingGrow *vtime.Event
+
+	// Containment state (nil/empty unless EnableContainment was called).
+	watchdog  *engine.Watchdog
+	contain   ContainConfig
+	offenders map[string]*offender
 }
 
 type entry struct {
@@ -70,6 +80,9 @@ type entry struct {
 	prof     *profile.Profile
 	handle   *engine.Handle
 	onDone   func(vtime.Time, engine.Metrics)
+	// enqueuedAt is when the entry last entered the queue (aging clock).
+	enqueuedAt vtime.Time
+	queued     bool
 }
 
 // New constructs a scheduler driving the given engine.
@@ -111,12 +124,28 @@ func (s *Scheduler) Submit(spec *kern.Spec, taskSize int, onDone func(vtime.Time
 		s.Eng.Clock.Cancel(s.pendingGrow)
 		s.pendingGrow = nil
 	}
+	// Aging: once a queued kernel has waited past the aging bound, no
+	// arrival may jump ahead of it — new work queues behind it so the
+	// starved kernel takes the next idle window.
+	if aged := s.oldestAged(now); aged != nil && len(s.running) > 0 {
+		s.enqueue(now, en)
+		return nil
+	}
 	switch {
 	case len(s.running) == 0:
-		return s.launchSolo(now, en)
+		if aged := s.oldestAged(now); aged != nil {
+			// An aged waiter owns the idle device; the arrival queues.
+			s.enqueue(now, en)
+			s.unqueue(aged)
+			if err := s.dispatch(now, aged); err != nil && aged.onDone != nil {
+				aged.onDone(now, engine.Metrics{})
+			}
+			return nil
+		}
+		return s.dispatch(now, en)
 	case len(s.running) == 1 && s.MaxConcurrent >= 2:
 		r := s.running[0]
-		if s.corunProfiles(r.prof, en.prof) {
+		if s.corunEligible(en) && s.corunProfiles(r.prof, en.prof) {
 			return s.launchCorun(now, r, en)
 		}
 		s.enqueue(now, en)
@@ -124,7 +153,7 @@ func (s *Scheduler) Submit(spec *kern.Spec, taskSize int, onDone func(vtime.Time
 	case len(s.running) < s.MaxConcurrent:
 		// N-way spatial sharing: admit only if complementary to every
 		// running kernel.
-		if s.corunsWithAll(en.prof) {
+		if s.corunEligible(en) && s.corunsWithAll(en.prof) {
 			return s.admitNWay(now, en)
 		}
 		s.enqueue(now, en)
@@ -136,11 +165,35 @@ func (s *Scheduler) Submit(spec *kern.Spec, taskSize int, onDone func(vtime.Time
 }
 
 func (s *Scheduler) enqueue(now vtime.Time, en *entry) {
+	en.enqueuedAt = now
+	en.queued = true
 	s.queue = append(s.queue, en)
 	s.record(Decision{At: now, Kernel: en.spec.Name, Action: "queue"})
 }
 
 func (s *Scheduler) record(d Decision) { s.decisions = append(s.decisions, d) }
+
+// dispatch launches an entry that has the device to itself: through the
+// normal Slate solo path, or — for quarantined offenders — the vanilla
+// hardware-scheduler path.
+func (s *Scheduler) dispatch(now vtime.Time, en *entry) error {
+	en.queued = false
+	if s.isQuarantined(en.spec.Name) {
+		return s.launchVanilla(now, en)
+	}
+	return s.launchSolo(now, en)
+}
+
+// unqueue removes an entry from the wait queue, if present.
+func (s *Scheduler) unqueue(en *entry) {
+	for i, e := range s.queue {
+		if e == en {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			break
+		}
+	}
+	en.queued = false
+}
 
 // launchSolo runs a kernel on the entire device, then looks for a
 // complementary partner in the queue (Fig. 4: examine the next kernel, then
@@ -157,6 +210,7 @@ func (s *Scheduler) launchSolo(now vtime.Time, en *entry) error {
 	s.running = append(s.running, en)
 	s.record(Decision{At: now, Kernel: en.spec.Name, Action: "solo", SMLow: 0, SMHigh: s.Dev.NumSMs - 1})
 	s.Eng.OnComplete(h, func(t vtime.Time) { s.onComplete(t, en) })
+	s.watch(en)
 	s.tryPairFromQueue(now, en)
 	return nil
 }
@@ -189,26 +243,48 @@ func (s *Scheduler) launchCorun(now vtime.Time, r, en *entry) error {
 		SMLow: sR, SMHigh: s.Dev.NumSMs - 1, Partner: r.spec.Name,
 	})
 	s.Eng.OnComplete(h, func(t vtime.Time) { s.onComplete(t, en) })
+	s.watch(en)
 	return nil
 }
 
 // tryPairFromQueue scans the queue for the first kernel complementary to
-// the running one and coruns it.
+// the running one and coruns it. An aged waiter takes precedence: if it can
+// corun it is chosen regardless of queue position, and if it cannot, nobody
+// is paired — the next idle window belongs to it.
 func (s *Scheduler) tryPairFromQueue(now vtime.Time, running *entry) {
 	if len(s.running) >= s.MaxConcurrent {
 		return
 	}
+	if aged := s.oldestAged(now); aged != nil {
+		if !s.corunEligible(aged) || !s.corunProfiles(running.prof, aged.prof) {
+			return
+		}
+		s.unqueue(aged)
+		s.record(Decision{At: now, Kernel: aged.spec.Name, Action: "dequeue", Partner: running.spec.Name, Reason: "aged"})
+		if err := s.launchCorun(now, running, aged); err != nil {
+			s.requeueFront(aged)
+		}
+		return
+	}
 	for i, cand := range s.queue {
-		if s.corunProfiles(running.prof, cand.prof) {
+		if s.corunEligible(cand) && s.corunProfiles(running.prof, cand.prof) {
 			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			cand.queued = false
 			s.record(Decision{At: now, Kernel: cand.spec.Name, Action: "dequeue", Partner: running.spec.Name})
 			if err := s.launchCorun(now, running, cand); err != nil {
 				// Could not corun after all; put it back at the front.
-				s.queue = append([]*entry{cand}, s.queue...)
+				s.requeueFront(cand)
 			}
 			return
 		}
 	}
+}
+
+// requeueFront reinserts an entry at the head of the queue, preserving its
+// original aging clock.
+func (s *Scheduler) requeueFront(en *entry) {
+	en.queued = true
+	s.queue = append([]*entry{en}, s.queue...)
 }
 
 // onComplete handles a kernel's completion: notify the owner, grow the
@@ -220,18 +296,27 @@ func (s *Scheduler) onComplete(now vtime.Time, done *entry) {
 			break
 		}
 	}
+	s.unwatch(done)
 	lo, hi := done.handle.SMRange()
 	s.record(Decision{At: now, Kernel: done.spec.Name, Action: "complete", SMLow: lo, SMHigh: hi})
 	if done.onDone != nil {
 		done.onDone(now, done.handle.Metrics())
 	}
+	s.afterDeparture(now)
+}
 
+// afterDeparture redistributes the device after a kernel leaves the running
+// set — by completion or by eviction: dequeue waiting work when the device
+// idles, otherwise let the survivors grow into the freed SMs.
+func (s *Scheduler) afterDeparture(now vtime.Time) {
 	switch len(s.running) {
 	case 0:
+		// Oldest first: the queue is arrival-ordered, so the head is the
+		// longest waiter and the aging bound holds.
 		if len(s.queue) > 0 {
 			next := s.queue[0]
 			s.queue = s.queue[1:]
-			if err := s.launchSolo(now, next); err != nil && next.onDone != nil {
+			if err := s.dispatch(now, next); err != nil && next.onDone != nil {
 				next.onDone(now, engine.Metrics{})
 			}
 		}
@@ -278,7 +363,7 @@ func abs(x int) int {
 
 func (s *Scheduler) queueHasPartner(running *entry) bool {
 	for _, cand := range s.queue {
-		if s.corunProfiles(running.prof, cand.prof) {
+		if s.corunEligible(cand) && s.corunProfiles(running.prof, cand.prof) {
 			return true
 		}
 	}

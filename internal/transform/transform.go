@@ -196,12 +196,20 @@ func RunParallel(t *Transformed, q *Queue, workers int, fn func(glob int, id ker
 // RunToCompletion repeatedly launches worker sets until the queue drains,
 // resuming the retreat flag between launches — the host-side equivalent of
 // Listing 3's dispatch-kernel loop. resize, if non-nil, is consulted before
-// each relaunch to pick the next worker count.
+// each relaunch to pick the next worker count; a negative return abandons
+// the run between launches (the executor's containment deadline), leaving
+// the result Interrupted with the resume cursor intact.
 func RunToCompletion(t *Transformed, q *Queue, workers int, resize func(launch int) int, fn func(glob int, id kern.Dim3)) RunResult {
 	total := RunResult{}
 	for launch := 0; ; launch++ {
 		if resize != nil {
-			if w := resize(launch); w > 0 {
+			w := resize(launch)
+			if w < 0 {
+				total.Interrupted = true
+				total.NextIdx = q.Progress()
+				return total
+			}
+			if w > 0 {
 				workers = w
 			}
 		}

@@ -252,6 +252,40 @@ func TestRunToCompletionSurvivesRepeatedRetreats(t *testing.T) {
 	}
 }
 
+// A negative resize return abandons the dispatch loop between launches: the
+// executor's containment deadline relies on this to stop relaunching an
+// abandoned kernel's workers.
+func TestRunToCompletionAbandonsOnNegativeResize(t *testing.T) {
+	tr := mustTransform(t, kern.D1(5000), 10)
+	q := NewQueue(tr)
+	var executed atomic.Int32
+	res := RunToCompletion(tr, q, 4,
+		func(launch int) int {
+			if launch > 0 {
+				return -1 // abandon after the first retreat
+			}
+			return 4
+		},
+		func(glob int, _ kern.Dim3) {
+			executed.Add(1)
+			if glob == 99 {
+				q.Retreat()
+			}
+		})
+	if !res.Interrupted {
+		t.Fatal("abandoned run not reported as interrupted")
+	}
+	if res.BlocksExecuted >= tr.NumBlocks {
+		t.Fatal("abandoned run executed the whole grid")
+	}
+	if q.Done() {
+		t.Fatal("queue fully drained despite abandonment")
+	}
+	if res.NextIdx != q.Progress() {
+		t.Fatalf("resume cursor %d != queue progress %d", res.NextIdx, q.Progress())
+	}
+}
+
 // Property: parallel execution over random grids/workers/task sizes touches
 // each block exactly once (the core correctness claim of the transformation
 // under concurrency).
