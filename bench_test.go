@@ -137,6 +137,30 @@ func BenchmarkFig7Pairings(b *testing.B) {
 	}
 }
 
+// fig7Cold runs the full Fig. 7 sweep on a fresh harness each iteration, so
+// the benchmark measures the cold-cache cost the CLI user pays. Comparing
+// the Serial and Parallel variants gives the worker-pool speedup on this
+// machine (bounded above by GOMAXPROCS).
+func fig7Cold(b *testing.B, parallel int) {
+	for i := 0; i < b.N; i++ {
+		fresh := harness.New(harness.Config{LoopSeconds: 1.0, Parallel: parallel})
+		r, err := fresh.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.SlateVsMPS, "vs-MPS-mean")
+	}
+}
+
+// BenchmarkFig7SweepColdSerial is the serial baseline for the parallel
+// harness: every cell runs in submission order on one goroutine.
+func BenchmarkFig7SweepColdSerial(b *testing.B) { fig7Cold(b, 1) }
+
+// BenchmarkFig7SweepColdParallel8 runs the same sweep on an 8-wide worker
+// pool; output is byte-identical (see harness/parallel_test.go), only the
+// wall-clock changes.
+func BenchmarkFig7SweepColdParallel8(b *testing.B) { fig7Cold(b, 8) }
+
 // BenchmarkAblations regenerates the scheduler design-choice ablation
 // (policy, split, grace variants against MPS).
 func BenchmarkAblations(b *testing.B) {

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -22,14 +23,17 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|fig1|…|fig7|ablation|staticmerge|triples|cloud|extpairs|sensitivity|faults|overload")
+	exp := flag.String("exp", "all", "experiment: all|fig1|…|fig7|ablation|staticmerge|triples|cloud|extpairs|sensitivity|faults|overload|parbench")
 	loop := flag.Float64("loop", 3.0, "solo kernel loop target in seconds (paper used ~30)")
-	seed := flag.Int64("seed", 1, "seed for the faults chaos driver (same seed = same failure sequence)")
+	seed := flag.Int64("seed", 1, "trace-model and chaos-driver seed (same seed = same tables)")
 	chaosSessions := flag.Int("chaos-sessions", 12, "hostile client sessions per faults chaos run")
 	csvDir := flag.String("csv", "", "directory to write CSV series into (optional)")
 	svgDir := flag.String("svg", "", "directory to write SVG figures into (optional)")
 	devName := flag.String("device", "titanxp", "device preset: titanxp|p100|v100|jetson")
 	profileTable := flag.String("profiles", "", "profile-table JSON: loaded if present, saved after table2")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker-pool width for experiment cells (output is byte-identical at any value; 1 = serial)")
+	benchOut := flag.String("bench-out", "BENCH_harness.json", "file the parbench experiment writes its record to")
 	flag.Parse()
 
 	var dev *gpu.Device
@@ -48,7 +52,18 @@ func main() {
 	}
 	fmt.Printf("device: %s\n\n", dev.Name)
 
-	h := harness.New(harness.Config{LoopSeconds: *loop, Dev: dev})
+	selected := strings.ToLower(*exp)
+	if selected == "parbench" {
+		// Benchmark mode: not part of -exp all, because it deliberately runs
+		// the heaviest sweep twice (cold serial, cold parallel).
+		if err := runParbench(dev, *loop, *seed, *parallel, *benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "slatebench: parbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	h := harness.New(harness.Config{LoopSeconds: *loop, Dev: dev, Seed: *seed, Parallel: *parallel})
 
 	type experiment struct {
 		name string
@@ -213,7 +228,6 @@ func main() {
 		}},
 	}
 
-	selected := strings.ToLower(*exp)
 	ran := 0
 	for _, e := range experiments {
 		if selected != "all" && selected != e.name {

@@ -3,7 +3,7 @@
 //
 // Phase A floods the virtual-time scheduler with a seeded kernel mix plus two
 // runaways — a kernel that stalls on every launch and a stale-profile kernel
-// resubmitted at 100× its calibrated grid — and drives the strike ladder
+// whose cached measurement drifted 100× from reality — and drives the ladder
 // (evict → requeue → quarantine → vanilla → abandon) to completion.
 //
 // Phase B floods a live daemon with hostile sessions: a launch-queue flooder,
@@ -101,8 +101,8 @@ func overloadPhaseA(seed int64, res *overloadResult) error {
 		return func(vtime.Time, engine.Metrics) { res.completions[name]++ }
 	}
 
-	// Calibrate the stale-profile runaway: a small grid caches an optimistic
-	// solo time under its name.
+	// Calibrate the stale-profile runaway: the measurement the drift below
+	// will invalidate.
 	if err := s.Submit(oComputeK("stale", 2400), 10, track("stale-cal")); err != nil {
 		return err
 	}
@@ -129,9 +129,17 @@ func overloadPhaseA(seed int64, res *overloadResult) error {
 	}
 	clk.After(vtime.Millisecond, restall)
 
-	// The runaway: same cached name, 100× the calibrated grid, so the
-	// watchdog budget under-predicts wildly and the overrun path fires.
-	if err := s.Submit(oComputeK("stale", 240000), 10, track("stale-big")); err != nil {
+	// The runaway: post-calibration drift. The cached profile now claims the
+	// kernel is 100× faster than it really is, so the watchdog budget
+	// under-predicts wildly and the overrun path fires. (The old trap — a
+	// 100× grid resubmitted under a cached name — no longer exists: the
+	// content-addressed profiler re-measures a changed grid.)
+	pr, err := s.Prof.Get(oComputeK("stale", 2400))
+	if err != nil {
+		return err
+	}
+	pr.SoloSec /= 100
+	if err := s.Submit(oComputeK("stale", 2400), 10, track("stale-big")); err != nil {
 		return err
 	}
 

@@ -1,0 +1,95 @@
+// Parallel-harness benchmark: runs the full Fig. 7 sweep (the heaviest
+// artifact — 15 pairings × 3 schedulers) once serially and once on the
+// worker pool, verifies the outputs are byte-identical, and records the
+// speedup to a JSON file so CI can track the trajectory across PRs.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"slate/gpu"
+	"slate/harness"
+	"slate/internal/engine"
+)
+
+// benchRecord is the schema of BENCH_harness.json.
+type benchRecord struct {
+	Experiment   string  `json:"experiment"`
+	Device       string  `json:"device"`
+	LoopSeconds  float64 `json:"loop_seconds"`
+	Seed         int64   `json:"seed"`
+	ModelVersion int     `json:"model_version"`
+	// GOMAXPROCS records how many OS threads Go could actually use: the
+	// honest ceiling on any concurrency speedup for this run.
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Parallel    int     `json:"parallel"`
+	SerialSec   float64 `json:"serial_sec"`
+	ParallelSec float64 `json:"parallel_sec"`
+	Speedup     float64 `json:"speedup"`
+	// Identical is the byte-comparison of the two runs' table+CSV output —
+	// the determinism contract, checked on every benchmark run.
+	Identical bool `json:"identical"`
+}
+
+// fig7Artifact regenerates Fig. 7 on a fresh, cold harness and returns the
+// rendered table plus CSV with the wall-clock spent.
+func fig7Artifact(dev *gpu.Device, loop float64, seed int64, parallel int) (string, float64, error) {
+	h := harness.New(harness.Config{Dev: dev, LoopSeconds: loop, Seed: seed, Parallel: parallel})
+	start := time.Now()
+	r, err := h.Fig7()
+	if err != nil {
+		return "", 0, err
+	}
+	return r.Render() + "\n" + r.CSV(), time.Since(start).Seconds(), nil
+}
+
+// runParbench executes the serial-vs-parallel comparison and writes the
+// record to benchOut. A non-identical result is an error: the parallel
+// harness's whole contract is bit-exact reproduction.
+func runParbench(dev *gpu.Device, loop float64, seed int64, parallel int, benchOut string) error {
+	if parallel < 2 {
+		parallel = 8
+	}
+	serialOut, serialSec, err := fig7Artifact(dev, loop, seed, 1)
+	if err != nil {
+		return fmt.Errorf("serial fig7: %w", err)
+	}
+	parOut, parSec, err := fig7Artifact(dev, loop, seed, parallel)
+	if err != nil {
+		return fmt.Errorf("parallel fig7: %w", err)
+	}
+	rec := benchRecord{
+		Experiment:   "fig7-sweep",
+		Device:       dev.Name,
+		LoopSeconds:  loop,
+		Seed:         seed,
+		ModelVersion: engine.ModelVersion,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Parallel:     parallel,
+		SerialSec:    serialSec,
+		ParallelSec:  parSec,
+		Identical:    serialOut == parOut,
+	}
+	if parSec > 0 {
+		rec.Speedup = serialSec / parSec
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(benchOut, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("parbench: fig7 serial %.1fs, parallel(%d) %.1fs, speedup %.2fx on GOMAXPROCS=%d, identical=%v\n",
+		serialSec, parallel, parSec, rec.Speedup, rec.GOMAXPROCS, rec.Identical)
+	fmt.Printf("wrote %s\n", benchOut)
+	if !rec.Identical {
+		return fmt.Errorf("parallel output diverged from serial — determinism contract broken")
+	}
+	return nil
+}

@@ -79,40 +79,61 @@ func (h *Harness) Ablations() (*AblationResult, error) {
 	}
 
 	res := &AblationResult{}
-	// MPS baselines per pair, computed once.
-	mpsMean := map[string]float64{}
-	for _, pc := range ablationPairs {
-		pair, err := h.pairApps(pc)
+	// MPS baselines per pair, computed once — one cell per pair.
+	np := len(ablationPairs)
+	keys := make([]string, np)
+	baseline := make([]float64, np)
+	for p, pc := range ablationPairs {
+		keys[p] = pc[0] + "-" + pc[1]
+		res.Pairs = append(res.Pairs, keys[p])
+	}
+	err := h.forEachCell(np, func(p int) error {
+		pair, err := h.pairApps(ablationPairs[p])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		key := pc[0] + "-" + pc[1]
-		res.Pairs = append(res.Pairs, key)
 		rs, err := h.runApps(MPS, pair)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		mpsMean[key] = meanAppSec(rs)
+		baseline[p] = meanAppSec(rs)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
-	for _, v := range variants {
-		av := AblationVariant{Name: v.name, Desc: v.desc, GainVsMPS: map[string]float64{}}
-		sum := 0.0
-		for _, pc := range ablationPairs {
-			pair, err := h.pairApps(pc)
-			if err != nil {
-				return nil, err
-			}
-			key := pc[0] + "-" + pc[1]
-			mean, err := h.runSlateVariant(pair, v.mut)
-			if err != nil {
-				return nil, fmt.Errorf("ablation %s on %s: %w", v.name, key, err)
-			}
-			gain := mpsMean[key]/mean - 1
-			av.GainVsMPS[key] = gain
-			sum += gain
+	// Variant × pair matrix: every combination is an independent cell (each
+	// builds its own mutated daemon); the gain maps and means assemble
+	// afterwards in declaration order.
+	gains := make([][]float64, len(variants))
+	for v := range variants {
+		gains[v] = make([]float64, np)
+	}
+	err = h.forEachCell(len(variants)*np, func(c int) error {
+		v, p := c/np, c%np
+		pair, err := h.pairApps(ablationPairs[p])
+		if err != nil {
+			return err
 		}
-		av.Mean = sum / float64(len(ablationPairs))
+		mean, err := h.runSlateVariant(pair, variants[v].mut)
+		if err != nil {
+			return fmt.Errorf("ablation %s on %s: %w", variants[v].name, keys[p], err)
+		}
+		gains[v][p] = baseline[p]/mean - 1
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for v, vd := range variants {
+		av := AblationVariant{Name: vd.name, Desc: vd.desc, GainVsMPS: map[string]float64{}}
+		sum := 0.0
+		for p := range ablationPairs {
+			av.GainVsMPS[keys[p]] = gains[v][p]
+			sum += gains[v][p]
+		}
+		av.Mean = sum / float64(np)
 		res.Variants = append(res.Variants, av)
 	}
 	return res, nil
@@ -142,10 +163,7 @@ func (h *Harness) runSlateVariant(apps []*workloads.App, mut mutator) (float64, 
 		jobs[i] = run.Job{App: app, Reps: run.Reps30s(solo, h.Loop)}
 	}
 	clk := vtime.NewClock()
-	sim := daemon.NewSim(h.Dev, clk, h.Model)
-	scale := h.Loop / 30.0
-	sim.Costs.InjectSeconds *= scale
-	sim.Costs.CompileSeconds *= scale
+	sim := h.newSlateSim(clk)
 	mut(sim)
 	rs, err := run.NewDriver(clk, sim).Run(jobs)
 	if err != nil {

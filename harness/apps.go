@@ -71,28 +71,31 @@ func (h *Harness) newBackend(s Sched, clk *vtime.Clock) (run.Backend, error) {
 	case MPS:
 		return mps.New(h.Dev, clk, h.Model), nil
 	case Slate:
-		sim := daemon.NewSim(h.Dev, clk, h.Model)
-		// One-time injection/compilation costs are defined relative to the
-		// paper's ~30 s loop methodology; scale them with the configured
-		// loop length so shortened runs keep the measured overhead
-		// fractions (~1.5% of application time).
-		scale := h.Loop / 30.0
-		sim.Costs.InjectSeconds *= scale
-		sim.Costs.CompileSeconds *= scale
-		return sim, nil
+		return h.newSlateSim(clk), nil
 	default:
 		return nil, fmt.Errorf("harness: unknown scheduler %v", s)
 	}
+}
+
+// newSlateSim builds a fresh Slate daemon on the given clock, sharing the
+// harness's profiler so kernels are profiled once across all cells.
+func (h *Harness) newSlateSim(clk *vtime.Clock) *daemon.SimBackend {
+	sim := daemon.NewSimWith(h.Dev, clk, h.Model, h.Prof)
+	// One-time injection/compilation costs are defined relative to the
+	// paper's ~30 s loop methodology; scale them with the configured
+	// loop length so shortened runs keep the measured overhead
+	// fractions (~1.5% of application time).
+	scale := h.Loop / 30.0
+	sim.Costs.InjectSeconds *= scale
+	sim.Costs.CompileSeconds *= scale
+	return sim
 }
 
 // runSlateWithDecisions runs jobs under a fresh Slate daemon and returns
 // both results and the scheduler's decision log.
 func (h *Harness) runSlateWithDecisions(jobs []run.Job) ([]run.Result, []sched.Decision, error) {
 	clk := vtime.NewClock()
-	sim := daemon.NewSim(h.Dev, clk, h.Model)
-	scale := h.Loop / 30.0
-	sim.Costs.InjectSeconds *= scale
-	sim.Costs.CompileSeconds *= scale
+	sim := h.newSlateSim(clk)
 	rs, err := run.NewDriver(clk, sim).Run(jobs)
 	if err != nil {
 		return nil, nil, err

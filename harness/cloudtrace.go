@@ -66,38 +66,49 @@ func (h *Harness) CloudTrace(cfg CloudTraceConfig) (*CloudTraceResult, error) {
 	}
 
 	// Solo app times (exclusive machine) for normalization: measured once
-	// per code under CUDA with a single job.
-	soloApp := map[string]float64{}
-	for _, code := range codes {
-		app, err := workloads.ByCode(code)
+	// per code under CUDA with a single job — one cell per code.
+	soloAppByCode := make([]float64, len(codes))
+	err := h.forEachCell(len(codes), func(ci int) error {
+		app, err := workloads.ByCode(codes[ci])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		solo, err := h.soloKernelSec(app.Kernel)
-		if err != nil {
-			return nil, err
+		if _, err := h.soloKernelSec(app.Kernel); err != nil {
+			return err
 		}
 		rs, err := h.runApps(CUDA, []*workloads.App{app})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		_ = solo
-		soloApp[code] = rs[0].AppSec()
+		soloAppByCode[ci] = rs[0].AppSec()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	soloApp := map[string]float64{}
+	for ci, code := range codes {
+		soloApp[code] = soloAppByCode[ci]
 	}
 
-	for _, s := range Scheds() {
+	// One cell per scheduler; each builds its own fresh app instances and
+	// jobs, so nothing mutable crosses cells.
+	scheds := Scheds()
+	err = h.forEachCell(len(scheds), func(si int) error {
+		s := scheds[si]
 		jobs := make([]run.Job, len(specs))
 		for i, js := range specs {
 			app, err := workloads.ByCode(js.code)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			solo, err := h.soloKernelSec(app.Kernel)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			// Distinct instance names per job so repeated codes behave as
-			// separate clients; "@" keeps the shared locality cache.
+			// separate clients; the content-addressed caches keep sharing
+			// their locality and solo measurements.
 			app.Kernel.Name = fmt.Sprintf("%s@%d", app.Kernel.Name, i)
 			jobs[i] = run.Job{
 				App:           app,
@@ -107,7 +118,7 @@ func (h *Harness) CloudTrace(cfg CloudTraceConfig) (*CloudTraceResult, error) {
 		}
 		rs, err := h.runJobs(s, jobs)
 		if err != nil {
-			return nil, fmt.Errorf("cloud trace under %v: %w", s, err)
+			return fmt.Errorf("cloud trace under %v: %w", s, err)
 		}
 		var antt, stp, makespan float64
 		ntts := make([]float64, 0, len(rs))
@@ -115,7 +126,7 @@ func (h *Harness) CloudTrace(cfg CloudTraceConfig) (*CloudTraceResult, error) {
 			turn := r.AppSec()
 			solo := soloApp[specs[i].code]
 			if solo <= 0 || turn <= 0 {
-				return nil, fmt.Errorf("cloud trace: degenerate times for %s", r.Code)
+				return fmt.Errorf("cloud trace: degenerate times for %s", r.Code)
 			}
 			ntt := turn / solo
 			ntts = append(ntts, ntt)
@@ -130,6 +141,10 @@ func (h *Harness) CloudTrace(cfg CloudTraceConfig) (*CloudTraceResult, error) {
 		res.MakespanSec[s] = makespan
 		sort.Float64s(ntts)
 		res.P95NTT[s] = ntts[(len(ntts)*95+99)/100-1]
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

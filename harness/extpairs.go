@@ -35,16 +35,19 @@ var extendedPairs = [][2]string{
 }
 
 // ExtendedPairs runs the extended pairings under the three schedulers.
+// Each pairing is an independent cell (three scheduler runs plus a
+// decision-log run inside).
 func (h *Harness) ExtendedPairs() (*ExtendedPairsResult, error) {
-	res := &ExtendedPairsResult{}
-	for _, pc := range extendedPairs {
+	res := &ExtendedPairsResult{Rows: make([]ExtPairRow, len(extendedPairs))}
+	err := h.forEachCell(len(extendedPairs), func(p int) error {
+		pc := extendedPairs[p]
 		a, err := workloads.ByCode(pc[0])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		b, err := workloads.ByCode(pc[1])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if pc[0] == pc[1] {
 			b.Kernel.Name = b.Kernel.Name + "@2"
@@ -54,7 +57,7 @@ func (h *Harness) ExtendedPairs() (*ExtendedPairsResult, error) {
 		for _, s := range Scheds() {
 			rs, err := h.runApps(s, []*workloads.App{a, b})
 			if err != nil {
-				return nil, fmt.Errorf("extended pair %s under %v: %w", row.Pair, s, err)
+				return fmt.Errorf("extended pair %s under %v: %w", row.Pair, s, err)
 			}
 			mean[s] = meanAppSec(rs)
 		}
@@ -66,13 +69,13 @@ func (h *Harness) ExtendedPairs() (*ExtendedPairsResult, error) {
 		for i, app := range []*workloads.App{a, b} {
 			solo, err := h.soloKernelSec(app.Kernel)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			jobs[i] = run.Job{App: app, Reps: run.Reps30s(solo, h.Loop)}
 		}
 		_, decisions, err := h.runSlateWithDecisions(jobs)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.Decided = "solo"
 		for _, d := range decisions {
@@ -81,7 +84,11 @@ func (h *Harness) ExtendedPairs() (*ExtendedPairsResult, error) {
 				break
 			}
 		}
-		res.Rows = append(res.Rows, row)
+		res.Rows[p] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

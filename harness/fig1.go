@@ -22,18 +22,24 @@ type Fig1Result struct {
 }
 
 // Fig1 sweeps the stream kernel over SM counts 1..NumSMs using Slate's
-// SM-range binding and reports achieved DRAM bandwidth.
+// SM-range binding and reports achieved DRAM bandwidth. Each SM count is
+// an independent cell on the worker pool.
 func (h *Harness) Fig1() (*Fig1Result, error) {
 	spec := workloads.Stream()
-	res := &Fig1Result{}
-	for sms := 1; sms <= h.Dev.NumSMs; sms++ {
+	res := &Fig1Result{Points: make([]Fig1Point, h.Dev.NumSMs)}
+	err := h.forEachCell(h.Dev.NumSMs, func(i int) error {
+		sms := i + 1
 		m, err := h.soloRun(spec, engine.LaunchOpts{
 			Mode: engine.SlateSched, TaskSize: 10, SMLow: 0, SMHigh: sms - 1,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Points = append(res.Points, Fig1Point{SMs: sms, BandwidthGBs: m.DRAMBW()})
+		res.Points[i] = Fig1Point{SMs: sms, BandwidthGBs: m.DRAMBW()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	final := res.Points[len(res.Points)-1].BandwidthGBs
 	for _, p := range res.Points {

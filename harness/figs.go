@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"slate/internal/engine"
-	"slate/internal/run"
 	"slate/workloads"
 )
 
@@ -22,20 +21,28 @@ type Fig5Result struct {
 }
 
 // Fig5 sweeps the task size for every application's kernel under Slate.
+// Each (application, task size) pair is an independent cell.
 func (h *Harness) Fig5() (*Fig5Result, error) {
 	res := &Fig5Result{TaskSizes: []int{1, 2, 5, 10, 20, 50}}
-	for _, app := range workloads.Apps() {
-		row := Fig5Row{Code: app.Code}
-		for _, ts := range res.TaskSizes {
-			m, err := h.soloRun(app.Kernel, engine.LaunchOpts{
-				Mode: engine.SlateSched, TaskSize: ts, SMLow: 0, SMHigh: h.Dev.NumSMs - 1,
-			})
-			if err != nil {
-				return nil, err
-			}
-			row.Seconds = append(row.Seconds, m.Duration().Seconds())
+	apps := workloads.Apps()
+	nts := len(res.TaskSizes)
+	res.Rows = make([]Fig5Row, len(apps))
+	for i, app := range apps {
+		res.Rows[i] = Fig5Row{Code: app.Code, Seconds: make([]float64, nts)}
+	}
+	err := h.forEachCell(len(apps)*nts, func(c int) error {
+		ai, ti := c/nts, c%nts
+		m, err := h.soloRun(apps[ai].Kernel, engine.LaunchOpts{
+			Mode: engine.SlateSched, TaskSize: res.TaskSizes[ti], SMLow: 0, SMHigh: h.Dev.NumSMs - 1,
+		})
+		if err != nil {
+			return err
 		}
-		res.Rows = append(res.Rows, row)
+		res.Rows[ai].Seconds[ti] = m.Duration().Seconds()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -99,22 +106,28 @@ type Fig6Result struct {
 	Rows []Fig6Row
 }
 
-// Fig6 runs every application solo under each scheduler.
+// Fig6 runs every application solo under each scheduler. Each
+// (application, scheduler) pair is an independent cell.
 func (h *Harness) Fig6() (*Fig6Result, error) {
-	res := &Fig6Result{}
-	for _, app := range workloads.Apps() {
-		for _, s := range Scheds() {
-			rs, err := h.runApps(s, []*workloads.App{app})
-			if err != nil {
-				return nil, err
-			}
-			r := rs[0]
-			res.Rows = append(res.Rows, Fig6Row{
-				Code: app.Code, Sched: s,
-				AppSec: r.AppSec(), KernelSec: r.KernelSec,
-				HostSec: r.HostSec, CommSec: r.CommSec, InjectSec: r.InjectSec,
-			})
+	apps := workloads.Apps()
+	scheds := Scheds()
+	res := &Fig6Result{Rows: make([]Fig6Row, len(apps)*len(scheds))}
+	err := h.forEachCell(len(res.Rows), func(c int) error {
+		app, s := apps[c/len(scheds)], scheds[c%len(scheds)]
+		rs, err := h.runApps(s, []*workloads.App{app})
+		if err != nil {
+			return err
 		}
+		r := rs[0]
+		res.Rows[c] = Fig6Row{
+			Code: app.Code, Sched: s,
+			AppSec: r.AppSec(), KernelSec: r.KernelSec,
+			HostSec: r.HostSec, CommSec: r.CommSec, InjectSec: r.InjectSec,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -200,28 +213,38 @@ type Fig7Result struct {
 	WorstGain float64
 }
 
-// Fig7 runs every pairing under every scheduler.
+// Fig7 runs every pairing under every scheduler. Each (pairing, scheduler)
+// combination is an independent cell — 45 on the pool — and the headline
+// aggregates (means, best/worst pair) are computed afterwards in pairing
+// order, exactly as the serial loop accumulated them.
 func (h *Harness) Fig7() (*Fig7Result, error) {
-	res := &Fig7Result{}
+	pairs := workloads.Pairs()
+	scheds := Scheds()
+	res := &Fig7Result{Rows: make([]Fig7Row, len(pairs))}
+	for p, pair := range pairs {
+		res.Rows[p].Pair = pair[0].Code + "-" + pair[1].Code
+	}
+	err := h.forEachCell(len(pairs)*len(scheds), func(c int) error {
+		p, s := c/len(scheds), scheds[c%len(scheds)]
+		rs, err := h.runApps(s, []*workloads.App{pairs[p][0], pairs[p][1]})
+		if err != nil {
+			return fmt.Errorf("pair %s under %v: %w", res.Rows[p].Pair, s, err)
+		}
+		res.Rows[p].MeanSec[s] = meanAppSec(rs)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var sumMPS, sumCUDA float64
 	res.BestGain = -1e18
 	res.WorstGain = 1e18
-	for _, pair := range workloads.Pairs() {
-		row := Fig7Row{Pair: pair[0].Code + "-" + pair[1].Code}
-		var results [3][]run.Result
-		for _, s := range Scheds() {
-			rs, err := h.runApps(s, []*workloads.App{pair[0], pair[1]})
-			if err != nil {
-				return nil, fmt.Errorf("pair %s under %v: %w", row.Pair, s, err)
-			}
-			results[s] = rs
-			row.MeanSec[s] = meanAppSec(rs)
-		}
-		for _, s := range Scheds() {
+	for p := range res.Rows {
+		row := &res.Rows[p]
+		for _, s := range scheds {
 			row.Norm[s] = row.MeanSec[s] / row.MeanSec[CUDA]
 		}
-		res.Rows = append(res.Rows, row)
-
 		gainMPS := row.MeanSec[MPS]/row.MeanSec[Slate] - 1
 		gainCUDA := row.MeanSec[CUDA]/row.MeanSec[Slate] - 1
 		sumMPS += gainMPS

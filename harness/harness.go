@@ -17,6 +17,7 @@ import (
 	"slate/internal/device"
 	"slate/internal/engine"
 	"slate/internal/kern"
+	"slate/internal/profile"
 	"slate/internal/vtime"
 )
 
@@ -28,17 +29,43 @@ type Config struct {
 	// ~30 s; the default of 3 s produces identical normalized results in a
 	// tenth of the events.
 	LoopSeconds float64
+	// Parallel bounds the worker pool running independent experiment cells
+	// (pairings × schedulers, sweep points, table rows). 0 or 1 runs
+	// serially. Output is byte-identical at every setting: cells write
+	// index-assigned slots and aggregates are computed in a serial-order
+	// post-pass, never from arrival order.
+	Parallel int
+	// Seed drives trace-assembly determinism; 0 selects the calibrated
+	// default of 1.
+	Seed int64
 }
 
-// Harness owns the shared trace-driven performance model and a solo-time
-// cache so experiments do not re-derive kernel locality.
+// Harness owns the shared trace-driven performance model, the shared
+// profiler, and a solo-time cache so experiments do not re-derive kernel
+// locality. All three caches are content-addressed (kern.Spec.Fingerprint)
+// and safe for the concurrent experiment cells the Parallel setting runs.
 type Harness struct {
 	Dev   *device.Device
 	Model *engine.TraceModel
-	Loop  float64
+	// Prof is the profiler shared by every Slate backend the harness
+	// builds; profiles are pure functions of (content, device, model), so
+	// sharing changes nothing but wall-clock.
+	Prof *profile.Profiler
+	Loop float64
+
+	par  int
+	seed int64
 
 	mu   sync.Mutex
-	solo map[string]float64 // kernel name → solo CUDA seconds per launch
+	solo map[string]*soloEntry // kernel fingerprint → solo-time slot
+}
+
+// soloEntry is one single-flight solo measurement; ready is closed once
+// sec/err are final.
+type soloEntry struct {
+	ready chan struct{}
+	sec   float64
+	err   error
 }
 
 // New builds a harness.
@@ -51,32 +78,54 @@ func New(cfg Config) *Harness {
 	if loop <= 0 {
 		loop = 3.0
 	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	model := engine.NewTraceModel(dev)
+	model.Seed = seed
 	return &Harness{
 		Dev:   dev,
-		Model: engine.NewTraceModel(dev),
+		Model: model,
+		Prof:  profile.New(dev, model),
 		Loop:  loop,
-		solo:  map[string]float64{},
+		par:   cfg.Parallel,
+		seed:  seed,
+		solo:  map[string]*soloEntry{},
 	}
 }
 
 // soloKernelSec returns one launch's solo duration under the hardware
-// scheduler, cached per kernel.
+// scheduler, cached by the spec's content fingerprint — two kernels sharing
+// a name but differing in geometry or work model get separate entries, and
+// renamed instances of one kernel share one. Concurrent callers of an
+// uncached kernel single-flight behind the first measurement.
 func (h *Harness) soloKernelSec(spec *kern.Spec) (float64, error) {
+	fp := spec.Fingerprint()
 	h.mu.Lock()
-	if s, ok := h.solo[spec.Name]; ok {
+	if e, ok := h.solo[fp]; ok {
 		h.mu.Unlock()
-		return s, nil
+		<-e.ready
+		return e.sec, e.err
 	}
+	e := &soloEntry{ready: make(chan struct{})}
+	h.solo[fp] = e
 	h.mu.Unlock()
 	m, err := h.soloRun(spec, engine.LaunchOpts{Mode: engine.HardwareSched})
 	if err != nil {
-		return 0, err
+		e.err = err
+	} else {
+		e.sec = m.Duration().Seconds()
 	}
-	sec := m.Duration().Seconds()
-	h.mu.Lock()
-	h.solo[spec.Name] = sec
-	h.mu.Unlock()
-	return sec, nil
+	close(e.ready)
+	if e.err != nil {
+		h.mu.Lock()
+		if h.solo[fp] == e {
+			delete(h.solo, fp)
+		}
+		h.mu.Unlock()
+	}
+	return e.sec, e.err
 }
 
 // soloRun executes one launch on a scratch clock.

@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// forEachCell runs fn(0) … fn(n-1) — one call per independent experiment
+// cell — on at most h.par workers, or inline when the pool is disabled.
+//
+// Determinism rules, shared by every experiment:
+//
+//   - Cells only communicate through index-assigned slots; callers
+//     pre-size result slices and compute aggregates (sums, best/worst,
+//     normalization) in a post-pass over slot order, so the output bytes
+//     are independent of cell completion order.
+//   - Every cell runs to completion even after another cell fails, and the
+//     lowest-index error is returned — the same error a serial run would
+//     surface first.
+//   - Cells must not share mutable state beyond the harness's
+//     content-addressed caches (trace model, profiler, solo times), whose
+//     values are pure functions of their keys.
+func (h *Harness) forEachCell(n int, fn func(i int) error) error {
+	workers := h.par
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

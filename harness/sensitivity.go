@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"slate/internal/device"
-	"slate/internal/engine"
 	"slate/workloads"
 )
 
@@ -25,35 +24,39 @@ type SensitivityResult struct {
 	Points []SensitivityPoint
 }
 
-// Sensitivity evaluates CorunEfficiency ∈ {0.60 … 1.00}.
+// Sensitivity evaluates CorunEfficiency ∈ {0.60 … 1.00}. Each grid point
+// is an independent cell: it builds a device-specific sub-harness (serial
+// inside the cell — the outer pool already saturates the workers) whose
+// caches are private to the point, because the modified device changes
+// every measured time.
 func (h *Harness) Sensitivity() (*SensitivityResult, error) {
 	pairs := [][2]string{{"BS", "RG"}, {"GS", "RG"}, {"RG", "TR"}}
-	res := &SensitivityResult{}
-	for _, eff := range []float64{0.60, 0.70, 0.80, 0.85, 0.90, 1.00} {
+	effs := []float64{0.60, 0.70, 0.80, 0.85, 0.90, 1.00}
+	res := &SensitivityResult{Points: make([]SensitivityPoint, len(effs))}
+	err := h.forEachCell(len(effs), func(i int) error {
+		eff := effs[i]
 		dev := device.TitanXp()
 		dev.DRAM.CorunEfficiency = eff
-		// A device-specific harness shares solo caches within the point.
-		hh := &Harness{Dev: dev, Model: engine.NewTraceModel(dev), Loop: h.Loop,
-			solo: map[string]float64{}}
+		hh := New(Config{Dev: dev, LoopSeconds: h.Loop, Seed: h.seed})
 		pt := SensitivityPoint{CorunEfficiency: eff}
 		sum := 0.0
 		for _, pc := range pairs {
 			a, err := workloads.ByCode(pc[0])
 			if err != nil {
-				return nil, err
+				return err
 			}
 			b, err := workloads.ByCode(pc[1])
 			if err != nil {
-				return nil, err
+				return err
 			}
 			apps := []*workloads.App{a, b}
 			mpsRs, err := hh.runApps(MPS, apps)
 			if err != nil {
-				return nil, fmt.Errorf("sensitivity eff=%.2f: %w", eff, err)
+				return fmt.Errorf("sensitivity eff=%.2f: %w", eff, err)
 			}
 			slateRs, err := hh.runApps(Slate, apps)
 			if err != nil {
-				return nil, fmt.Errorf("sensitivity eff=%.2f: %w", eff, err)
+				return fmt.Errorf("sensitivity eff=%.2f: %w", eff, err)
 			}
 			gain := meanAppSec(mpsRs)/meanAppSec(slateRs) - 1
 			if pc[0] == "BS" && pc[1] == "RG" {
@@ -62,7 +65,11 @@ func (h *Harness) Sensitivity() (*SensitivityResult, error) {
 			sum += gain
 		}
 		pt.MeanGain = sum / float64(len(pairs))
-		res.Points = append(res.Points, pt)
+		res.Points[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -30,29 +30,31 @@ type StaticMergeResult struct {
 	Rows []StaticMergeRow
 }
 
-// StaticMerge evaluates the corunnable pairs at kernel granularity.
+// StaticMerge evaluates the corunnable pairs at kernel granularity. Each
+// pair is an independent cell; profiles come from the harness's shared
+// content-addressed profiler.
 func (h *Harness) StaticMerge() (*StaticMergeResult, error) {
 	pairs := [][2]string{{"BS", "RG"}, {"GS", "RG"}, {"MM", "RG"}, {"TR", "RG"}}
-	prof := profile.New(h.Dev, h.Model)
-	res := &StaticMergeResult{}
-	for _, pc := range pairs {
+	res := &StaticMergeResult{Rows: make([]StaticMergeRow, len(pairs))}
+	err := h.forEachCell(len(pairs), func(p int) error {
+		pc := pairs[p]
 		a, err := workloads.ByCode(pc[0])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		b, err := workloads.ByCode(pc[1])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := StaticMergeRow{Pair: pc[0] + "-" + pc[1]}
 
 		soloA, err := h.soloKernelSec(a.Kernel)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		soloB, err := h.soloKernelSec(b.Kernel)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.SerialSec = soloA + soloB
 
@@ -60,26 +62,30 @@ func (h *Harness) StaticMerge() (*StaticMergeResult, error) {
 		half := h.Dev.NumSMs / 2
 		merged, err := h.corunMakespan(a, b, half, false, nil)
 		if err != nil {
-			return nil, fmt.Errorf("static merge %s: %w", row.Pair, err)
+			return fmt.Errorf("static merge %s: %w", row.Pair, err)
 		}
 		row.MergedSec = merged
 
 		// Slate: measured-scaling split + grow on completion.
-		pa, err := prof.Get(a.Kernel)
+		pa, err := h.Prof.Get(a.Kernel)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		pb, err := prof.Get(b.Kernel)
+		pb, err := h.Prof.Get(b.Kernel)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		split := bestSplit(h.Dev.NumSMs, pa, pb)
 		slate, err := h.corunMakespan(a, b, split, true, nil)
 		if err != nil {
-			return nil, fmt.Errorf("slate corun %s: %w", row.Pair, err)
+			return fmt.Errorf("slate corun %s: %w", row.Pair, err)
 		}
 		row.SlateSec = slate
-		res.Rows = append(res.Rows, row)
+		res.Rows[p] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

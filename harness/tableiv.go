@@ -34,10 +34,12 @@ func (h *Harness) TableIV() (*TableIVResult, error) {
 	}
 	res := &TableIVResult{}
 	var mean [2]float64
-	for i, s := range []Sched{MPS, Slate} {
+	scheds := []Sched{MPS, Slate}
+	err = h.forEachCell(len(scheds), func(i int) error {
+		s := scheds[i]
 		rs, err := h.runApps(s, []*workloads.App{bs, rg})
 		if err != nil {
-			return nil, fmt.Errorf("BS-RG under %v: %w", s, err)
+			return fmt.Errorf("BS-RG under %v: %w", s, err)
 		}
 		makespan := 0.0
 		var l2, instr float64
@@ -54,6 +56,10 @@ func (h *Harness) TableIV() (*TableIVResult, error) {
 		}
 		res.LoadStoreM[i] = l2 / 128 / 1e6
 		mean[i] = meanAppSec(rs)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if mean[1] > 0 {
 		res.ThroughputGain = mean[0]/mean[1] - 1

@@ -34,16 +34,27 @@ var paperTableII = map[string][2]float64{
 }
 
 // TableII profiles the five applications solo under the hardware scheduler,
-// exactly as the paper collected them with nvprof.
+// exactly as the paper collected them with nvprof, using the harness's
+// shared profiler.
 func (h *Harness) TableII() (*TableIIResult, error) {
-	return h.TableIIWith(profile.New(h.Dev, h.Model))
+	return h.TableIIWith(h.Prof)
 }
 
 // TableIIWith runs Table II against a caller-supplied profiler — e.g. one
-// preloaded from a persisted profile table (Table V's "offline" row).
+// preloaded from a persisted profile table (Table V's "offline" row). Each
+// application profiles as an independent cell; the rows assemble afterwards
+// in application order from the now-warm cache.
 func (h *Harness) TableIIWith(prof *profile.Profiler) (*TableIIResult, error) {
+	apps := workloads.Apps()
+	err := h.forEachCell(len(apps), func(i int) error {
+		_, err := prof.Get(apps[i].Kernel)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &TableIIResult{}
-	for _, app := range workloads.Apps() {
+	for _, app := range apps {
 		p, err := prof.Get(app.Kernel)
 		if err != nil {
 			return nil, err
@@ -110,21 +121,27 @@ type TableIIIResult struct {
 	ClockHz     float64
 }
 
-// TableIII runs GS solo under both schedulers and reports the hardware
-// counters the paper contrasts.
+// TableIII runs GS solo under both schedulers — two cells — and reports
+// the hardware counters the paper contrasts.
 func (h *Harness) TableIII() (*TableIIIResult, error) {
 	spec := workloads.GS()
-	cuda, err := h.soloRun(spec, engine.LaunchOpts{Mode: engine.HardwareSched})
-	if err != nil {
-		return nil, err
+	opts := []engine.LaunchOpts{
+		{Mode: engine.HardwareSched},
+		{Mode: engine.SlateSched, TaskSize: 10, SMLow: 0, SMHigh: h.Dev.NumSMs - 1},
 	}
-	slate, err := h.soloRun(spec, engine.LaunchOpts{
-		Mode: engine.SlateSched, TaskSize: 10, SMLow: 0, SMHigh: h.Dev.NumSMs - 1,
+	var ms [2]engine.Metrics
+	err := h.forEachCell(len(opts), func(i int) error {
+		m, err := h.soloRun(spec, opts[i])
+		if err != nil {
+			return err
+		}
+		ms[i] = m
+		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &TableIIIResult{CUDA: cuda, Slate: slate, ClockHz: h.Dev.SM.ClockHz}, nil
+	return &TableIIIResult{CUDA: ms[0], Slate: ms[1], ClockHz: h.Dev.SM.ClockHz}, nil
 }
 
 // Render prints the CUDA/Slate/Δ% rows of Table III.

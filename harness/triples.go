@@ -3,7 +3,6 @@ package harness
 import (
 	"fmt"
 
-	"slate/internal/daemon"
 	"slate/internal/run"
 	"slate/internal/vtime"
 	"slate/workloads"
@@ -34,18 +33,21 @@ func (h *Harness) Triples() (*TriplesResult, error) {
 		{"GS", "RG", "BS"}, // the two flagship corun partners together
 		{"MM", "RG", "TR"}, // compute + low + bandwidth
 	}
-	res := &TriplesResult{}
-	var sum float64
-	for _, mix := range mixes {
+	// Each mix is an independent cell; the cross-mix mean is a post-pass.
+	res := &TriplesResult{Rows: make([]TripleRow, len(mixes))}
+	err := h.forEachCell(len(mixes), func(mi int) error {
+		mix := mixes[mi]
 		apps := make([]*workloads.App, 3)
 		names := ""
 		for i, code := range mix {
 			app, err := workloads.ByCode(code)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			// Distinct kernel names for self-repeats so the scheduler and
-			// engine treat them as separate clients' kernels.
+			// engine treat them as separate clients' kernels; the
+			// content-addressed caches still share their locality and solo
+			// measurements.
 			if i > 0 {
 				app.Kernel.Name = fmt.Sprintf("%s#%d", app.Kernel.Name, i)
 			}
@@ -61,7 +63,7 @@ func (h *Harness) Triples() (*TriplesResult, error) {
 		for i, app := range apps {
 			solo, err := h.soloKernelSec(app.Kernel)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			jobs[i] = run.Job{App: app, Reps: run.Reps30s(solo, h.Loop)}
 		}
@@ -69,21 +71,18 @@ func (h *Harness) Triples() (*TriplesResult, error) {
 		for _, s := range []Sched{CUDA, MPS} {
 			rs, err := h.runApps(s, apps)
 			if err != nil {
-				return nil, fmt.Errorf("triple %s under %v: %w", names, s, err)
+				return fmt.Errorf("triple %s under %v: %w", names, s, err)
 			}
 			row.MeanSec[s] = meanAppSec(rs)
 		}
 
 		// Slate with 3-way sharing enabled.
 		clk := vtime.NewClock()
-		sim := daemon.NewSim(h.Dev, clk, h.Model)
+		sim := h.newSlateSim(clk)
 		sim.Sched.MaxConcurrent = 3
-		scale := h.Loop / 30.0
-		sim.Costs.InjectSeconds *= scale
-		sim.Costs.CompileSeconds *= scale
 		rs, err := run.NewDriver(clk, sim).Run(jobs)
 		if err != nil {
-			return nil, fmt.Errorf("triple %s under slate: %w", names, err)
+			return fmt.Errorf("triple %s under slate: %w", names, err)
 		}
 		row.MeanSec[Slate] = meanAppSec(rs)
 		for _, d := range sim.Sched.Decisions() {
@@ -91,8 +90,15 @@ func (h *Harness) Triples() (*TriplesResult, error) {
 				row.Coruns3++
 			}
 		}
+		res.Rows[mi] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sum float64
+	for _, row := range res.Rows {
 		sum += row.MeanSec[MPS]/row.MeanSec[Slate] - 1
-		res.Rows = append(res.Rows, row)
 	}
 	res.SlateVsMPS = sum / float64(len(res.Rows))
 	return res, nil

@@ -188,9 +188,18 @@ func TestSimBackendIterativeApplication(t *testing.T) {
 	if rs[1].Launches != 40 {
 		t.Fatalf("partner launched %d of 40", rs[1].Launches)
 	}
-	// Every sequence kernel was profiled exactly once.
-	if got := b.Prof.Len(); got < len(seq) {
-		t.Fatalf("profiled %d kernels, want ≥%d", got, len(seq))
+	// Every distinct kernel content was profiled exactly once: the profiler
+	// is content-addressed, so sequence steps sharing geometry and work
+	// reuse one measurement instead of re-measuring per step name.
+	uniq := map[string]bool{}
+	for _, s := range seq {
+		uniq[s.Fingerprint()] = true
+	}
+	if got := b.Prof.Len(); got < len(uniq) {
+		t.Fatalf("profiled %d kernel contents, want ≥%d", got, len(uniq))
+	}
+	if got := b.Prof.Len(); got > len(seq)+1 {
+		t.Fatalf("profiled %d kernel contents, want ≤%d (sequence + partner)", got, len(seq)+1)
 	}
 }
 

@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"strings"
 	"sync"
 
 	"slate/internal/cache"
@@ -9,6 +8,13 @@ import (
 	"slate/internal/kern"
 	"slate/internal/traces"
 )
+
+// ModelVersion identifies the generation of the trace-driven locality model.
+// It participates in every content-addressed cache key that outlives a
+// single model instance (persisted profile tables): bump it whenever trace
+// assembly, the cache simulation, or the run statistics change meaning, so
+// results cached under an older model are never mistaken for current ones.
+const ModelVersion = 1
 
 // StaticModel is a PerfModel returning fixed parameters, for tests and for
 // kernels whose locality is known analytically. Per-kernel overrides are
@@ -66,25 +72,39 @@ func (m *StaticModel) MeanRunBytes(spec *kern.Spec, mode Mode, taskSize int) flo
 // synthetic address trace (kern.Spec.Pattern) through the cache simulator:
 // a miss-ratio curve sampled at geometric capacities yields HitRate under
 // L2 partitioning, and first-touch run statistics yield MeanRunBytes.
-// Results are memoized per (kernel, mode, taskSize).
+//
+// Results are memoized per (content fingerprint, mode, taskSize), so any
+// number of kernel instances — or renamed copies — with identical geometry
+// and work model share one entry. The model is safe for concurrent use:
+// distinct entries build in parallel (each build touches only its own trace
+// and cache simulator), while concurrent requests for the same key
+// single-flight behind the first builder.
 type TraceModel struct {
 	Dev *device.Device
 	// MaxAccesses caps assembled trace length (0 selects a default).
 	MaxAccesses int
 	// Seed drives trace assembly determinism.
 	Seed int64
+	// BuildWorkers bounds the goroutines simulating one entry's miss-ratio
+	// capacity points (<=1 means sequential). The points are independent
+	// simulations over a shared read-only trace, so the result is identical
+	// at any setting.
+	BuildWorkers int
 
 	mu    sync.Mutex
 	cache map[traceKey]*traceEntry
 }
 
 type traceKey struct {
-	name     string
+	fp       string
 	mode     Mode
 	taskSize int
 }
 
 type traceEntry struct {
+	// ready is closed once sizes/missRate/runBytes are final; concurrent
+	// requesters of an in-flight key block on it instead of re-building.
+	ready    chan struct{}
 	sizes    []int
 	missRate []float64
 	runBytes float64
@@ -105,32 +125,35 @@ func (m *TraceModel) entry(spec *kern.Spec, mode Mode, taskSize int) *traceEntry
 	if mode == HardwareSched {
 		taskSize = 1 // irrelevant under hardware scheduling
 	}
-	// "@" separates a kernel's base name from an instance suffix (the
-	// multi-tenant harness runs many instances of one kernel); instances
-	// share locality parameters, so they share the memoized entry.
-	name := spec.Name
-	if i := strings.IndexByte(name, '@'); i > 0 {
-		name = name[:i]
-	}
-	key := traceKey{name, mode, taskSize}
+	// Content addressing: renamed instances of one kernel (the multi-tenant
+	// harness runs "BS@3", "RG#1", …) hash to the same fingerprint and
+	// share the memoized entry by construction.
+	key := traceKey{spec.Fingerprint(), mode, taskSize}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if e, ok := m.cache[key]; ok {
+		m.mu.Unlock()
+		<-e.ready
 		return e
 	}
-	e := m.build(spec, mode, taskSize)
+	e := &traceEntry{ready: make(chan struct{})}
 	m.cache[key] = e
+	m.mu.Unlock()
+	// Build outside the map lock so distinct keys build concurrently — the
+	// trace simulations dominate harness wall-clock.
+	m.build(spec, mode, taskSize, e)
+	close(e.ready)
 	return e
 }
 
-func (m *TraceModel) build(spec *kern.Spec, mode Mode, taskSize int) *traceEntry {
+func (m *TraceModel) build(spec *kern.Spec, mode Mode, taskSize int, e *traceEntry) {
 	p := spec.Pattern
 	if p == nil {
 		// No pattern: pure streaming with block-sized private chunks.
 		bytesPerBlock := int(spec.L2BytesPerBlock)
 		if bytesPerBlock < 64 {
 			// Effectively no memory traffic; locality irrelevant.
-			return &traceEntry{sizes: mrcSizes, missRate: ones(len(mrcSizes)), runBytes: 64}
+			e.sizes, e.missRate, e.runBytes = mrcSizes, ones(len(mrcSizes)), 64
+			return
 		}
 		blocks := spec.NumBlocks()
 		if blocks > 4096 {
@@ -159,16 +182,38 @@ func (m *TraceModel) build(spec *kern.Spec, mode Mode, taskSize int) *traceEntry
 		MaxAccesses: m.maxAccesses(),
 	}
 	trace := traces.Assemble(p, acfg)
-	e := &traceEntry{sizes: mrcSizes, missRate: make([]float64, len(mrcSizes))}
-	for i, sz := range mrcSizes {
+	e.sizes = mrcSizes
+	e.missRate = make([]float64, len(mrcSizes))
+	simAt := func(i int) {
 		cfg := m.Dev.L2
-		cfg.SizeBytes = sz
+		cfg.SizeBytes = mrcSizes[i]
 		cfg.Sets = 0
 		st := cache.SimulateTrace(cfg, trace)
 		e.missRate[i] = st.MissRate()
 	}
+	if bw := m.BuildWorkers; bw > 1 {
+		// Each capacity point simulates the shared read-only trace through
+		// its own cache instance and writes a disjoint slot.
+		if bw > len(mrcSizes) {
+			bw = len(mrcSizes)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < bw; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(mrcSizes); i += bw {
+					simAt(i)
+				}
+			}(w)
+		}
+		wg.Wait()
+	} else {
+		for i := range mrcSizes {
+			simAt(i)
+		}
+	}
 	e.runBytes = traces.StreamRunStats(p, acfg).MeanRunBytes
-	return e
 }
 
 func (m *TraceModel) maxAccesses() int {

@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"slate/internal/device"
+)
+
+// TestTraceModelConcurrentSharedUse hammers one model from many goroutines
+// over a mix of duplicate and distinct keys; run with -race this verifies
+// the single-flight entry construction, and the collected values must all
+// match a serially computed reference.
+func TestTraceModelConcurrentSharedUse(t *testing.T) {
+	ref := NewTraceModel(device.TitanXp())
+	spec := traceSpec("conc")
+	type q struct {
+		mode Mode
+		ts   int
+		l2   float64
+	}
+	queries := []q{
+		{HardwareSched, 1, 1 << 20},
+		{SlateSched, 1, 1 << 20},
+		{SlateSched, 10, 1 << 20},
+		{SlateSched, 10, 3 << 20},
+		{SlateSched, 50, 512 << 10},
+	}
+	want := make([]float64, len(queries))
+	for i, c := range queries {
+		want[i] = ref.HitRate(spec, c.mode, c.ts, c.l2)
+	}
+
+	m := NewTraceModel(device.TitanXp())
+	const goroutines = 8
+	got := make([][]float64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got[g] = make([]float64, len(queries))
+			for i, c := range queries {
+				// Renamed instance specs must share entries by content.
+				s := traceSpec("conc@inst")
+				got[g][i] = m.HitRate(s, c.mode, c.ts, c.l2)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := range got {
+		for i := range queries {
+			if got[g][i] != want[i] {
+				t.Fatalf("goroutine %d query %d: got %v, want %v", g, i, got[g][i], want[i])
+			}
+		}
+	}
+}
+
+// TestTraceModelBuildWorkersBitIdentical verifies the MRC fan-out produces
+// exactly the sequential result.
+func TestTraceModelBuildWorkersBitIdentical(t *testing.T) {
+	seq := NewTraceModel(device.TitanXp())
+	par := NewTraceModel(device.TitanXp())
+	par.BuildWorkers = 4
+	spec := traceSpec("bw")
+	for _, l2 := range []float64{64 << 10, 700 << 10, 3 << 20, 6 << 20} {
+		a := seq.HitRate(spec, SlateSched, 10, l2)
+		b := par.HitRate(spec, SlateSched, 10, l2)
+		if a != b {
+			t.Fatalf("l2=%v: sequential %v != fanned-out %v", l2, a, b)
+		}
+	}
+	if a, b := seq.MeanRunBytes(spec, SlateSched, 10), par.MeanRunBytes(spec, SlateSched, 10); a != b {
+		t.Fatalf("run bytes differ: %v vs %v", a, b)
+	}
+}

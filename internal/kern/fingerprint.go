@@ -1,0 +1,36 @@
+package kern
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Fingerprint returns a stable content hash of everything that determines
+// the kernel's simulated behaviour: geometry, resource shape, work model,
+// and access pattern. Name and Exec are deliberately excluded — Name is a
+// client-visible label (the harness rewrites it to run several instances of
+// one kernel), and Exec carries semantics the performance engine never
+// consults. Two specs with equal fingerprints are interchangeable to the
+// trace model, the profiler, and the solo-time cache, so all three key
+// their memoization on it.
+//
+// The hash is computed once per Spec and cached; callers may invoke it
+// concurrently.
+func (s *Spec) Fingerprint() string {
+	s.fpOnce.Do(func() {
+		h := fnv.New64a()
+		// %#v of the Pattern prints the concrete type and every field as a
+		// Go literal — deterministic for the plain value structs the trace
+		// generators use, and it distinguishes pattern types that happen to
+		// share field values.
+		fmt.Fprintf(h, "g=%d,%d,%d b=%d,%d,%d r=%d sm=%d fl=%g in=%g l2=%g ce=%g mlp=%g me=%g op=%g pat=%#v",
+			s.Grid.X, s.Grid.Y, s.Grid.Z,
+			s.BlockDim.X, s.BlockDim.Y, s.BlockDim.Z,
+			s.RegsPerThread, s.SharedMemBytes,
+			s.FLOPsPerBlock, s.InstrPerBlock, s.L2BytesPerBlock,
+			s.ComputeEff, s.MemMLP, s.MemEff, s.OpsPerBlock,
+			s.Pattern)
+		s.fp = fmt.Sprintf("%016x", h.Sum64())
+	})
+	return s.fp
+}

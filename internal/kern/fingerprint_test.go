@@ -1,0 +1,68 @@
+package kern
+
+import (
+	"sync"
+	"testing"
+
+	"slate/internal/traces"
+)
+
+func fpSpec(name string) *Spec {
+	return &Spec{
+		Name: name, Grid: D1(1024), BlockDim: D1(128),
+		RegsPerThread: 32, SharedMemBytes: 4096,
+		FLOPsPerBlock: 1e4, InstrPerBlock: 2e4, L2BytesPerBlock: 1 << 16,
+		ComputeEff: 0.5, MemMLP: 4, MemEff: 0.9,
+		Pattern: traces.Streaming{Blocks: 1024, BytesPerBlock: 1 << 16, LineBytes: 64},
+	}
+}
+
+func TestFingerprintIgnoresNameAndExec(t *testing.T) {
+	a := fpSpec("alpha")
+	b := fpSpec("beta@7")
+	b.Exec = func(int) {}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("same content, different fingerprints: %s vs %s", a.Fingerprint(), b.Fingerprint())
+	}
+}
+
+func TestFingerprintSeparatesContent(t *testing.T) {
+	base := fpSpec("k")
+	variants := []*Spec{
+		fpSpec("k"), fpSpec("k"), fpSpec("k"), fpSpec("k"), fpSpec("k"), fpSpec("k"),
+	}
+	variants[0].Grid = D1(2048)
+	variants[1].BlockDim = D1(256)
+	variants[2].L2BytesPerBlock = 1 << 17
+	variants[3].ComputeEff = 0.25
+	variants[4].Pattern = traces.Random{Blocks: 1024, BytesPerBlock: 1 << 16, TableBytes: 1 << 20, TableReads: 64, LineBytes: 64}
+	variants[5].Pattern = nil
+	for i, v := range variants {
+		if v.Fingerprint() == base.Fingerprint() {
+			t.Errorf("variant %d: changed content, same fingerprint", i)
+		}
+	}
+}
+
+func TestFingerprintStableAndConcurrent(t *testing.T) {
+	s := fpSpec("k")
+	want := s.Fingerprint()
+	var wg sync.WaitGroup
+	got := make([]string, 16)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = s.Fingerprint()
+		}(i)
+	}
+	wg.Wait()
+	for i, g := range got {
+		if g != want {
+			t.Fatalf("goroutine %d got %s, want %s", i, g, want)
+		}
+	}
+	if fresh := fpSpec("k").Fingerprint(); fresh != want {
+		t.Fatalf("fresh identical spec fingerprints to %s, want %s", fresh, want)
+	}
+}

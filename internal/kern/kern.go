@@ -7,6 +7,7 @@ package kern
 
 import (
 	"fmt"
+	"sync"
 
 	"slate/internal/smsim"
 	"slate/internal/traces"
@@ -80,6 +81,13 @@ type Spec struct {
 	// index. Used by correctness tests and the example applications; the
 	// performance engine never calls it.
 	Exec func(block int)
+
+	// Fingerprint memoization. Content fields above are immutable after
+	// construction (only Name is ever rewritten, for multi-instance runs),
+	// so the hash is computed once. The embedded Once also makes `go vet`
+	// reject value copies of Spec, which would break identity caching.
+	fpOnce sync.Once
+	fp     string
 }
 
 // Validate reports descriptor errors.

@@ -1,0 +1,115 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"slate/internal/engine"
+)
+
+// Renamed instances of one kernel must share a single measurement — the
+// cache is keyed by content, not by name.
+func TestGetSharesByContent(t *testing.T) {
+	p := newProfiler()
+	a, err := p.Get(testSpec("base", 240, 1e7, 1e4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Get(testSpec("base@3", 240, 1e7, 1e4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("identical content under two names measured twice")
+	}
+	if p.Len() != 1 {
+		t.Fatalf("table has %d entries, want 1", p.Len())
+	}
+	// Same name, different content must NOT share.
+	c, err := p.Get(testSpec("base", 480, 1e7, 1e4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("different content under one name shared a profile")
+	}
+}
+
+func TestGetConcurrentSingleFlight(t *testing.T) {
+	p := newProfiler()
+	const goroutines = 8
+	out := make([]*Profile, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			pr, err := p.Get(testSpec("cc", 240, 1e7, 1e4))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			out[g] = pr
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if out[g] != out[0] {
+			t.Fatal("concurrent Gets produced distinct profiles")
+		}
+	}
+	if p.Len() != 1 {
+		t.Fatalf("table has %d entries, want 1", p.Len())
+	}
+}
+
+// Load must refuse entries measured on another device or model generation.
+func TestLoadSkipsMismatchedEntries(t *testing.T) {
+	p := newProfiler()
+	if _, err := p.Get(testSpec("k1", 240, 1e8, 1e4)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the stamp two ways and confirm each is skipped.
+	wrongDev := strings.Replace(buf.String(), p.Dev.Name, "FakeGPU 9000", 1)
+	fresh := newProfiler()
+	if err := fresh.Load(strings.NewReader(wrongDev)); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Len() != 0 {
+		t.Fatalf("loaded %d foreign-device profiles, want 0", fresh.Len())
+	}
+	wrongVer := strings.Replace(buf.String(),
+		`"model_version": 1`, `"model_version": 999`, 1)
+	if wrongVer == buf.String() {
+		t.Fatalf("model_version stamp missing from saved table (engine.ModelVersion=%d):\n%s",
+			engine.ModelVersion, buf.String())
+	}
+	fresh2 := newProfiler()
+	if err := fresh2.Load(strings.NewReader(wrongVer)); err != nil {
+		t.Fatal(err)
+	}
+	if fresh2.Len() != 0 {
+		t.Fatalf("loaded %d stale-model profiles, want 0", fresh2.Len())
+	}
+	// The untouched table loads and serves Get without re-measuring.
+	ok := newProfiler()
+	if err := ok.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if ok.Len() != 1 {
+		t.Fatalf("loaded %d profiles, want 1", ok.Len())
+	}
+	pr, err := ok.Get(testSpec("k1@99", 240, 1e8, 1e4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Kernel != "k1" {
+		t.Fatalf("loaded entry not served for renamed instance: got %q", pr.Kernel)
+	}
+}

@@ -25,6 +25,15 @@ const ScalingSMs = 10
 // Profile is one kernel's cached measurement.
 type Profile struct {
 	Kernel string `json:"kernel"`
+	// Fingerprint is the content identity (kern.Spec.Fingerprint) of the
+	// measured spec — the cache key. Persisted so a loaded table keeps
+	// serving renamed instances of the same kernel.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Device and ModelVersion stamp the measurement context; Load discards
+	// entries from a different device or model generation rather than
+	// serving stale numbers.
+	Device       string `json:"device,omitempty"`
+	ModelVersion int    `json:"model_version,omitempty"`
 	// Solo full-device counters (the Table II columns).
 	GFLOPS   float64 `json:"gflops"`
 	AccessBW float64 `json:"access_gbs"`
@@ -53,15 +62,36 @@ func (p *Profile) SpeedAt(s int) float64 {
 	return v
 }
 
-// Profiler measures kernels on a scratch simulation and caches results.
-// It is safe for concurrent use.
+// Profiler measures kernels on a scratch simulation and caches results by
+// content fingerprint, so renamed instances of one kernel share a single
+// measurement. It is safe for concurrent use: distinct kernels measure in
+// parallel while concurrent requests for one kernel single-flight behind
+// the first measurer.
 type Profiler struct {
 	Dev   *device.Device
 	Model engine.PerfModel
 	Th    policy.Thresholds
 
 	mu    sync.Mutex
-	table map[string]*Profile
+	table map[string]*profEntry // fingerprint → entry
+}
+
+// profEntry is one single-flight measurement slot; ready is closed once
+// p/err are final.
+type profEntry struct {
+	ready chan struct{}
+	p     *Profile
+	err   error
+}
+
+// done reports whether the entry has finished measuring, without blocking.
+func (e *profEntry) done() bool {
+	select {
+	case <-e.ready:
+		return true
+	default:
+		return false
+	}
 }
 
 // New constructs a profiler for the device using the given performance
@@ -71,43 +101,67 @@ func New(dev *device.Device, model engine.PerfModel) *Profiler {
 		Dev:   dev,
 		Model: model,
 		Th:    policy.DefaultThresholds(),
-		table: map[string]*Profile{},
+		table: map[string]*profEntry{},
 	}
 }
 
 // Get returns the cached profile for spec, measuring it on first request —
 // the paper's "profiles kernels at their first time run".
 func (p *Profiler) Get(spec *kern.Spec) (*Profile, error) {
+	fp := spec.Fingerprint()
 	p.mu.Lock()
-	if pr, ok := p.table[spec.Name]; ok {
+	if e, ok := p.table[fp]; ok {
 		p.mu.Unlock()
-		return pr, nil
+		<-e.ready
+		return e.p, e.err
 	}
+	e := &profEntry{ready: make(chan struct{})}
+	p.table[fp] = e
 	p.mu.Unlock()
 
-	pr, err := p.measure(spec)
-	if err != nil {
-		return nil, err
+	e.p, e.err = p.measure(spec)
+	if e.p != nil {
+		e.p.Fingerprint = fp
+		e.p.Device = p.Dev.Name
+		e.p.ModelVersion = engine.ModelVersion
 	}
-	p.mu.Lock()
-	p.table[spec.Name] = pr
-	p.mu.Unlock()
-	return pr, nil
+	close(e.ready)
+	if e.err != nil {
+		// Drop failed measurements so a later request may retry.
+		p.mu.Lock()
+		if p.table[fp] == e {
+			delete(p.table, fp)
+		}
+		p.mu.Unlock()
+	}
+	return e.p, e.err
 }
 
-// Lookup returns a cached profile without measuring.
+// Lookup returns a cached profile by kernel name without measuring. Names
+// are labels rather than identities (the cache is keyed by content), so
+// this scans the table; it exists for inspection and tests.
 func (p *Profiler) Lookup(name string) (*Profile, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	pr, ok := p.table[name]
-	return pr, ok
+	for _, e := range p.table {
+		if e.done() && e.p != nil && e.p.Kernel == name {
+			return e.p, true
+		}
+	}
+	return nil, false
 }
 
-// Len returns the number of cached profiles.
+// Len returns the number of completed cached profiles.
 func (p *Profiler) Len() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.table)
+	n := 0
+	for _, e := range p.table {
+		if e.done() && e.p != nil {
+			n++
+		}
+	}
+	return n
 }
 
 func (p *Profiler) measure(spec *kern.Spec) (*Profile, error) {
@@ -169,18 +223,28 @@ func (p *Profiler) run(spec *kern.Spec, opts engine.LaunchOpts) (engine.Metrics,
 	return h.Metrics(), nil
 }
 
-// Save writes the profile table as JSON — the persistent lookup table of
-// Table V's "offline" row.
+// Save writes the completed profile table as JSON keyed by fingerprint —
+// the persistent lookup table of Table V's "offline" row. Map keys are
+// emitted sorted, so the bytes are deterministic for a given table.
 func (p *Profiler) Save(w io.Writer) error {
 	p.mu.Lock()
-	defer p.mu.Unlock()
+	out := make(map[string]*Profile, len(p.table))
+	for fp, e := range p.table {
+		if e.done() && e.p != nil {
+			out[fp] = e.p
+		}
+	}
+	p.mu.Unlock()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(p.table)
+	return enc.Encode(out)
 }
 
 // Load merges a previously saved table; loaded entries satisfy Get without
-// re-measuring.
+// re-measuring. Entries stamped with a different device or model version
+// are skipped — their numbers would be wrong here — as are entries for a
+// device/version they don't declare when ours mismatches nothing (legacy
+// unstamped entries load as-is).
 func (p *Profiler) Load(r io.Reader) error {
 	var table map[string]*Profile
 	if err := json.NewDecoder(r).Decode(&table); err != nil {
@@ -189,7 +253,22 @@ func (p *Profiler) Load(r io.Reader) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for k, v := range table {
-		p.table[k] = v
+		if v == nil {
+			continue
+		}
+		if v.Device != "" && v.Device != p.Dev.Name {
+			continue
+		}
+		if v.ModelVersion != 0 && v.ModelVersion != engine.ModelVersion {
+			continue
+		}
+		key := v.Fingerprint
+		if key == "" {
+			key = k // legacy name-keyed tables
+		}
+		e := &profEntry{ready: make(chan struct{}), p: v}
+		close(e.ready)
+		p.table[key] = e
 	}
 	return nil
 }

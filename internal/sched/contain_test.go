@@ -122,9 +122,11 @@ func TestEvictedOffenderCoRunnerCompletes(t *testing.T) {
 	}
 }
 
-// A stale profile is the realistic runaway: the profiler caches by kernel
-// name, so resubmitting a 100× larger grid under a cached name gives the
-// watchdog a wildly under-predicted budget. The overrun path must ride the
+// A stale profile is the realistic runaway: a kernel whose data-dependent
+// behavior drifts far from its calibration run gives the watchdog a wildly
+// under-predicted budget. (The old trap — resubmitting a larger grid under
+// a cached name — no longer exists: the profiler is content-addressed, see
+// TestSameNameLargerGridGetsFreshProfile.) The overrun path must ride the
 // same ladder to quarantine and abandonment.
 func TestStaleProfileOverrunQuarantines(t *testing.T) {
 	r := newRig()
@@ -141,11 +143,17 @@ func TestStaleProfileOverrunQuarantines(t *testing.T) {
 		t.Fatal("calibration run did not complete")
 	}
 
-	// Same name, 100× the blocks: the cached profile under-predicts by 100×
-	// and the overrun factor (8×) cannot absorb it.
-	big := computeK("k", 240000)
+	// Simulate post-calibration drift: the cached profile now claims the
+	// kernel is 100× faster than it really is, so the budget under-predicts
+	// by 100× and the overrun factor (8×) cannot absorb it.
+	pr, err := r.sched.Prof.Get(computeK("k", 2400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.SoloSec /= 100
+
 	doneCount := 0
-	if err := r.sched.Submit(big, 10, func(vtime.Time, engine.Metrics) {
+	if err := r.sched.Submit(computeK("k", 2400), 10, func(vtime.Time, engine.Metrics) {
 		doneCount++
 	}); err != nil {
 		t.Fatal(err)
@@ -172,6 +180,34 @@ func TestStaleProfileOverrunQuarantines(t *testing.T) {
 	}
 	if r.sched.Running() != 0 || r.sched.Queued() != 0 {
 		t.Fatal("scheduler not drained")
+	}
+}
+
+// Regression for the name-keyed profile cache: resubmitting a 10× larger
+// grid under an already-profiled name used to inherit the small grid's
+// profile, under-predict the budget, and get the innocent kernel evicted as
+// a runaway. Content addressing re-measures the new grid, so both runs
+// complete untouched by the watchdog.
+func TestSameNameLargerGridGetsFreshProfile(t *testing.T) {
+	r := newRig()
+	r.sched.EnableContainment(ContainConfig{})
+
+	for _, blocks := range []int{2400, 24000} {
+		done := false
+		if err := r.sched.Submit(computeK("k", blocks), 10, func(vtime.Time, engine.Metrics) {
+			done = true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		r.run(t)
+		if !done {
+			t.Fatalf("%d-block run did not complete", blocks)
+		}
+	}
+	for _, d := range r.sched.Decisions() {
+		if d.Action == "evict" || d.Action == "abandon" {
+			t.Fatalf("correctly profiled kernel hit the strike ladder: %+v", d)
+		}
 	}
 }
 
