@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|fig1|…|fig7|ablation|staticmerge|triples|cloud|extpairs|sensitivity|faults|overload|parbench")
+	exp := flag.String("exp", "all", "experiment: all|fig1|…|fig7|ablation|staticmerge|triples|cloud|extpairs|sensitivity|faults|overload|parbench|modelbench")
 	loop := flag.Float64("loop", 3.0, "solo kernel loop target in seconds (paper used ~30)")
 	seed := flag.Int64("seed", 1, "trace-model and chaos-driver seed (same seed = same tables)")
 	chaosSessions := flag.Int("chaos-sessions", 12, "hostile client sessions per faults chaos run")
@@ -34,6 +34,7 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker-pool width for experiment cells (output is byte-identical at any value; 1 = serial)")
 	benchOut := flag.String("bench-out", "BENCH_harness.json", "file the parbench experiment writes its record to")
+	modelBenchOut := flag.String("model-bench-out", "BENCH_model.json", "file the modelbench experiment writes its record to")
 	flag.Parse()
 
 	var dev *gpu.Device
@@ -58,6 +59,15 @@ func main() {
 		// the heaviest sweep twice (cold serial, cold parallel).
 		if err := runParbench(dev, *loop, *seed, *parallel, *benchOut); err != nil {
 			fmt.Fprintf(os.Stderr, "slatebench: parbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if selected == "modelbench" {
+		// Benchmark mode: not part of -exp all, because it deliberately runs
+		// every cold model build twice (legacy path, one-pass path).
+		if err := runModelbench(dev, *seed, *modelBenchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "slatebench: modelbench: %v\n", err)
 			os.Exit(1)
 		}
 		return

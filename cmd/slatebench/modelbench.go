@@ -1,0 +1,118 @@
+// Model-build benchmark: times cold TraceModel builds over the paper's
+// application set under the legacy per-capacity simulation path and the
+// one-pass reuse-distance MRC engine, checks the two curves agree within
+// cache.MRCDeviationBound, and records speedup + deviation to a JSON file
+// so CI can fail the build if the one-pass path ever regresses below the
+// legacy one.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"slate/gpu"
+	"slate/internal/cache"
+	"slate/internal/engine"
+	"slate/workloads"
+)
+
+// modelBenchRecord is the schema of BENCH_model.json.
+type modelBenchRecord struct {
+	Experiment   string `json:"experiment"`
+	Device       string `json:"device"`
+	ModelVersion int    `json:"model_version"`
+	GOMAXPROCS   int    `json:"gomaxprocs"`
+	BuildWorkers int    `json:"build_workers"`
+	// Kernels counts the cold (kernel, scheduler-mode) model builds timed on
+	// each path.
+	Kernels    int     `json:"kernels"`
+	LegacySec  float64 `json:"legacy_sec"`
+	OnePassSec float64 `json:"onepass_sec"`
+	Speedup    float64 `json:"speedup"`
+	// MaxAbsDeviation is the largest per-capacity miss-ratio gap between the
+	// two paths across every kernel, mode, and capacity point; Bound is the
+	// documented cache.MRCDeviationBound it must stay within.
+	MaxAbsDeviation float64 `json:"max_abs_deviation"`
+	Bound           float64 `json:"bound"`
+	WithinBound     bool    `json:"within_bound"`
+}
+
+// buildAll runs cold miss-ratio-curve builds for every app under both
+// scheduler modes and returns the wall-clock plus the curves keyed by
+// (app, mode).
+func buildAll(dev *gpu.Device, seed int64, legacy bool, workers int) (float64, [][]float64, int) {
+	apps := workloads.Apps()
+	curves := make([][]float64, 0, 2*len(apps))
+	builds := 0
+	start := time.Now()
+	for _, app := range apps {
+		// A fresh model per app keeps every build cold: nothing is memoized.
+		m := engine.NewTraceModel(dev)
+		m.Seed = seed
+		m.LegacyMRC = legacy
+		m.BuildWorkers = workers
+		for _, mode := range []engine.Mode{engine.HardwareSched, engine.SlateSched} {
+			_, miss := m.MissRatioCurve(app.Kernel, mode, 10)
+			curves = append(curves, miss)
+			builds++
+		}
+	}
+	return time.Since(start).Seconds(), curves, builds
+}
+
+// runModelbench executes the legacy-vs-one-pass comparison and writes the
+// record to benchOut. One-pass slower than legacy, or deviation beyond the
+// documented bound, is an error.
+func runModelbench(dev *gpu.Device, seed int64, benchOut string) error {
+	workers := runtime.GOMAXPROCS(0)
+	legacySec, legacyCurves, builds := buildAll(dev, seed, true, workers)
+	onepassSec, onepassCurves, _ := buildAll(dev, seed, false, workers)
+
+	maxDev := 0.0
+	for i := range legacyCurves {
+		for j := range legacyCurves[i] {
+			if d := math.Abs(legacyCurves[i][j] - onepassCurves[i][j]); d > maxDev {
+				maxDev = d
+			}
+		}
+	}
+	rec := modelBenchRecord{
+		Experiment:      "model-build",
+		Device:          dev.Name,
+		ModelVersion:    engine.ModelVersion,
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		BuildWorkers:    workers,
+		Kernels:         builds,
+		LegacySec:       legacySec,
+		OnePassSec:      onepassSec,
+		MaxAbsDeviation: maxDev,
+		Bound:           cache.MRCDeviationBound,
+		WithinBound:     maxDev <= cache.MRCDeviationBound,
+	}
+	if onepassSec > 0 {
+		rec.Speedup = legacySec / onepassSec
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(benchOut, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("modelbench: %d cold builds — legacy %.2fs, one-pass %.2fs, speedup %.2fx on GOMAXPROCS=%d\n",
+		builds, legacySec, onepassSec, rec.Speedup, rec.GOMAXPROCS)
+	fmt.Printf("modelbench: max |deviation| %.4f (bound %.3f)\n", maxDev, cache.MRCDeviationBound)
+	fmt.Printf("wrote %s\n", benchOut)
+	if !rec.WithinBound {
+		return fmt.Errorf("one-pass MRC deviates %.4f from the oracle, beyond the %.3f bound", maxDev, cache.MRCDeviationBound)
+	}
+	if rec.Speedup < 1 {
+		return fmt.Errorf("one-pass model build is slower than legacy (%.2fx)", rec.Speedup)
+	}
+	return nil
+}

@@ -26,8 +26,9 @@ type Config struct {
 }
 
 // TitanXpL2 returns the geometry used for the GP102 L2 model: 3 MiB, 64 B
-// lines, 16-way. (The true GP102 slice layout is undocumented; hit-rate
-// behaviour is insensitive to the exact associativity at this scale.)
+// lines, 16-way. (The true GP102 slice layout is undocumented; with the
+// hashed set indexing below, hit-rate behaviour is insensitive to the exact
+// associativity at this scale.)
 func TitanXpL2() Config {
 	return Config{SizeBytes: 3 << 20, LineBytes: 64, Ways: 16}
 }
@@ -150,14 +151,33 @@ func (c *Cache) Reset() {
 	c.stats = Stats{}
 }
 
+// setIndex maps a line address to its set with a splitmix64-style mixed
+// hash. GPU L2s hash the set/slice mapping (microbenchmarking consistently
+// finds non-modulo interleaving) precisely so that the power-of-two strides
+// ubiquitous in GPU workloads — matrix panels, tiled buffers — do not alias
+// onto a handful of sets. Pure modulo indexing made this simulator report
+// large conflict-miss artifacts on such traces, and weaker XOR folds still
+// aliased when hundreds of panel streams advance in lockstep; a full mix is
+// what makes the geometry behave like the uniform-mapping model the
+// simulator's associativity assumptions (and the one-pass MRC's binomial
+// conflict correction) rely on. Lines store the full line address as their
+// tag, so identity never depends on the hash being invertible.
+func (c *Cache) setIndex(lineAddr uint64) int {
+	h := lineAddr
+	h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9
+	h = (h ^ (h >> 27)) * 0x94D049BB133111EB
+	h ^= h >> 31
+	return int(h & c.setMask)
+}
+
 // Access simulates one access to byte address addr and reports whether it
 // hit. A miss installs the line, evicting the LRU way if the set is full.
 func (c *Cache) Access(addr uint64) bool {
 	c.tick++
 	c.stats.Accesses++
 	lineAddr := addr >> c.lineShift
-	set := int(lineAddr & c.setMask)
-	tag := lineAddr >> uint(bits.Len(uint(c.sets))-1)
+	set := c.setIndex(lineAddr)
+	tag := lineAddr // full line address: unique regardless of the set hash
 	base := set * c.ways
 
 	victim := -1
@@ -197,7 +217,13 @@ func (c *Cache) AccessRange(addr uint64, size int) (hits, total int) {
 	}
 	lb := uint64(c.cfg.LineBytes)
 	first := addr &^ (lb - 1)
-	last := (addr + uint64(size) - 1) &^ (lb - 1)
+	end := addr + uint64(size) - 1
+	if end < addr {
+		// addr+size wrapped past the top of the address space; clamp to the
+		// last representable line so the loop below terminates.
+		end = ^uint64(0)
+	}
+	last := end &^ (lb - 1)
 	for a := first; ; a += lb {
 		total++
 		if c.Access(a) {
@@ -221,9 +247,11 @@ func SimulateTrace(cfg Config, trace []uint64) Stats {
 }
 
 // MissRatioCurve evaluates the trace's miss ratio at each capacity in
-// sizesBytes (geometry otherwise as cfg) and returns the per-size miss
-// ratios. It is the input the memory-system model uses to estimate hit rates
-// when co-running kernels partition the L2.
+// sizesBytes (geometry otherwise as cfg) by running one full set-associative
+// simulation per capacity. It is the brute-force validation oracle for the
+// single-pass ReuseDistanceMRC engine, which the model-build hot path uses
+// instead; the property tests in mrc_test.go bound the deviation between
+// the two.
 func MissRatioCurve(cfg Config, trace []uint64, sizesBytes []int) []float64 {
 	out := make([]float64, len(sizesBytes))
 	for i, sz := range sizesBytes {

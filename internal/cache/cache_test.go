@@ -68,20 +68,26 @@ func TestColdMissThenHit(t *testing.T) {
 
 func TestLRUEviction(t *testing.T) {
 	c := New(small())
-	// Fill one set (ways=4): addresses with the same set index are
-	// setBytes = sets*line = 16*64 = 1024 apart.
-	stride := uint64(1024)
-	for i := uint64(0); i < 4; i++ {
-		c.Access(i * stride)
+	// Collect 5 distinct lines that map to the same set under the hashed
+	// index (probing keeps the test independent of the hash function).
+	target := c.setIndex(0)
+	addrs := []uint64{0}
+	for line := uint64(1); len(addrs) < 5; line++ {
+		if c.setIndex(line) == target {
+			addrs = append(addrs, line*uint64(c.LineBytes()))
+		}
 	}
-	// Touch line 0 to make line 1 the LRU.
-	c.Access(0)
-	// Install a 5th line: must evict line at stride*1.
-	c.Access(4 * stride)
-	if !c.Access(0) {
+	for _, a := range addrs[:4] { // fill the 4-way set
+		c.Access(a)
+	}
+	// Touch line 0 to make addrs[1] the LRU.
+	c.Access(addrs[0])
+	// Install a 5th line: must evict addrs[1].
+	c.Access(addrs[4])
+	if !c.Access(addrs[0]) {
 		t.Fatal("recently used line was evicted")
 	}
-	if c.Access(1 * stride) {
+	if c.Access(addrs[1]) {
 		t.Fatal("LRU line survived eviction")
 	}
 	if c.Stats().Evictions < 1 {
@@ -90,8 +96,12 @@ func TestLRUEviction(t *testing.T) {
 }
 
 func TestWorkingSetFitsNoCapacityMisses(t *testing.T) {
-	c := New(small())
-	// Working set exactly = capacity: sequential lines, two passes.
+	// "Working set exactly = capacity ⇒ only cold misses" is a capacity
+	// property of LRU: it holds exactly only without set conflicts, so it is
+	// asserted on fully-associative geometry. The hashed set-associative
+	// mapping intentionally trades it for stride robustness (see setIndex);
+	// conflict misses for that case are bounded below.
+	c := New(Config{SizeBytes: 4096, LineBytes: 64, Ways: 0})
 	lines := c.SizeBytes() / c.LineBytes()
 	for pass := 0; pass < 2; pass++ {
 		for i := 0; i < lines; i++ {
@@ -104,6 +114,20 @@ func TestWorkingSetFitsNoCapacityMisses(t *testing.T) {
 	}
 	if got := st.HitRate(); got != 0.5 {
 		t.Fatalf("hit rate = %v, want 0.5", got)
+	}
+
+	// Set-associative with hashed indexing: a capacity-fitting working set
+	// incurs some conflict misses (sets overflow binomially), but far fewer
+	// than a thrashing trace — the second pass must still be mostly hits.
+	sa := New(small())
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < lines; i++ {
+			sa.Access(uint64(i * 64))
+		}
+	}
+	cold := uint64(lines)
+	if m := sa.Stats().Misses; m < cold || m > 2*cold {
+		t.Fatalf("hashed set-assoc misses = %d, want within [%d, %d]", m, cold, 2*cold)
 	}
 }
 
@@ -159,6 +183,27 @@ func TestAccessRange(t *testing.T) {
 	}
 	if h, tot := c.AccessRange(0, 0); h != 0 || tot != 0 {
 		t.Fatal("zero-size range accessed lines")
+	}
+}
+
+// Regression: a range whose addr+size wraps past the top of the address
+// space used to loop forever (the stop line wrapped below the start line).
+// It must terminate, clamped to the last representable line.
+func TestAccessRangeOverflowTerminates(t *testing.T) {
+	c := New(small())
+	addr := ^uint64(0) - 130 // 3 lines from the top (lines of 64B)
+	hits, total := c.AccessRange(addr, 4096)
+	if total != 3 {
+		t.Fatalf("wrapped range total=%d, want 3 (clamped to top of address space)", total)
+	}
+	if hits != 0 {
+		t.Fatalf("wrapped range hits=%d on a cold cache", hits)
+	}
+	// The exact top line (addr+size-1 == ^uint64(0), no wrap) is reachable
+	// and was installed by the wrapped range above.
+	hits, total = c.AccessRange(^uint64(0)-63, 64)
+	if total != 1 || hits != 1 {
+		t.Fatalf("top line total=%d hits=%d, want 1,1 (was installed by the wrapped range)", total, hits)
 	}
 }
 

@@ -1,0 +1,318 @@
+// Single-pass miss-ratio-curve engine (Mattson et al.'s stack algorithm
+// with a probabilistic set-conflict correction): one traversal of the trace
+// yields the miss ratio at every requested capacity simultaneously,
+// replacing one full set-associative simulation per capacity point on the
+// model-build hot path.
+//
+// Phase 1 computes, for each access, its LRU reuse distance — the number of
+// distinct cache lines touched since the previous access to the same line —
+// in O(N log N) with a Fenwick (binary indexed) tree over trace positions:
+// position i carries a 1 while it is some line's most recent access, so the
+// count of set positions after a line's previous access is exactly its
+// reuse distance. Under fully-associative LRU an access with distance d
+// hits a cache of L lines iff d < L, so a histogram of distances answers
+// every capacity at once, exactly.
+//
+// For set-associative geometries the hard threshold is replaced by the
+// Hill–Smith expectation (the same model StatStack uses): with hashed set
+// indexing the d intervening lines distribute uniformly over S sets, so the
+// access misses a W-way cache with probability P[Binomial(d, 1/S) >= W].
+// Phase 2 folds the distance histogram through that tail — smoothing the
+// fully-associative knee — one independent job per capacity point.
+//
+// The set-associative simulator (SimulateTrace / MissRatioCurve) remains
+// the validation oracle: the property tests in mrc_test.go and the
+// `slatebench -exp modelbench` driver bound the per-point deviation (see
+// MRCDeviationBound).
+package cache
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// MRCDeviationBound is the documented absolute per-point deviation between
+// the one-pass reuse-distance MRC and the set-associative oracle (TitanXpL2
+// geometry), asserted by the property tests in this package, the
+// engine/workloads parity suites, and `slatebench -exp modelbench` across
+// every workload pattern. See DESIGN.md §10 for the measured maxima.
+const MRCDeviationBound = 0.04
+
+// mrcScratch is the per-pass working memory: the Fenwick tree, the
+// open-addressing line→last-position table, and the per-access distance
+// array feeding the histogram phase. Pooled because a model build at the
+// default trace length needs ~30 MB of scratch and the harness builds
+// hundreds of entries.
+type mrcScratch struct {
+	tree  []int32
+	keys  []uint64
+	vals  []int32
+	dists []int32
+	hist  []int32
+}
+
+var mrcPool = sync.Pool{New: func() any { return new(mrcScratch) }}
+
+// grow resizes and zeroes the scratch for a trace of n accesses with an
+// m-slot hash table.
+func (s *mrcScratch) grow(n, m int) {
+	if cap(s.tree) < n+1 {
+		s.tree = make([]int32, n+1)
+	} else {
+		s.tree = s.tree[:n+1]
+		clear(s.tree)
+	}
+	if cap(s.keys) < m {
+		s.keys = make([]uint64, m)
+		s.vals = make([]int32, m)
+	} else {
+		s.keys = s.keys[:m]
+		s.vals = s.vals[:m]
+		clear(s.vals) // vals[h]==0 marks an empty slot; keys need no reset
+	}
+	if cap(s.dists) < n {
+		s.dists = make([]int32, n)
+	} else {
+		s.dists = s.dists[:n]
+	}
+}
+
+// mrcGeometry is one capacity point's derived set-associative shape,
+// normalized exactly as New normalizes a Config (power-of-two set rounding).
+type mrcGeometry struct {
+	lines int // total capacity in lines
+	sets  int
+	ways  int
+}
+
+// geometryAt derives the sets/ways the oracle would use for cfg at the
+// given capacity. A capacity below one line is reported as zero lines.
+func geometryAt(cfg Config, sizeBytes int) mrcGeometry {
+	lines := sizeBytes / cfg.LineBytes
+	if lines < 1 {
+		return mrcGeometry{}
+	}
+	ways := cfg.Ways
+	if ways <= 0 || ways > lines {
+		ways = lines
+	}
+	sets := lines / ways
+	if sets&(sets-1) != 0 {
+		sets = 1 << (bits.Len(uint(sets)) - 1)
+		ways = lines / sets
+	}
+	return mrcGeometry{lines: sets * ways, sets: sets, ways: ways}
+}
+
+// ReuseDistanceMRC evaluates the trace's miss ratio at each capacity in
+// sizesBytes (geometry otherwise as cfg, mirroring MissRatioCurve) in a
+// single traversal. Capacities need not be sorted and duplicates are
+// allowed. An empty trace reports 0 at every point, matching
+// Stats.MissRate's untouched-cache convention. For fully-associative
+// geometries (cfg.Ways <= 0) the result is exact; for set-associative ones
+// the binomial conflict expectation applies.
+func ReuseDistanceMRC(cfg Config, trace []uint64, sizesBytes []int) []float64 {
+	return ReuseDistanceMRCWorkers(cfg, trace, sizesBytes, 1)
+}
+
+// ReuseDistanceMRCWorkers is ReuseDistanceMRC with the per-capacity
+// histogram integrations fanned across workers. The reuse-distance
+// extraction itself is inherently sequential (each distance depends on all
+// prior accesses); the capacity points are independent afterwards and each
+// is integrated by exactly one goroutine, so the result is bit-identical at
+// any worker count.
+func ReuseDistanceMRCWorkers(cfg Config, trace []uint64, sizesBytes []int, workers int) []float64 {
+	if cfg.LineBytes <= 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		panic(fmt.Sprintf("cache: ReuseDistanceMRC LineBytes %d must be a positive power of two", cfg.LineBytes))
+	}
+	out := make([]float64, len(sizesBytes))
+	n := len(trace)
+	if n == 0 || len(sizesBytes) == 0 {
+		return out
+	}
+	if n >= 1<<31-1 {
+		// Positions and counters are int32; the model caps traces far below
+		// this (engine.TraceModel.MaxAccesses defaults to 1e6).
+		panic(fmt.Sprintf("cache: ReuseDistanceMRC trace length %d exceeds int32 positions", n))
+	}
+
+	lineShift := uint(bits.TrailingZeros(uint(cfg.LineBytes)))
+	// Hash table sized to a <=50% load factor at the worst case (all
+	// accesses distinct).
+	m := 16
+	for m < 2*n {
+		m <<= 1
+	}
+	mask := uint64(m - 1)
+	hashShift := uint(64 - bits.TrailingZeros(uint(m)))
+
+	s := mrcPool.Get().(*mrcScratch)
+	s.grow(n, m)
+	tree, keys, vals, dists := s.tree, s.keys, s.vals, s.dists
+
+	treeAdd := func(i int, v int32) {
+		for ; i <= n; i += i & -i {
+			tree[i] += v
+		}
+	}
+	treePrefix := func(i int) int32 {
+		var sum int32
+		for ; i > 0; i -= i & -i {
+			sum += tree[i]
+		}
+		return sum
+	}
+
+	// Phase 1: sequential reuse-distance extraction. dists[i] = -1 marks a
+	// cold (first-touch) access.
+	var cold int64
+	var maxd int32 = -1
+	var active int32 // distinct lines currently tracked = set bits in tree
+	for i, addr := range trace {
+		pos := int32(i + 1) // Fenwick positions are 1-based
+		line := addr >> lineShift
+		h := (line * 0x9E3779B97F4A7C15) >> hashShift
+		for {
+			if vals[h] == 0 { // cold: first touch of this line
+				keys[h] = line
+				vals[h] = pos
+				treeAdd(int(pos), 1)
+				active++
+				dists[i] = -1
+				cold++
+				break
+			}
+			if keys[h] == line {
+				prev := vals[h]
+				// Reuse distance: distinct lines whose most recent access
+				// came after prev — the set positions strictly beyond it.
+				d := active - treePrefix(int(prev))
+				treeAdd(int(prev), -1)
+				treeAdd(int(pos), 1)
+				vals[h] = pos
+				dists[i] = d
+				if d > maxd {
+					maxd = d
+				}
+				break
+			}
+			h = (h + 1) & mask
+		}
+	}
+
+	// Distance histogram (reused across every capacity point).
+	if cap(s.hist) < int(maxd)+2 {
+		s.hist = make([]int32, maxd+2)
+	} else {
+		s.hist = s.hist[:maxd+2]
+		clear(s.hist)
+	}
+	hist := s.hist
+	for _, d := range dists {
+		if d >= 0 {
+			hist[d]++
+		}
+	}
+
+	// Phase 2: per-capacity integration — independent jobs again, fanned
+	// across workers; each output slot is written by exactly one goroutine.
+	integrate := func(j int) {
+		g := geometryAt(cfg, sizesBytes[j])
+		if g.lines < 1 { // sub-line capacity can never hit
+			out[j] = 1
+			return
+		}
+		misses := float64(cold)
+		if g.sets <= 1 {
+			// Fully associative: the stack threshold is exact.
+			for d := int32(g.lines); d <= maxd; d++ {
+				misses += float64(hist[d])
+			}
+		} else {
+			misses += binomialMisses(hist, maxd, g.sets, g.ways)
+		}
+		out[j] = misses / float64(n)
+	}
+	if workers > len(sizesBytes) {
+		workers = len(sizesBytes)
+	}
+	if workers > 1 {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for j := w; j < len(sizesBytes); j += workers {
+					integrate(j)
+				}
+			}(w)
+		}
+		wg.Wait()
+	} else {
+		for j := range sizesBytes {
+			integrate(j)
+		}
+	}
+	mrcPool.Put(s)
+	return out
+}
+
+// binomialMisses returns the expected reuse (non-cold) misses of a
+// sets×ways LRU cache with hashed indexing over the distance histogram:
+// an access at reuse distance d misses iff at least `ways` of the d
+// intervening distinct lines hash into its set, i.e. with probability
+// P[Binomial(d, 1/sets) >= ways] (Hill & Smith's conflict model). The tail
+// is advanced incrementally in d and clamped to 0/1 outside a window where
+// it is numerically indistinguishable from the clamp, so cost is
+// O(window × ways), not O(maxd × ways).
+func binomialMisses(hist []int32, maxd int32, sets, ways int) float64 {
+	q := 1.0 / float64(sets)
+	// The tail transitions near d ≈ sets·ways with width ~ sets·sqrt(ways);
+	// ±12 widths put the clamp error below 1e-30.
+	width := float64(sets) * (math.Sqrt(float64(ways)) + 1)
+	dLo := int32(float64(sets*ways) - 12*width)
+	if dLo < int32(ways) {
+		dLo = int32(ways) // below `ways` intervening lines a miss is impossible
+	}
+	if dLo > maxd {
+		return 0
+	}
+	dHi := float64(sets*ways) + 12*width
+	// pmf[k] = P[Binomial(d, q) = k] for k < ways, seeded directly at dLo
+	// via log-gamma, then advanced one d at a time.
+	pmf := make([]float64, ways)
+	lq, l1q := math.Log(q), math.Log1p(-q)
+	d := float64(dLo)
+	lgd, _ := math.Lgamma(d + 1)
+	for k := 0; k < ways && float64(k) <= d; k++ {
+		lgk, _ := math.Lgamma(float64(k) + 1)
+		lgdk, _ := math.Lgamma(d - float64(k) + 1)
+		pmf[k] = math.Exp(lgd - lgk - lgdk + float64(k)*lq + (d-float64(k))*l1q)
+	}
+	var misses float64
+	for di := dLo; di <= maxd; di++ {
+		if float64(di) > dHi {
+			// Tail is 1 to machine precision from here on.
+			for ; di <= maxd; di++ {
+				misses += float64(hist[di])
+			}
+			break
+		}
+		hit := 0.0
+		for _, p := range pmf {
+			hit += p
+		}
+		if tail := 1 - hit; tail > 0 {
+			misses += tail * float64(hist[di])
+		}
+		// Advance pmf from d=di to d=di+1: one more intervening line lands
+		// in the set with probability q.
+		for k := ways - 1; k > 0; k-- {
+			pmf[k] = pmf[k]*(1-q) + pmf[k-1]*q
+		}
+		pmf[0] *= 1 - q
+	}
+	return misses
+}

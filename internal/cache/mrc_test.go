@@ -1,0 +1,174 @@
+package cache
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// mrcTestSizes mirrors the engine's mrcSizes capacity ladder.
+var mrcTestSizes = []int{
+	64 << 10, 128 << 10, 256 << 10, 512 << 10,
+	1 << 20, 3 << 20 / 2, 3 << 20, 6 << 20,
+}
+
+// faCfg is the fully-associative geometry used where the one-pass engine is
+// exact rather than approximate.
+var faCfg = Config{LineBytes: 64, Ways: 0}
+
+// mrcTestTraces builds the four canonical access shapes the property tests
+// sweep: seeded random, streaming (no reuse), strided, and shared-reuse
+// (every "block" re-reads a hot region then walks a private slice).
+func mrcTestTraces(seed int64, n int) map[string][]uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	random := make([]uint64, n)
+	for i := range random {
+		random[i] = uint64(rng.Intn(n)) * 64
+	}
+	streaming := make([]uint64, n)
+	for i := range streaming {
+		streaming[i] = uint64(i) * 64
+	}
+	strided := make([]uint64, n)
+	for i := range strided {
+		strided[i] = uint64(i%4096)*4096 + uint64(i/4096)*64
+	}
+	shared := make([]uint64, 0, n)
+	const pivotLines, sliceLines = 64, 448
+	for b := 0; len(shared) < n; b++ {
+		for l := 0; l < pivotLines; l++ {
+			shared = append(shared, uint64(l)*64)
+		}
+		base := uint64(1<<22) + uint64(b)*sliceLines*64
+		for l := 0; l < sliceLines; l++ {
+			shared = append(shared, base+uint64(l)*64)
+		}
+	}
+	return map[string][]uint64{
+		"random":    random,
+		"streaming": streaming,
+		"strided":   strided,
+		"shared":    shared[:n],
+	}
+}
+
+// Against a fully-associative LRU oracle the reuse-distance MRC is not an
+// approximation: the two must agree exactly at every capacity.
+func TestReuseDistanceMRCExactOnFullyAssociative(t *testing.T) {
+	// Small capacities keep the FA oracle tractable: it scans every way
+	// (= every line) per access, so cost is trace × capacity.
+	sizes := []int{4 << 10, 16 << 10, 64 << 10, 128 << 10}
+	for name, trace := range mrcTestTraces(7, 30_000) {
+		oracle := MissRatioCurve(faCfg, trace, sizes)
+		got := ReuseDistanceMRC(faCfg, trace, sizes)
+		for i := range sizes {
+			if math.Abs(got[i]-oracle[i]) > 1e-12 {
+				t.Errorf("%s @ %d KiB: one-pass %.6f != FA oracle %.6f",
+					name, sizes[i]>>10, got[i], oracle[i])
+			}
+		}
+	}
+}
+
+// Property: against the production 16-way set-associative oracle
+// (TitanXpL2 geometry), the one-pass curve — reuse distances folded through
+// the binomial set-conflict model — deviates by at most MRCDeviationBound
+// at every capacity, on every trace shape, across seeds.
+func TestReuseDistanceMRCDeviationBound(t *testing.T) {
+	cfg := TitanXpL2()
+	for _, seed := range []int64{1, 2, 42} {
+		for name, trace := range mrcTestTraces(seed, 120_000) {
+			oracle := MissRatioCurve(cfg, trace, mrcTestSizes)
+			got := ReuseDistanceMRC(cfg, trace, mrcTestSizes)
+			for i := range mrcTestSizes {
+				if d := math.Abs(got[i] - oracle[i]); d > MRCDeviationBound {
+					t.Errorf("seed %d %s @ %d KiB: |%.4f - %.4f| = %.4f exceeds bound %.3f",
+						seed, name, mrcTestSizes[i]>>10, got[i], oracle[i], d, MRCDeviationBound)
+				}
+			}
+		}
+	}
+}
+
+// The fanned per-capacity integration must be bit-identical at any worker
+// count, including through the binomial set-conflict path.
+func TestReuseDistanceMRCWorkersBitIdentical(t *testing.T) {
+	for _, cfg := range []Config{faCfg, TitanXpL2()} {
+		for name, trace := range mrcTestTraces(3, 50_000) {
+			ref := ReuseDistanceMRC(cfg, trace, mrcTestSizes)
+			for _, workers := range []int{2, 3, 8} {
+				got := ReuseDistanceMRCWorkers(cfg, trace, mrcTestSizes, workers)
+				for i := range ref {
+					if got[i] != ref[i] {
+						t.Fatalf("%s ways=%d workers=%d @ %d KiB: %v != sequential %v",
+							name, cfg.Ways, workers, mrcTestSizes[i]>>10, got[i], ref[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Miss ratios must be non-increasing in capacity. Exact inclusion gives this
+// for the fully-associative path; for the binomial path it holds because
+// every step of the mrcSizes ladder grows sets or ways with the other fixed,
+// which shrinks the binomial tail pointwise in d.
+func TestReuseDistanceMRCMonotonic(t *testing.T) {
+	for _, cfg := range []Config{faCfg, TitanXpL2()} {
+		for name, trace := range mrcTestTraces(9, 80_000) {
+			mrc := ReuseDistanceMRC(cfg, trace, mrcTestSizes)
+			for i := 1; i < len(mrc); i++ {
+				if mrc[i] > mrc[i-1]+1e-12 {
+					t.Errorf("%s ways=%d: miss ratio rose from %.4f to %.4f at %d KiB",
+						name, cfg.Ways, mrc[i-1], mrc[i], mrcTestSizes[i]>>10)
+				}
+			}
+		}
+	}
+}
+
+func TestReuseDistanceMRCEdgeCases(t *testing.T) {
+	// Empty trace: all zeros, matching Stats.MissRate's convention.
+	for _, v := range ReuseDistanceMRC(faCfg, nil, mrcTestSizes) {
+		if v != 0 {
+			t.Fatal("empty trace should report 0 miss ratio")
+		}
+	}
+	// No capacities: empty result.
+	if got := ReuseDistanceMRC(faCfg, []uint64{0, 64}, nil); len(got) != 0 {
+		t.Fatalf("nil sizes gave %v", got)
+	}
+	// Unsorted and duplicate capacities map back to caller order, and equal
+	// capacities report equal ratios.
+	trace := mrcTestTraces(5, 20_000)["random"]
+	sizes := []int{1 << 20, 64 << 10, 1 << 20, 128 << 10}
+	got := ReuseDistanceMRC(faCfg, trace, sizes)
+	sorted := ReuseDistanceMRC(faCfg, trace, []int{64 << 10, 128 << 10, 1 << 20})
+	if got[1] != sorted[0] || got[3] != sorted[1] || got[0] != sorted[2] || got[2] != sorted[2] {
+		t.Fatalf("unsorted sizes mismatch: %v vs sorted %v", got, sorted)
+	}
+	// A capacity below one line can never hit.
+	tiny := ReuseDistanceMRC(faCfg, trace, []int{16})
+	if tiny[0] != 1 {
+		t.Fatalf("sub-line capacity miss ratio = %v, want 1", tiny[0])
+	}
+	// Repeated runs through the scratch pool stay deterministic (both paths).
+	for _, cfg := range []Config{faCfg, TitanXpL2()} {
+		a := ReuseDistanceMRC(cfg, trace, mrcTestSizes)
+		b := ReuseDistanceMRC(cfg, trace, mrcTestSizes)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("pooled scratch leaked state between runs")
+			}
+		}
+	}
+}
+
+func TestReuseDistanceMRCPanicsOnBadLineBytes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two lineBytes accepted")
+		}
+	}()
+	ReuseDistanceMRC(Config{LineBytes: 48}, []uint64{0}, []int{1 << 10})
+}

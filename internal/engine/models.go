@@ -14,7 +14,12 @@ import (
 // single model instance (persisted profile tables): bump it whenever trace
 // assembly, the cache simulation, or the run statistics change meaning, so
 // results cached under an older model are never mistaken for current ones.
-const ModelVersion = 1
+//
+// Version 2: miss-ratio curves moved from eight independent set-associative
+// LRU simulations to the single-pass fully-associative reuse-distance engine
+// (cache.ReuseDistanceMRC). Profiles persisted under version 1 are
+// auto-invalidated on load and re-measured.
+const ModelVersion = 2
 
 // StaticModel is a PerfModel returning fixed parameters, for tests and for
 // kernels whose locality is known analytically. Per-kernel overrides are
@@ -85,11 +90,18 @@ type TraceModel struct {
 	MaxAccesses int
 	// Seed drives trace assembly determinism.
 	Seed int64
-	// BuildWorkers bounds the goroutines simulating one entry's miss-ratio
-	// capacity points (<=1 means sequential). The points are independent
-	// simulations over a shared read-only trace, so the result is identical
-	// at any setting.
+	// BuildWorkers bounds the goroutines used inside one entry's MRC build
+	// (<=1 means sequential). The one-pass reuse-distance engine extracts
+	// distances sequentially and shards only its counting phase across
+	// capacity-independent trace segments; the legacy oracle path fans the
+	// independent capacity-point simulations instead. Either way the result
+	// is bit-identical at any setting.
 	BuildWorkers int
+	// LegacyMRC selects the pre-version-2 path: one full set-associative
+	// LRU simulation per capacity point. It is the validation oracle the
+	// property tests and `slatebench -exp modelbench` compare the one-pass
+	// engine against; production builds leave it false.
+	LegacyMRC bool
 
 	mu    sync.Mutex
 	cache map[traceKey]*traceEntry
@@ -183,13 +195,31 @@ func (m *TraceModel) build(spec *kern.Spec, mode Mode, taskSize int, e *traceEnt
 	}
 	trace := traces.Assemble(p, acfg)
 	e.sizes = mrcSizes
-	e.missRate = make([]float64, len(mrcSizes))
+	if m.LegacyMRC {
+		e.missRate = m.legacyMRC(trace)
+	} else {
+		// Single pass over the trace answers every capacity at once.
+		bw := m.BuildWorkers
+		if bw < 1 {
+			bw = 1
+		}
+		e.missRate = cache.ReuseDistanceMRCWorkers(m.Dev.L2, trace, mrcSizes, bw)
+	}
+	e.runBytes = traces.StreamRunStats(p, acfg).MeanRunBytes
+}
+
+// legacyMRC is the version-1 model's miss-ratio curve: one full
+// set-associative simulation per capacity point, BuildWorkers fanning the
+// independent points. Kept as the validation oracle and the modelbench
+// comparison baseline.
+func (m *TraceModel) legacyMRC(trace []uint64) []float64 {
+	missRate := make([]float64, len(mrcSizes))
 	simAt := func(i int) {
 		cfg := m.Dev.L2
 		cfg.SizeBytes = mrcSizes[i]
 		cfg.Sets = 0
 		st := cache.SimulateTrace(cfg, trace)
-		e.missRate[i] = st.MissRate()
+		missRate[i] = st.MissRate()
 	}
 	if bw := m.BuildWorkers; bw > 1 {
 		// Each capacity point simulates the shared read-only trace through
@@ -213,7 +243,20 @@ func (m *TraceModel) build(spec *kern.Spec, mode Mode, taskSize int, e *traceEnt
 			simAt(i)
 		}
 	}
-	e.runBytes = traces.StreamRunStats(p, acfg).MeanRunBytes
+	return missRate
+}
+
+// MissRatioCurve returns a copy of the memoized capacity points and miss
+// ratios for spec — the curve HitRate interpolates. Exposed so validation
+// drivers (slatebench -exp modelbench) can compare the one-pass engine
+// against the legacy oracle point by point.
+func (m *TraceModel) MissRatioCurve(spec *kern.Spec, mode Mode, taskSize int) (sizes []int, missRate []float64) {
+	e := m.entry(spec, mode, taskSize)
+	sizes = make([]int, len(e.sizes))
+	copy(sizes, e.sizes)
+	missRate = make([]float64, len(e.missRate))
+	copy(missRate, e.missRate)
+	return sizes, missRate
 }
 
 func (m *TraceModel) maxAccesses() int {

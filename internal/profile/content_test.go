@@ -2,6 +2,7 @@ package profile
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -84,8 +85,8 @@ func TestLoadSkipsMismatchedEntries(t *testing.T) {
 	if fresh.Len() != 0 {
 		t.Fatalf("loaded %d foreign-device profiles, want 0", fresh.Len())
 	}
-	wrongVer := strings.Replace(buf.String(),
-		`"model_version": 1`, `"model_version": 999`, 1)
+	curStamp := fmt.Sprintf(`"model_version": %d`, engine.ModelVersion)
+	wrongVer := strings.Replace(buf.String(), curStamp, `"model_version": 999`, 1)
 	if wrongVer == buf.String() {
 		t.Fatalf("model_version stamp missing from saved table (engine.ModelVersion=%d):\n%s",
 			engine.ModelVersion, buf.String())
@@ -111,5 +112,32 @@ func TestLoadSkipsMismatchedEntries(t *testing.T) {
 	}
 	if pr.Kernel != "k1" {
 		t.Fatalf("loaded entry not served for renamed instance: got %q", pr.Kernel)
+	}
+}
+
+// Profiles persisted by the version-1 model (per-capacity set-associative
+// MRC simulations) must be auto-invalidated under the version-2 one-pass
+// model: their hit-rate-derived numbers were produced by a different curve.
+func TestLoadInvalidatesModelVersion1Tables(t *testing.T) {
+	if engine.ModelVersion <= 1 {
+		t.Skip("current model is still version 1")
+	}
+	p := newProfiler()
+	if _, err := p.Get(testSpec("v1", 240, 1e8, 1e4)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v1 := strings.Replace(buf.String(),
+		fmt.Sprintf(`"model_version": %d`, engine.ModelVersion), `"model_version": 1`, 1)
+	fresh := newProfiler()
+	if err := fresh.Load(strings.NewReader(v1)); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Len() != 0 {
+		t.Fatalf("served %d version-1 profiles under model version %d, want 0",
+			fresh.Len(), engine.ModelVersion)
 	}
 }

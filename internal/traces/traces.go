@@ -27,6 +27,35 @@ type BlockPattern interface {
 	AppendBlock(dst []uint64, b int) []uint64
 }
 
+// SizedPattern is an optional BlockPattern extension reporting how many
+// accesses AppendBlock emits per block. Assemble uses it to size trace and
+// stream buffers exactly instead of growing them through append; every
+// pattern in this package implements it (all emit the same count for each
+// block).
+type SizedPattern interface {
+	BlockPattern
+	// AccessesPerBlock is the exact length AppendBlock adds for any block.
+	AccessesPerBlock() int
+}
+
+// accessesPerBlock returns the per-block access count, via the SizedPattern
+// fast path or by probing block 0.
+func accessesPerBlock(p BlockPattern) int {
+	if sp, ok := p.(SizedPattern); ok {
+		return sp.AccessesPerBlock()
+	}
+	return len(p.AppendBlock(nil, 0))
+}
+
+// lineCount is ceil(bytes/lineBytes): the number of addresses a
+// line-stepped loop over bytes emits.
+func lineCount(bytes, lineBytes int) int {
+	if bytes <= 0 || lineBytes <= 0 {
+		return 0
+	}
+	return (bytes + lineBytes - 1) / lineBytes
+}
+
 // Streaming models kernels whose blocks each read/write a private contiguous
 // chunk (stream triad, BlackScholes, transpose reads). There is no
 // inter-block reuse, so ordering barely matters — which is itself a property
@@ -45,6 +74,15 @@ type Streaming struct {
 
 // NumBlocks implements BlockPattern.
 func (s Streaming) NumBlocks() int { return s.Blocks }
+
+// AccessesPerBlock implements SizedPattern.
+func (s Streaming) AccessesPerBlock() int {
+	n := lineCount(s.BytesPerBlock, s.LineBytes)
+	if s.WriteStride > 0 && s.WriteBytes > 0 {
+		n += lineCount(s.WriteBytes, s.LineBytes)
+	}
+	return n
+}
 
 // AppendBlock implements BlockPattern.
 func (s Streaming) AppendBlock(dst []uint64, b int) []uint64 {
@@ -79,6 +117,11 @@ type RowSweep struct {
 // NumBlocks implements BlockPattern.
 func (r RowSweep) NumBlocks() int { return r.Blocks }
 
+// AccessesPerBlock implements SizedPattern.
+func (r RowSweep) AccessesPerBlock() int {
+	return lineCount(r.PivotBytes, r.LineBytes) + lineCount(r.SliceBytes, r.LineBytes)
+}
+
 // AppendBlock implements BlockPattern.
 func (r RowSweep) AppendBlock(dst []uint64, b int) []uint64 {
 	for off := 0; off < r.PivotBytes; off += r.LineBytes {
@@ -107,6 +150,9 @@ type Tiled struct {
 
 // NumBlocks implements BlockPattern.
 func (t Tiled) NumBlocks() int { return t.GridX * t.GridY }
+
+// AccessesPerBlock implements SizedPattern.
+func (t Tiled) AccessesPerBlock() int { return 2 * lineCount(t.PanelBytes, t.LineBytes) }
 
 // AppendBlock implements BlockPattern.
 func (t Tiled) AppendBlock(dst []uint64, b int) []uint64 {
@@ -142,6 +188,11 @@ type Random struct {
 
 // NumBlocks implements BlockPattern.
 func (r Random) NumBlocks() int { return r.Blocks }
+
+// AccessesPerBlock implements SizedPattern.
+func (r Random) AccessesPerBlock() int {
+	return lineCount(r.BytesPerBlock, r.LineBytes) + r.TableReads
+}
 
 // AppendBlock implements BlockPattern.
 func (r Random) AppendBlock(dst []uint64, b int) []uint64 {
@@ -206,13 +257,19 @@ func Assemble(p BlockPattern, cfg AssembleConfig) []uint64 {
 	}
 	// Cap cost by sampling a prefix of blocks, never by truncating the
 	// merged trace: per-block access composition must stay representative.
-	n := sampleBlocks(p, cfg.MaxAccesses)
+	per := accessesPerBlock(p)
+	n := sampleBlocksFor(p, per, cfg.MaxAccesses)
 	if cfg.Workers > n {
 		cfg.Workers = n
 	}
 
-	// Deal blocks to worker queues.
+	// Deal blocks to worker queues, preallocated to their final length: the
+	// round-robin deal leaves queue sizes within one block of n/Workers.
 	queues := make([][]int, cfg.Workers)
+	perQueue := n/cfg.Workers + cfg.TaskSize
+	for w := range queues {
+		queues[w] = make([]int, 0, perQueue)
+	}
 	switch cfg.Order {
 	case HardwareOrder:
 		// Wave dispatch with jitter: block start order drifts within a
@@ -239,10 +296,11 @@ func Assemble(p BlockPattern, cfg AssembleConfig) []uint64 {
 		}
 	}
 
-	// Expand each worker queue into its access stream.
+	// Expand each worker queue into its access stream, sized from the
+	// pattern's per-block hint so append never reallocates.
 	streams := make([][]uint64, cfg.Workers)
 	for w, q := range queues {
-		var s []uint64
+		s := make([]uint64, 0, len(q)*per)
 		for _, b := range q {
 			s = p.AppendBlock(s, b)
 		}
@@ -282,15 +340,15 @@ func Assemble(p BlockPattern, cfg AssembleConfig) []uint64 {
 	return out
 }
 
-// sampleBlocks returns how many leading blocks of the pattern to use so the
-// assembled trace stays within maxAccesses (0 = no cap). The patterns in
-// this package are periodic, so a prefix is representative.
-func sampleBlocks(p BlockPattern, maxAccesses int) int {
+// sampleBlocksFor returns how many leading blocks of the pattern to use so
+// the assembled trace stays within maxAccesses (0 = no cap), given the
+// per-block access count. The patterns in this package are periodic, so a
+// prefix is representative.
+func sampleBlocksFor(p BlockPattern, per, maxAccesses int) int {
 	n := p.NumBlocks()
 	if maxAccesses <= 0 || n == 0 {
 		return n
 	}
-	per := len(p.AppendBlock(nil, 0))
 	if per == 0 {
 		return n
 	}
@@ -354,7 +412,8 @@ func StreamRunStats(p BlockPattern, cfg AssembleConfig) RunStats {
 	if cfg.TaskSize < 1 {
 		cfg.TaskSize = 1
 	}
-	n := sampleBlocks(p, cfg.MaxAccesses)
+	per := accessesPerBlock(p)
+	n := sampleBlocksFor(p, per, cfg.MaxAccesses)
 	if cfg.Workers > n {
 		cfg.Workers = n
 	}
@@ -380,7 +439,7 @@ func StreamRunStats(p BlockPattern, cfg AssembleConfig) RunStats {
 	// and neither extend nor break a DRAM access run.
 	var runs, coldLines int
 	lb := uint64(64)
-	var buf []uint64
+	buf := make([]uint64, 0, (n/cfg.Workers+1)*per)
 	for _, q := range queues {
 		buf = buf[:0]
 		for _, b := range q {

@@ -254,6 +254,37 @@ func TestPropertyAssembleLength(t *testing.T) {
 	}
 }
 
+// Every pattern's AccessesPerBlock hint must match what AppendBlock
+// actually emits, for every block — Assemble's buffer preallocation and
+// block sampling both trust it.
+func TestAccessesPerBlockHintExact(t *testing.T) {
+	patterns := map[string]BlockPattern{
+		"streaming": Streaming{Blocks: 8, BytesPerBlock: 1000, LineBytes: 64},
+		"streaming+write": Streaming{
+			Blocks: 8, BytesPerBlock: 1024, LineBytes: 64,
+			WriteStride: 4096, WriteBytes: 500,
+		},
+		"rowsweep": RowSweep{
+			Blocks: 8, PivotBytes: 4096, SliceBytes: 1000,
+			SliceOverlap: 128, LineBytes: 64,
+		},
+		"tiled":  Tiled{GridX: 4, GridY: 2, PanelBytes: 1000, LineBytes: 64},
+		"random": Random{Blocks: 8, BytesPerBlock: 1000, TableBytes: 1 << 16, TableReads: 7, LineBytes: 64},
+	}
+	for name, p := range patterns {
+		sp, ok := p.(SizedPattern)
+		if !ok {
+			t.Fatalf("%s does not implement SizedPattern", name)
+		}
+		want := sp.AccessesPerBlock()
+		for b := 0; b < p.NumBlocks(); b++ {
+			if got := len(p.AppendBlock(nil, b)); got != want {
+				t.Fatalf("%s block %d emits %d accesses, hint says %d", name, b, got, want)
+			}
+		}
+	}
+}
+
 func BenchmarkAssembleRowSweep(b *testing.B) {
 	p := RowSweep{Blocks: 2048, PivotBytes: 4096, SliceBytes: 2048, LineBytes: 64, RowBase: 1 << 22}
 	cfg := AssembleConfig{Order: SlateOrder, Workers: 32, TaskSize: 10, Chunk: 8, Seed: 1}

@@ -1,0 +1,37 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"slate/internal/cache"
+	"slate/internal/device"
+	"slate/internal/engine"
+)
+
+// Property: for every calibrated workload pattern — the paper's five, the
+// three extended apps, and the stream microbenchmark — the one-pass
+// reuse-distance MRC stays within cache.MRCDeviationBound of the legacy
+// set-associative oracle at every capacity and under both schedulers. The
+// one-pass model runs with BuildWorkers > 1 so -race covers the sharded
+// counting phase on real workload traces.
+func TestWorkloadMRCParityAgainstOracle(t *testing.T) {
+	apps := append(Apps(), ExtendedApps()...)
+	apps = append(apps, StreamApp())
+	for _, app := range apps {
+		onepass := engine.NewTraceModel(device.TitanXp())
+		onepass.BuildWorkers = 4
+		oracle := engine.NewTraceModel(device.TitanXp())
+		oracle.LegacyMRC = true
+		for _, mode := range []engine.Mode{engine.HardwareSched, engine.SlateSched} {
+			sizes, got := onepass.MissRatioCurve(app.Kernel, mode, 10)
+			_, want := oracle.MissRatioCurve(app.Kernel, mode, 10)
+			for i := range sizes {
+				if d := math.Abs(got[i] - want[i]); d > cache.MRCDeviationBound {
+					t.Errorf("%s %v @ %d KiB: one-pass %.4f vs oracle %.4f (Δ %.4f > %.3f)",
+						app.Code, mode, sizes[i]>>10, got[i], want[i], d, cache.MRCDeviationBound)
+				}
+			}
+		}
+	}
+}
