@@ -1,0 +1,461 @@
+// The crashchaos experiment: kill-and-restart testing for the daemon's
+// crash-safe state layer. For every crash site in the fault matrix and two
+// consecutive seeds, it runs a scripted client workload against a durable
+// daemon with an armed crash point, lets the "process" die mid-protocol,
+// and restarts over the same state directory, asserting the recovery
+// contract:
+//
+//   - no acked launch is lost or duplicated: for every source launch whose
+//     accept record is durable (or that the resuming client re-sends), the
+//     executions in the second incarnation plus the durable completions
+//     from the first sum to exactly one;
+//   - journal replay is idempotent: two consecutive state digests of the
+//     same directory are identical;
+//   - a recovered profile table is byte-identical to a clean run's;
+//   - drain after recovery terminates cleanly.
+package main
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"slate/internal/client"
+	"slate/internal/daemon"
+	"slate/internal/device"
+	"slate/internal/engine"
+	"slate/internal/fault"
+	"slate/internal/journal"
+	"slate/internal/kern"
+	"slate/internal/profile"
+)
+
+// ccResult is one (site, seed) cell of the crashchaos matrix.
+type ccResult struct {
+	site     string
+	seed     int64
+	fired    bool  // the armed crash point actually fired
+	acked    int   // launches the first incarnation acked before dying
+	replayed int   // accepted-incomplete launches recovery re-executed
+	deduped  int   // duplicate sends the dedup window absorbed
+	trunc    int64 // torn-tail bytes replay cut from the journal
+	err      error
+}
+
+// runCrashChaos drives the full matrix: every crash site, two consecutive
+// seeds.
+func runCrashChaos(seed int64) (string, error) {
+	var rows []ccResult
+	for _, s := range []int64{seed, seed + 1} {
+		for _, site := range fault.CrashSites() {
+			var r ccResult
+			if site == fault.SiteProfileRenameMid {
+				r = profileCrashLeg(s)
+			} else {
+				r = daemonCrashLeg(s, site)
+			}
+			r.site, r.seed = site, s
+			rows = append(rows, r)
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString("Crash-chaos matrix (kill at site, restart, verify recovery)\n")
+	fmt.Fprintf(&b, "%-22s %-5s %-6s %-6s %-8s %-7s %-6s %s\n",
+		"site", "seed", "fired", "acked", "replayed", "deduped", "torn", "verdict")
+	var firstErr error
+	for _, r := range rows {
+		verdict := "PASS"
+		if r.err != nil {
+			verdict = "FAIL: " + r.err.Error()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s seed=%d: %w", r.site, r.seed, r.err)
+			}
+		}
+		fmt.Fprintf(&b, "%-22s %-5d %-6v %-6d %-8d %-7d %-6d %s\n",
+			r.site, r.seed, r.fired, r.acked, r.replayed, r.deduped, r.trunc, verdict)
+	}
+	if firstErr != nil {
+		return b.String(), firstErr
+	}
+	b.WriteString("\nall crash sites recovered: exactly-once launches, idempotent replay, clean drain\n")
+	return b.String(), nil
+}
+
+// ccKernelName builds a per-(site,seed,index) kernel identifier so every
+// scripted launch is countable on its own.
+func ccKernelName(site string, seed int64, i int) string {
+	return fmt.Sprintf("cc_%s_%d_%d", strings.NewReplacer(".", "_", "-", "_").Replace(site), seed, i)
+}
+
+// ccSource wraps a kernel name in minimal CUDA source the injection
+// pipeline accepts.
+func ccSource(name string) string {
+	return fmt.Sprintf("__global__ void %s(float *x, int n) { int i = blockIdx.x; if (i < n) x[i] = 1.0f; }", name)
+}
+
+// daemonCrashLeg runs the journal/checkpoint crash sites: incarnation one
+// dies at the armed site mid-workload, incarnation two recovers the same
+// state directory, the client resumes, and the exactly-once invariant is
+// checked per launch.
+func daemonCrashLeg(seed int64, site string) ccResult {
+	var r ccResult
+	dir, err := os.MkdirTemp("", "crashchaos")
+	if err != nil {
+		r.err = err
+		return r
+	}
+	defer os.RemoveAll(dir)
+
+	// Incarnation 1: durable daemon with an armed crash point. Append sites
+	// arm past the session-open append so the handshake always succeeds;
+	// the checkpoint site arms an early compaction (the log compacts every
+	// 4 records, so later hits would need a longer script). Varying the hit
+	// with the seed moves the death around the script.
+	hit := uint64(2 + seed%3)
+	if site == fault.SiteCheckpointMid {
+		hit = uint64(seed % 2)
+	}
+	srv1, dial1 := daemon.NewLocal(4)
+	crasher := fault.NewCrasher(site, hit)
+	if _, err := srv1.EnableDurability(daemon.Durability{
+		Dir: dir, CompactEvery: 4, Crash: crasher.Hook(), NoSync: true,
+	}); err != nil {
+		r.err = err
+		return r
+	}
+	cli, err := client.New(dial1(), "crashchaos", client.WithTimeout(5*time.Second))
+	if err != nil {
+		r.err = fmt.Errorf("incarnation 1 handshake: %w", err)
+		return r
+	}
+
+	const launches = 8
+	acked := map[string]bool{}
+	for i := 0; i < launches; i++ {
+		name := ccKernelName(site, seed, i)
+		_, _, lerr := cli.LaunchSourceDegraded(ccSource(name), name, kern.D1(4), kern.D1(32), 4)
+		switch {
+		case lerr == nil:
+			acked[name] = true
+		case errors.Is(lerr, client.ErrDaemonDown) || errors.Is(lerr, client.ErrTimeout):
+			// The simulated process died under (or before) this call; the
+			// client may hold it as the pending op Resume will replay.
+		default:
+			r.err = fmt.Errorf("launch %s: unexpected %v", name, lerr)
+			return r
+		}
+		if i%2 == 1 {
+			// Interleave syncs so some launches have durable completion
+			// records when the crash lands.
+			_ = cli.Synchronize()
+		}
+	}
+	if !crasher.Fired() {
+		r.err = fmt.Errorf("crash site never fired (armed hit %d)", hit)
+		return r
+	}
+	// Launch i carried op ID i+1, so the client's held pending op (the one
+	// call that was actually in flight when the transport died) maps back
+	// to its kernel name.
+	var pendingName string
+	if op := cli.PendingOp(); op >= 1 && op <= launches {
+		pendingName = ccKernelName(site, seed, int(op-1))
+	}
+	r.fired = true
+	r.acked = len(acked)
+	// Let incarnation 1's teardown settle: its conns are closed, and every
+	// in-flight launch either finished (journaling to a dead writer, a
+	// no-op) or never will.
+	waitSessions(srv1, 5*time.Second)
+	_ = srv1.CloseDurability()
+
+	// A stats-only replay first: it observes (and cuts) the torn tail the
+	// crash left, before the digest passes re-read the file.
+	jstats, err := journal.Replay(filepath.Join(dir, daemon.JournalFile), func(*journal.Record) error { return nil })
+	if err != nil {
+		r.err = fmt.Errorf("journal replay: %w", err)
+		return r
+	}
+	r.trunc = jstats.TruncatedBytes
+
+	// Replay idempotence: two consecutive digests of the directory must
+	// match (the first one also truncates any torn tail, which must not
+	// change what the second sees).
+	d1, err := daemon.StateDigest(dir)
+	if err != nil {
+		r.err = fmt.Errorf("digest 1: %w", err)
+		return r
+	}
+	d2, err := daemon.StateDigest(dir)
+	if err != nil {
+		r.err = fmt.Errorf("digest 2: %w", err)
+		return r
+	}
+	if d1 != d2 {
+		r.err = errors.New("state digest changed between consecutive replays")
+		return r
+	}
+	durable := parseDigestOps(d1)
+
+	// Incarnation 2: recover, resume, verify.
+	srv2, dial2 := daemon.NewLocal(4)
+	stats, err := srv2.EnableDurability(daemon.Durability{Dir: dir, NoSync: true})
+	if err != nil {
+		r.err = fmt.Errorf("recovery: %w", err)
+		return r
+	}
+	r.replayed = stats.Replayed
+
+	recovered, err := cli.Resume(func() (net.Conn, error) { return dial2(), nil }, client.RetryConfig{Attempts: 3})
+	if err != nil {
+		r.err = fmt.Errorf("resume: %w", err)
+		return r
+	}
+	if !recovered {
+		r.err = errors.New("resume reported state lost; the journal should have held this session")
+		return r
+	}
+	if err := cli.Synchronize(); err != nil {
+		r.err = fmt.Errorf("post-resume sync: %w", err)
+		return r
+	}
+
+	// Exactly-once: for every launch with a durable accept record — plus
+	// the pending one the client re-sent — executions in incarnation 2 and
+	// durable completions from incarnation 1 sum to one. (Incarnation 1
+	// executions without a durable completion died with the device.) A
+	// launch with neither a durable accept nor a client re-send must not
+	// have run at all.
+	for i := 0; i < launches; i++ {
+		name := ccKernelName(site, seed, i)
+		runs2 := srv2.Exec.Runs("src:" + name)
+		ent, inJournal := durable[name]
+		switch {
+		case inJournal:
+			done1 := 0
+			if ent.done {
+				done1 = 1
+			}
+			if runs2+done1 != 1 {
+				r.err = fmt.Errorf("%s: runs2=%d + durable-complete=%d, want exactly 1", name, runs2, done1)
+				return r
+			}
+		case name == pendingName:
+			if runs2 != 1 {
+				r.err = fmt.Errorf("%s: re-sent pending op ran %d times, want 1", name, runs2)
+				return r
+			}
+		default:
+			if runs2 != 0 {
+				r.err = fmt.Errorf("%s: never accepted, yet ran %d times", name, runs2)
+				return r
+			}
+		}
+		if acked[name] && !inJournal {
+			r.err = fmt.Errorf("%s: acked but its accept record is not durable (write-ahead violated)", name)
+			return r
+		}
+	}
+
+	// Liveness after recovery: a fresh launch on the resumed session.
+	live := ccKernelName(site, seed, 99)
+	if _, _, err := cli.LaunchSourceDegraded(ccSource(live), live, kern.D1(4), kern.D1(32), 4); err != nil {
+		r.err = fmt.Errorf("post-recovery launch: %w", err)
+		return r
+	}
+	if err := cli.Synchronize(); err != nil {
+		r.err = fmt.Errorf("post-recovery sync: %w", err)
+		return r
+	}
+	r.deduped = srv2.DedupHits()
+	if err := cli.Close(); err != nil {
+		r.err = fmt.Errorf("close: %w", err)
+		return r
+	}
+
+	// Drain-after-recovery must terminate.
+	if err := srv2.Drain(5 * time.Second); err != nil {
+		r.err = fmt.Errorf("drain after recovery: %w", err)
+		return r
+	}
+	_ = srv2.CloseDurability()
+	return r
+}
+
+// digestOp is one parsed dedup-window line of a state digest.
+type digestOp struct {
+	done bool
+}
+
+// parseDigestOps extracts the source-launch window entries from a
+// StateDigest by kernel name (accept-time successes only).
+func parseDigestOps(digest string) map[string]digestOp {
+	out := map[string]digestOp{}
+	for _, line := range strings.Split(digest, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "op=") {
+			continue
+		}
+		var kernel string
+		var done, okCode, src bool
+		for _, f := range strings.Fields(line) {
+			switch {
+			case strings.HasPrefix(f, "kernel="):
+				kernel = strings.TrimPrefix(f, "kernel=")
+			case f == "done=true":
+				done = true
+			case f == "code=0":
+				okCode = true
+			case f == "src=true":
+				src = true
+			}
+		}
+		if kernel != "" && okCode && src {
+			out[kernel] = digestOp{done: done}
+		}
+	}
+	return out
+}
+
+// waitSessions polls until the server's live-session count reaches zero or
+// the deadline passes.
+func waitSessions(srv *daemon.Server, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for srv.Sessions() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// profileCrashLeg runs the profile.rename.mid site: a crash between the
+// durable temp write and the rename must leave the previous table intact,
+// and the post-restart save must be byte-identical to a clean run's.
+func profileCrashLeg(seed int64) ccResult {
+	var r ccResult
+	dir, err := os.MkdirTemp("", "crashchaos-prof")
+	if err != nil {
+		r.err = err
+		return r
+	}
+	defer os.RemoveAll(dir)
+
+	newProf := func() *profile.Profiler {
+		return profile.New(device.TitanXp(),
+			&engine.StaticModel{DefaultHit: 0, DefaultRunBytes: 1 << 20, SlateRunFactor: 1})
+	}
+	measure := func(p *profile.Profiler, extra bool) error {
+		specs := []*kern.Spec{
+			{Name: fmt.Sprintf("ccp-a-%d", seed), Grid: kern.D1(256), BlockDim: kern.D1(256),
+				FLOPsPerBlock: 1e7, InstrPerBlock: 1e5, L2BytesPerBlock: 1e4, ComputeEff: 0.5, MemMLP: 8},
+			{Name: fmt.Sprintf("ccp-b-%d", seed), Grid: kern.D1(128), BlockDim: kern.D1(256),
+				FLOPsPerBlock: 1e4, InstrPerBlock: 1e5, L2BytesPerBlock: 1e7, ComputeEff: 0.5, MemMLP: 8},
+		}
+		if extra {
+			specs = append(specs, &kern.Spec{
+				Name: fmt.Sprintf("ccp-c-%d", seed), Grid: kern.D1(64), BlockDim: kern.D1(256),
+				FLOPsPerBlock: 1e5, InstrPerBlock: 1e5, L2BytesPerBlock: 1e5, ComputeEff: 0.5, MemMLP: 8})
+		}
+		for _, s := range specs {
+			if _, err := p.Get(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// The clean run: the bytes recovery must converge to.
+	clean := newProf()
+	if err := measure(clean, true); err != nil {
+		r.err = err
+		return r
+	}
+	cleanPath := filepath.Join(dir, "clean.profiles")
+	if err := clean.SaveFile(cleanPath, nil); err != nil {
+		r.err = err
+		return r
+	}
+	cleanBytes, err := os.ReadFile(cleanPath)
+	if err != nil {
+		r.err = err
+		return r
+	}
+
+	// The crashing run: publish a first (smaller) table, then die mid-rename
+	// of the second. The table on disk must still be the first one.
+	path := filepath.Join(dir, "daemon.profiles")
+	victim := newProf()
+	if err := measure(victim, false); err != nil {
+		r.err = err
+		return r
+	}
+	if err := victim.SaveFile(path, nil); err != nil {
+		r.err = err
+		return r
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		r.err = err
+		return r
+	}
+	if err := measure(victim, true); err != nil {
+		r.err = err
+		return r
+	}
+	crasher := fault.NewCrasher(fault.SiteProfileRenameMid, 0)
+	err = victim.SaveFile(path, crasher.Hook())
+	if !errors.Is(err, fault.ErrCrash) {
+		r.err = fmt.Errorf("crashing save returned %v, want ErrCrash", err)
+		return r
+	}
+	r.fired = crasher.Fired()
+	after, err := os.ReadFile(path)
+	if err != nil {
+		r.err = fmt.Errorf("table vanished under a mid-rename crash: %w", err)
+		return r
+	}
+	if !bytes.Equal(before, after) {
+		r.err = errors.New("mid-rename crash tore the published table")
+		return r
+	}
+
+	// Restart: load what survived, re-measure, save cleanly. The result
+	// must be byte-identical to the clean run.
+	restarted := newProf()
+	st, err := restarted.LoadFile(path)
+	if err != nil {
+		r.err = err
+		return r
+	}
+	if st.Quarantined != 0 || st.TruncatedTail != 0 {
+		r.err = fmt.Errorf("recovered table reported damage: %+v", st)
+		return r
+	}
+	r.acked = st.Loaded
+	if err := measure(restarted, true); err != nil {
+		r.err = err
+		return r
+	}
+	if err := restarted.SaveFile(path, nil); err != nil {
+		r.err = err
+		return r
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		r.err = err
+		return r
+	}
+	if !bytes.Equal(got, cleanBytes) {
+		r.err = errors.New("recovered profile table differs from a clean run's bytes")
+		return r
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		r.err = errors.New("crashed publish left a temp file behind after recovery")
+		return r
+	}
+	return r
+}

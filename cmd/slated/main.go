@@ -11,6 +11,11 @@
 // Usage:
 //
 //	slated -listen /tmp/slate.sock -budget 8 -drain-timeout 30s
+//
+// With -state-dir the daemon keeps a write-ahead journal and checkpoint
+// there: a restart over the same directory recovers sessions (clients
+// reattach via their resume tokens), replays accepted-but-incomplete source
+// launches exactly once, and logs a one-line recovery summary.
 package main
 
 import (
@@ -30,6 +35,7 @@ func main() {
 	addr := flag.String("listen", "/tmp/slate.sock", "unix socket path")
 	budget := flag.Int("budget", 8, "executor worker budget (the host 'SM pool')")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long drain waits for sessions before force-closing them")
+	stateDir := flag.String("state-dir", "", "directory for the durable journal + checkpoint (empty = volatile daemon)")
 	flag.Parse()
 
 	_ = os.Remove(*addr)
@@ -41,6 +47,19 @@ func main() {
 	defer os.Remove(*addr)
 
 	srv := framework.NewDaemon(*budget)
+	if *stateDir != "" {
+		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "slated: state dir: %v\n", err)
+			os.Exit(1)
+		}
+		stats, err := srv.EnableDurability(framework.Durability{Dir: *stateDir})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "slated: durability: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("slated: journal %s checkpoint %s\n", stats.JournalPath, stats.CheckpointPath)
+		fmt.Printf("slated: %s\n", stats.LogLine())
+	}
 	fmt.Printf("slated: listening on %s (budget %d)\n", *addr, *budget)
 
 	sig := make(chan os.Signal, 2)

@@ -12,6 +12,7 @@
 package framework
 
 import (
+	"context"
 	"net"
 	"time"
 
@@ -57,6 +58,11 @@ type (
 	// BackoffConfig shapes WithBackpressureRetry's backoff and circuit
 	// breaker.
 	BackoffConfig = client.BackoffConfig
+	// Durability configures the daemon's crash-safe state layer (journal +
+	// checkpoint directory); see Daemon.EnableDurability.
+	Durability = daemon.Durability
+	// RecoveryStats summarizes what a durable daemon recovered at startup.
+	RecoveryStats = daemon.RecoveryStats
 	// FaultConfig sets seeded fault-injection probabilities.
 	FaultConfig = fault.Config
 	// FaultInjector deterministically perturbs the transport, allocator,
@@ -87,6 +93,12 @@ var (
 	// ErrCircuitOpen: the client's breaker tripped after repeated
 	// rejections; launches fail fast without a round trip.
 	ErrCircuitOpen = client.ErrCircuitOpen
+	// ErrDuplicateOp: a replayed launch was already accepted, but its
+	// outcome aged out of the daemon's dedup window (it ran exactly once).
+	ErrDuplicateOp = client.ErrDuplicateOp
+	// ErrSessionLost: the daemon restarted without durable state for this
+	// session; the run continues degraded in a fresh session.
+	ErrSessionLost = client.ErrSessionLost
 )
 
 // WithTimeout bounds every command round trip; expired calls fail with
@@ -105,6 +117,16 @@ func WithBackpressureRetry(bc BackoffConfig) ClientOption {
 func DialRetry(dial func() (net.Conn, error), proc string, rc RetryConfig, opts ...ClientOption) (*Client, error) {
 	return client.DialRetry(dial, proc, rc, opts...)
 }
+
+// DialRetryContext is DialRetry honoring ctx: cancellation aborts the
+// backoff between attempts with an error wrapping ctx.Err().
+func DialRetryContext(ctx context.Context, dial func() (net.Conn, error), proc string, rc RetryConfig, opts ...ClientOption) (*Client, error) {
+	return client.DialRetryContext(ctx, dial, proc, rc, opts...)
+}
+
+// WithContext attaches a context whose cancellation aborts waits inside
+// the client's retry loops (backpressure backoff, Resume redials).
+func WithContext(ctx context.Context) ClientOption { return client.WithContext(ctx) }
 
 // NewFaultInjector builds a seeded deterministic fault injector.
 func NewFaultInjector(cfg FaultConfig) *FaultInjector { return fault.New(cfg) }

@@ -6,6 +6,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -46,6 +47,14 @@ var (
 	// ErrCircuitOpen: repeated backpressure rejections opened the client's
 	// circuit breaker; launches fail fast until the cooldown elapses.
 	ErrCircuitOpen = errors.New("circuit open after repeated rejections")
+	// ErrDuplicateOp: the daemon already accepted this op, but its outcome
+	// has aged out of the dedup window; the launch ran exactly once, the
+	// original reply is gone.
+	ErrDuplicateOp = errors.New("op already accepted, outcome unavailable")
+	// ErrSessionLost: the daemon restarted without durable state (or the
+	// resume token is unknown); the session restarts fresh and in-flight
+	// work from the old incarnation is gone.
+	ErrSessionLost = errors.New("session state lost across daemon restart")
 )
 
 // opError is a failed command: the op, the daemon's message, and the typed
@@ -75,6 +84,15 @@ func (b *Buffer) Size() int64 { return b.size }
 // Session returns the daemon-assigned session ID from the handshake.
 func (c *Client) Session() uint64 { return c.sess }
 
+// Token returns the resume token from the handshake: zero when the daemon
+// runs without durability, otherwise the handle Resume presents after a
+// daemon restart to reattach this session.
+func (c *Client) Token() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.token
+}
+
 // Client is one application process's connection to the Slate daemon.
 type Client struct {
 	conn  *ipc.Conn
@@ -86,13 +104,28 @@ type Client struct {
 	// sess is the daemon-assigned session ID from the hello reply; it tags
 	// spec deposits so the daemon can purge orphans on disconnect.
 	sess uint64
+	// proc is the client-reported process name, replayed on Resume so a
+	// fresh session (state lost) keeps its identity.
+	proc string
 	// bp is the backpressure retry + circuit-breaker state (nil = launches
 	// surface ErrBackpressure directly).
 	bp *breaker
+	// ctx, when set via WithContext, cancels waits inside retry backoff
+	// loops (backpressure retries, DialRetryContext, Resume redials).
+	ctx context.Context
 
 	mu     sync.Mutex
 	seq    uint64
 	broken error // sticky transport failure; all later calls fail fast
+	// token is the durable resume token (0 = daemon has no durability).
+	token uint64
+	// nextOp numbers launches for exactly-once replay: each launch carries
+	// a monotonic per-session op ID the daemon journals and dedups on.
+	nextOp uint64
+	// pending is the last stamped launch whose fate the transport failure
+	// left unknown; Resume re-sends it, and the daemon's dedup window
+	// answers with the original outcome if it was already accepted.
+	pending *ipc.Request
 }
 
 // Option configures a Client.
@@ -104,6 +137,33 @@ func WithShared(reg *ipc.BufferRegistry, specs *daemon.SpecTable) Option {
 	return func(c *Client) {
 		c.reg = reg
 		c.specs = specs
+	}
+}
+
+// WithContext attaches a context whose cancellation aborts waits inside the
+// client's retry loops: backpressure backoff between launch retries and
+// redial backoff inside Resume. A canceled wait surfaces ctx.Err() via
+// errors.Is. It does not interrupt an in-flight command round trip — use
+// WithTimeout to bound those.
+func WithContext(ctx context.Context) Option {
+	return func(c *Client) { c.ctx = ctx }
+}
+
+// sleepCtx waits d or until ctx is canceled, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -189,9 +249,10 @@ func (b *breaker) admit() error {
 	return nil
 }
 
-// backoff sleeps the jittered exponential delay before retry `attempt`
-// (1-based).
-func (b *breaker) backoff(attempt int) {
+// backoff waits the jittered exponential delay before retry `attempt`
+// (1-based), or returns early with ctx.Err() if the context is canceled
+// mid-backoff.
+func (b *breaker) backoff(ctx context.Context, attempt int) error {
 	delay := b.cfg.BaseDelay << (attempt - 1)
 	if delay > b.cfg.MaxDelay || delay <= 0 {
 		delay = b.cfg.MaxDelay
@@ -199,7 +260,7 @@ func (b *breaker) backoff(attempt int) {
 	b.mu.Lock()
 	jitter := time.Duration(b.rng.Int63n(int64(delay)/2 + 1))
 	b.mu.Unlock()
-	time.Sleep(delay/2 + jitter)
+	return sleepCtx(ctx, delay/2+jitter)
 }
 
 // settle records a launch outcome: a non-backpressure result closes the
@@ -230,7 +291,7 @@ func WithTimeout(d time.Duration) Option {
 
 // New wraps a transport connection and performs the hello handshake.
 func New(nc net.Conn, proc string, opts ...Option) (*Client, error) {
-	c := &Client{conn: ipc.NewConn(nc)}
+	c := &Client{conn: ipc.NewConn(nc), proc: proc}
 	for _, o := range opts {
 		o(c)
 	}
@@ -240,6 +301,7 @@ func New(nc net.Conn, proc string, opts ...Option) (*Client, error) {
 		return nil, fmt.Errorf("client: handshake: %w", err)
 	}
 	c.sess = rep.Session
+	c.token = rep.Token
 	return c, nil
 }
 
@@ -277,6 +339,13 @@ func (rc RetryConfig) withDefaults() RetryConfig {
 // a random half-delay jitter decorrelates stampeding clients after a daemon
 // restart. The final failure wraps ErrDaemonDown.
 func DialRetry(dial func() (net.Conn, error), proc string, rc RetryConfig, opts ...Option) (*Client, error) {
+	return DialRetryContext(context.Background(), dial, proc, rc, opts...)
+}
+
+// DialRetryContext is DialRetry honoring ctx: cancellation aborts the wait
+// between attempts (and pre-empts the next dial) with an error wrapping
+// ctx.Err().
+func DialRetryContext(ctx context.Context, dial func() (net.Conn, error), proc string, rc RetryConfig, opts ...Option) (*Client, error) {
 	rc = rc.withDefaults()
 	rng := rand.New(rand.NewSource(rc.Seed))
 	delay := rc.BaseDelay
@@ -284,18 +353,24 @@ func DialRetry(dial func() (net.Conn, error), proc string, rc RetryConfig, opts 
 	for attempt := 0; attempt < rc.Attempts; attempt++ {
 		if attempt > 0 {
 			jitter := time.Duration(rng.Int63n(int64(delay)/2 + 1))
-			time.Sleep(delay/2 + jitter)
+			if err := sleepCtx(ctx, delay/2+jitter); err != nil {
+				return nil, fmt.Errorf("client: dial canceled after %d attempts: %w", attempt, err)
+			}
 			delay *= 2
 			if delay > rc.MaxDelay {
 				delay = rc.MaxDelay
 			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("client: dial canceled after %d attempts: %w", attempt, err)
 		}
 		nc, err := dial()
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		c, err := New(nc, proc, opts...)
+		// Prepend so an explicit WithContext among opts still wins.
+		c, err := New(nc, proc, append([]Option{WithContext(ctx)}, opts...)...)
 		if err != nil {
 			nc.Close()
 			lastErr = err
@@ -326,6 +401,7 @@ func (c *Client) call(req *ipc.Request) (*ipc.Reply, error) {
 	req.Seq = c.seq
 	if err := c.conn.SendRequest(req); err != nil {
 		c.broken = err
+		c.notePendingLocked(req)
 		return nil, &opError{op: req.Op, msg: err.Error(), kind: ErrDaemonDown}
 	}
 	if c.timeout > 0 {
@@ -337,6 +413,7 @@ func (c *Client) call(req *ipc.Request) (*ipc.Reply, error) {
 	}
 	if err != nil {
 		c.broken = err
+		c.notePendingLocked(req)
 		if isTimeout(err) {
 			return nil, &opError{op: req.Op, msg: fmt.Sprintf("no reply within %v", c.timeout), kind: ErrTimeout}
 		}
@@ -368,6 +445,8 @@ func sentinelFor(code ipc.ErrCode) error {
 		return ErrQuota
 	case ipc.CodeDraining:
 		return ErrDraining
+	case ipc.CodeDuplicateOp:
+		return ErrDuplicateOp
 	default:
 		return nil
 	}
@@ -386,11 +465,48 @@ func (c *Client) callLaunch(req *ipc.Request) (*ipc.Reply, error) {
 	}
 	rep, err := c.call(req)
 	for attempt := 1; attempt <= c.bp.cfg.Attempts && errors.Is(err, ErrBackpressure); attempt++ {
-		c.bp.backoff(attempt)
+		if serr := c.bp.backoff(c.ctx, attempt); serr != nil {
+			// Canceled mid-backoff: surface the cancellation without
+			// counting this launch against the circuit breaker.
+			return rep, &opError{op: req.Op, msg: "canceled during backpressure backoff", kind: serr}
+		}
 		rep, err = c.call(req)
 	}
 	c.bp.settle(errors.Is(err, ErrBackpressure))
 	return rep, err
+}
+
+// notePendingLocked records a stamped launch whose fate the transport
+// failure left unknown — the daemon may or may not have accepted it.
+// Resume re-sends it under the same op ID, and journal-backed dedup on the
+// daemon turns the re-send into a fetch of the original outcome instead of
+// a second execution. Unstamped ops (queries, memcpy, sync) are idempotent
+// or harmless to drop and are not tracked.
+func (c *Client) notePendingLocked(req *ipc.Request) {
+	if req.OpID == 0 {
+		return
+	}
+	cp := *req
+	c.pending = &cp
+}
+
+// PendingOp returns the op ID of the stamped launch whose fate a transport
+// failure left unknown (0 = none). Resume replays it.
+func (c *Client) PendingOp() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pending == nil {
+		return 0
+	}
+	return c.pending.OpID
+}
+
+// nextOpID stamps a launch with the next monotonic per-session op ID.
+func (c *Client) nextOpID() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextOp++
+	return c.nextOp
 }
 
 // isTimeout recognizes an expired read deadline however the transport
@@ -480,7 +596,9 @@ func (c *Client) LaunchStream(spec *kern.Spec, taskSize, stream int) error {
 		return err
 	}
 	tok := c.specs.PutOwned(spec, c.sess)
-	_, err := c.callLaunch(&ipc.Request{Op: ipc.OpLaunch, Token: tok, TaskSize: taskSize, Stream: stream})
+	// One op ID per launch, assigned before the first send so backpressure
+	// retries of the same launch reuse it (they are the same op).
+	_, err := c.callLaunch(&ipc.Request{Op: ipc.OpLaunch, Token: tok, TaskSize: taskSize, Stream: stream, OpID: c.nextOpID()})
 	return err
 }
 
@@ -500,6 +618,7 @@ func (c *Client) LaunchSourceDegraded(source, kernel string, grid, block kern.Di
 	rep, err := c.callLaunch(&ipc.Request{
 		Op: ipc.OpLaunchSource, Source: source, Kernel: kernel, TaskSize: taskSize,
 		GridX: grid.X, GridY: grid.Y, BlockX: block.X, BlockY: block.Y,
+		OpID: c.nextOpID(),
 	})
 	if err != nil {
 		return nil, false, err
@@ -532,4 +651,92 @@ func (c *Client) Close() error {
 		return callErr
 	}
 	return closeErr
+}
+
+// Resume reconnects after a transport failure or daemon restart and
+// reattaches the session by its resume token. recovered reports which of
+// the two restart outcomes happened:
+//
+//   - true: the daemon recovered this session from its journal. The session
+//     keeps its ID, poison state, and dedup window, and a launch whose ack
+//     was lost in flight is re-sent under its original op ID — the daemon
+//     either returns the journaled outcome or executes it for the first
+//     time, never twice.
+//   - false: the daemon has no durable state for the token (or none at
+//     all). The client gets a fresh session under the same process name and
+//     the run continues degraded; if an op was in flight when the transport
+//     died, its fate is unknown and the error wraps ErrSessionLost.
+//
+// Redials use rc's backoff and honor the WithContext context; a draining
+// daemon refuses resumption with a typed ErrDraining error.
+func (c *Client) Resume(dial func() (net.Conn, error), rc RetryConfig) (recovered bool, err error) {
+	rc = rc.withDefaults()
+	c.mu.Lock()
+	token := c.token
+	pending := c.pending
+	ctx := c.ctx
+	old := c.conn
+	c.mu.Unlock()
+	old.Close() // the broken transport is dead either way
+
+	rng := rand.New(rand.NewSource(rc.Seed))
+	delay := rc.BaseDelay
+	var lastErr error
+	for attempt := 0; attempt < rc.Attempts; attempt++ {
+		if attempt > 0 {
+			jitter := time.Duration(rng.Int63n(int64(delay)/2 + 1))
+			if serr := sleepCtx(ctx, delay/2+jitter); serr != nil {
+				return false, fmt.Errorf("client: resume canceled after %d attempts: %w", attempt, serr)
+			}
+			delay *= 2
+			if delay > rc.MaxDelay {
+				delay = rc.MaxDelay
+			}
+		}
+		nc, derr := dial()
+		if derr != nil {
+			lastErr = derr
+			continue
+		}
+		// Splice in the fresh transport, then run the resume handshake
+		// through the normal call path (deadline + error mapping).
+		c.mu.Lock()
+		c.conn = ipc.NewConn(nc)
+		c.broken = nil
+		c.mu.Unlock()
+		rep, rerr := c.call(&ipc.Request{Op: ipc.OpResume, SessionToken: token, Proc: c.proc})
+		if rerr != nil {
+			if errors.Is(rerr, ErrDraining) {
+				// The daemon is up and refusing: do not redial into it.
+				c.conn.Close()
+				return false, rerr
+			}
+			nc.Close()
+			lastErr = rerr
+			continue
+		}
+		c.mu.Lock()
+		c.sess = rep.Session
+		c.token = rep.Token
+		c.pending = nil
+		c.mu.Unlock()
+		if !rep.Recovered {
+			if pending != nil {
+				return false, fmt.Errorf("client: resumed into a fresh session; op %d's outcome is unknown: %w", pending.OpID, ErrSessionLost)
+			}
+			return false, nil
+		}
+		if pending != nil {
+			// Re-send under the original op ID: the daemon's dedup window
+			// answers with the journaled outcome if the op was accepted, or
+			// executes it for the first time if the crash beat the journal
+			// append. ErrDuplicateOp means "accepted exactly once, reply
+			// aged out" — the launch is safe, only its details are gone.
+			if _, perr := c.call(pending); perr != nil && !errors.Is(perr, ErrDuplicateOp) {
+				return true, fmt.Errorf("client: resumed, but replaying op %d failed: %w", pending.OpID, perr)
+			}
+		}
+		return true, nil
+	}
+	return false, fmt.Errorf("client: resume failed after %d attempts: %v: %w", rc.Attempts, lastErr, ErrDaemonDown)
 }

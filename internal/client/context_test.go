@@ -1,0 +1,147 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"slate/internal/ipc"
+	"slate/internal/kern"
+)
+
+// backpressureDaemon answers the handshake, then rejects every launch with
+// CodeBackpressure — a saturated daemon that never recovers.
+func backpressureDaemon(t *testing.T) net.Conn {
+	t.Helper()
+	a, b := net.Pipe()
+	go func() {
+		conn := ipc.NewConn(b)
+		for {
+			req, err := conn.RecvRequest()
+			if err != nil {
+				return
+			}
+			rep := &ipc.Reply{Seq: req.Seq, Session: 1}
+			if req.Op != ipc.OpHello {
+				rep.Code = ipc.CodeBackpressure
+				rep.Err = "daemon: session launch queue full"
+			}
+			if err := conn.SendReply(rep); err != nil {
+				return
+			}
+		}
+	}()
+	return a
+}
+
+// A canceled context aborts the backpressure backoff mid-wait: the launch
+// returns promptly wrapping context.Canceled instead of sleeping out the
+// full retry schedule, and the cancellation does not trip the breaker.
+func TestBackpressureBackoffHonorsCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c, err := New(backpressureDaemon(t), "canceler",
+		WithContext(ctx),
+		// Without cancellation this schedule sleeps for many seconds.
+		WithBackpressureRetry(BackoffConfig{Attempts: 10, BaseDelay: 2 * time.Second, MaxDelay: 2 * time.Second}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.AfterFunc(20*time.Millisecond, cancel)
+	start := time.Now()
+	_, _, err = c.LaunchSourceDegraded(`__global__ void k(float *x, int n) {}`, "k", kern.D1(4), kern.D1(32), 4)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled launch = %v, want context.Canceled", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v — the backoff was slept out, not aborted", elapsed)
+	}
+	// The cancellation must not count against the circuit breaker.
+	if errors.Is(err, ErrCircuitOpen) {
+		t.Fatal("cancellation tripped the circuit")
+	}
+	if c.bp.open {
+		t.Fatal("breaker opened on a canceled backoff")
+	}
+}
+
+// An already-canceled context fails the launch before any backoff sleep.
+func TestBackpressureBackoffPreCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c, err := New(backpressureDaemon(t), "precanceled",
+		WithContext(ctx),
+		WithBackpressureRetry(BackoffConfig{Attempts: 10, BaseDelay: 2 * time.Second, MaxDelay: 2 * time.Second}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, _, err = c.LaunchSourceDegraded(`__global__ void k(float *x, int n) {}`, "k", kern.D1(4), kern.D1(32), 4)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled launch = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("pre-canceled launch still slept")
+	}
+}
+
+// DialRetryContext aborts its backoff between attempts when the context is
+// canceled, wrapping ctx.Err().
+func TestDialRetryContextCanceledMidBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	dials := 0
+	dial := func() (net.Conn, error) {
+		dials++
+		return nil, errors.New("connection refused")
+	}
+	time.AfterFunc(20*time.Millisecond, cancel)
+	start := time.Now()
+	_, err := DialRetryContext(ctx, dial, "impatient",
+		RetryConfig{Attempts: 10, BaseDelay: 2 * time.Second, MaxDelay: 2 * time.Second})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled dial = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("dial backoff was slept out, not aborted")
+	}
+	if dials == 0 {
+		t.Fatal("never attempted a dial before the backoff")
+	}
+}
+
+// Resume's redial loop honors the client's WithContext context the same
+// way: cancellation mid-backoff surfaces promptly as a typed error.
+func TestResumeRedialHonorsCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	a, b := net.Pipe()
+	go func() {
+		conn := ipc.NewConn(b)
+		for {
+			req, err := conn.RecvRequest()
+			if err != nil {
+				return
+			}
+			if err := conn.SendReply(&ipc.Reply{Seq: req.Seq, Session: 1}); err != nil {
+				return
+			}
+		}
+	}()
+	c, err := New(a, "resumer", WithContext(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Close() // the daemon vanishes
+
+	time.AfterFunc(20*time.Millisecond, cancel)
+	start := time.Now()
+	_, err = c.Resume(func() (net.Conn, error) { return nil, errors.New("connection refused") },
+		RetryConfig{Attempts: 10, BaseDelay: 2 * time.Second, MaxDelay: 2 * time.Second})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled resume = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("resume backoff was slept out, not aborted")
+	}
+}

@@ -77,11 +77,17 @@ type Executor struct {
 	MaxRunSeconds float64
 	// Th classifies first-run profiles.
 	Th policy.Thresholds
+	// OnProfile, when set, observes every first-run classification — the
+	// daemon's durability layer journals these so a restart keeps the warm
+	// profile table instead of re-measuring every kernel. Called without the
+	// executor lock held.
+	OnProfile func(name string, class policy.Class, soloSec float64)
 
 	mu       sync.Mutex
 	cond     *sync.Cond
 	running  []*execTask
 	profiles map[string]*execProfile
+	runs     map[string]int
 	// Decisions records corun/solo choices for observability.
 	Decisions []string
 }
@@ -106,7 +112,8 @@ func NewExecutor(budget int) *Executor {
 	if budget <= 0 {
 		budget = 8
 	}
-	x := &Executor{Budget: budget, MaxConcurrent: 2, Th: policy.DefaultThresholds(), profiles: map[string]*execProfile{}}
+	x := &Executor{Budget: budget, MaxConcurrent: 2, Th: policy.DefaultThresholds(),
+		profiles: map[string]*execProfile{}, runs: map[string]int{}}
 	x.cond = sync.NewCond(&x.mu)
 	return x
 }
@@ -134,6 +141,7 @@ func (x *Executor) Run(spec *kern.Spec, taskSize int) error {
 		for len(x.running) > 0 {
 			x.cond.Wait()
 		}
+		x.noteRunLocked(spec.Name)
 		x.mu.Unlock()
 		start := time.Now()
 		q := transform.NewQueue(tr)
@@ -167,10 +175,15 @@ func (x *Executor) Run(spec *kern.Spec, taskSize int) error {
 		}
 		gflops := spec.TotalFLOPs() / sec / 1e9
 		bw := spec.TotalL2Bytes() / sec / 1e9
-		x.profiles[spec.Name] = &execProfile{class: x.Th.Classify(gflops, bw), soloSec: sec}
-		x.record(fmt.Sprintf("profile %s: class=%v solo=%.3fms", spec.Name, x.profiles[spec.Name].class, sec*1e3))
+		class := x.Th.Classify(gflops, bw)
+		x.profiles[spec.Name] = &execProfile{class: class, soloSec: sec}
+		x.record(fmt.Sprintf("profile %s: class=%v solo=%.3fms", spec.Name, class, sec*1e3))
 		x.cond.Broadcast()
+		onProfile := x.OnProfile
 		x.mu.Unlock()
+		if onProfile != nil {
+			onProfile(spec.Name, class, sec)
+		}
 		return nil
 	}
 
@@ -193,6 +206,7 @@ func (x *Executor) Run(spec *kern.Spec, taskSize int) error {
 		started: time.Now(),
 	}
 	x.running = append(x.running, task)
+	x.noteRunLocked(spec.Name)
 	x.rebalanceLocked()
 	if len(x.running) == 2 {
 		x.record(fmt.Sprintf("corun %s(%d workers) + %s(%d workers)",
@@ -282,6 +296,9 @@ func (x *Executor) RunVanilla(spec *kern.Spec, _ int) error {
 		return err
 	}
 	blocks := spec.Grid.X * spec.Grid.Y
+	x.mu.Lock()
+	x.noteRunLocked(spec.Name)
+	x.mu.Unlock()
 	trap := &panicTrap{}
 	body := trap.wrap(spec)
 	workers := x.Budget
@@ -413,4 +430,45 @@ func (x *Executor) Profile(name string) (policy.Class, bool) {
 		return 0, false
 	}
 	return p.class, true
+}
+
+// noteRunLocked counts one execution of the named kernel — a dispatched
+// grid, whatever its outcome. The crashchaos harness sums these across
+// daemon incarnations to prove exactly-once launch replay.
+func (x *Executor) noteRunLocked(name string) {
+	if x.runs == nil {
+		x.runs = map[string]int{}
+	}
+	x.runs[name]++
+}
+
+// Runs reports how many times a kernel's grid was dispatched on this
+// executor (profiling runs included).
+func (x *Executor) Runs(name string) int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.runs[name]
+}
+
+// RestoreProfile pre-seeds a first-run classification recovered from the
+// durable journal, so a restarted daemon skips the solo profiling run it
+// already paid for. An existing (fresher) entry wins.
+func (x *Executor) RestoreProfile(name string, class policy.Class, soloSec float64) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if _, ok := x.profiles[name]; ok {
+		return
+	}
+	x.profiles[name] = &execProfile{class: class, soloSec: soloSec}
+}
+
+// ProfileSoloSec returns the recorded solo time of a classified kernel.
+func (x *Executor) ProfileSoloSec(name string) (float64, bool) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	p, ok := x.profiles[name]
+	if !ok {
+		return 0, false
+	}
+	return p.soloSec, true
 }

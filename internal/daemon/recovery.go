@@ -1,0 +1,723 @@
+// Crash recovery for the wire-protocol daemon: a write-ahead journal of
+// session and launch state, periodic compaction into a checkpoint, and the
+// recovery path that rebuilds resumable sessions after a restart.
+//
+// Durable state machine (DESIGN.md §11):
+//
+//	hello        → journal session-open (token minted, pre-ack)
+//	launch       → journal launch-accept (pre-ack, with the ack's contents
+//	               and — for source launches — the geometry recovery needs
+//	               to re-execute it)
+//	launch done  → journal launch-complete (+ a strike record when the
+//	               outcome poisons the session)
+//	profile      → journal the executor's first-run classification
+//	close        → journal session-close (resumable state discarded)
+//
+// Recovery loads the checkpoint, replays the journal idempotently over it
+// (records carry session/op identities; re-delivered identities are no-ops,
+// which a crash between checkpoint rename and journal reset depends on),
+// re-executes accepted-but-incomplete source launches exactly once, and
+// marks non-replayable in-process launches lost. A reconnecting client
+// presents its session token via OpResume and gets its dedup window,
+// poison state, and pending outcomes back.
+package daemon
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"slate/internal/fault"
+	"slate/internal/ipc"
+	"slate/internal/journal"
+	"slate/internal/policy"
+)
+
+// Default durable-state filenames inside Durability.Dir.
+const (
+	// JournalFile is the append-only write-ahead log.
+	JournalFile = "journal.slate"
+	// CheckpointFile is the compacted snapshot the journal folds into.
+	CheckpointFile = "checkpoint.slate"
+)
+
+// DedupWindow bounds each session's journaled replay window: the daemon
+// remembers the accept-time ack of this many most-recent ops per session. A
+// replayed op still inside the window returns its original reply verbatim
+// (Dup set); an older one gets CodeDuplicateOp — it was accepted once and
+// will not run again, but its outcome is no longer recallable.
+const DedupWindow = 128
+
+// DefaultCompactEvery is how many journal records accumulate before the
+// daemon folds them into the checkpoint and resets the log.
+const DefaultCompactEvery = 256
+
+// Durability configures the daemon's crash-safe state layer.
+type Durability struct {
+	// Dir holds the journal and checkpoint files.
+	Dir string
+	// CompactEvery overrides DefaultCompactEvery (0 = default).
+	CompactEvery int
+	// Crash is the crash-site hook (fault.Crasher.Hook) for kill-and-restart
+	// testing; nil never fires.
+	Crash func(site string) error
+	// NoSync skips per-append fsync (tests only).
+	NoSync bool
+}
+
+// dedupEntry is one journaled launch in a session's replay window: the
+// accept-time ack a re-sending client gets back, plus the geometry recovery
+// needs to re-execute a source launch.
+type dedupEntry struct {
+	OpID uint64 `json:"op"`
+	// Accept-time ack, replayed verbatim on a duplicate send.
+	Code     uint8    `json:"code,omitempty"`
+	Err      string   `json:"err,omitempty"`
+	Degraded bool     `json:"deg,omitempty"`
+	Entries  []string `json:"entries,omitempty"`
+	// Done marks the launch's completion record as journaled; recovery
+	// re-executes only accepted-incomplete launches.
+	Done bool `json:"done,omitempty"`
+	// Replay material (source launches).
+	Src      bool   `json:"src,omitempty"`
+	Kernel   string `json:"kernel,omitempty"`
+	GridX    int    `json:"gx,omitempty"`
+	GridY    int    `json:"gy,omitempty"`
+	BlockX   int    `json:"bx,omitempty"`
+	BlockY   int    `json:"by,omitempty"`
+	TaskSize int    `json:"task,omitempty"`
+	Stream   int    `json:"stream,omitempty"`
+}
+
+// resumeState is one session's durable, resumable identity: what survives a
+// daemon restart and reattaches on OpResume. Exported fields persist in the
+// checkpoint.
+type resumeState struct {
+	Sess  uint64 `json:"sess"`
+	Token uint64 `json:"tok"`
+	Proc  string `json:"proc,omitempty"`
+	// MaxOp is the highest accepted op ID; anything at or below it is a
+	// duplicate.
+	MaxOp uint64 `json:"max_op,omitempty"`
+	// Window is the bounded dedup FIFO, oldest first.
+	Window []*dedupEntry `json:"window,omitempty"`
+	// PoisonErr/PoisonCode persist sticky session poisoning (kernel panic or
+	// containment timeout) across a restart.
+	PoisonErr  string `json:"poison,omitempty"`
+	PoisonCode uint8  `json:"poison_code,omitempty"`
+	// LostErr reports accepted launches recovery could not re-execute
+	// (in-process kernels whose closures died with the daemon); surfaced at
+	// the resumed session's next Synchronize.
+	LostErr string `json:"lost,omitempty"`
+
+	attached bool // bound to a live connection (runtime only)
+}
+
+// entry returns the window entry for op, if still present.
+func (st *resumeState) entry(op uint64) *dedupEntry {
+	for _, e := range st.Window {
+		if e.OpID == op {
+			return e
+		}
+	}
+	return nil
+}
+
+// push appends a window entry, evicting the oldest beyond DedupWindow.
+func (st *resumeState) push(e *dedupEntry) {
+	st.Window = append(st.Window, e)
+	if n := len(st.Window) - DedupWindow; n > 0 {
+		st.Window = append([]*dedupEntry(nil), st.Window[n:]...)
+	}
+	if e.OpID > st.MaxOp {
+		st.MaxOp = e.OpID
+	}
+}
+
+// profileSnap is one journaled executor classification.
+type profileSnap struct {
+	Class   int     `json:"class"`
+	SoloSec float64 `json:"solo_sec"`
+}
+
+// checkpointState is the compaction snapshot the journal folds into.
+type checkpointState struct {
+	NextSess uint64                 `json:"next_sess"`
+	Sessions []*resumeState         `json:"sessions,omitempty"`
+	Profiles map[string]profileSnap `json:"profiles,omitempty"`
+}
+
+// durableState is the daemon's runtime handle on its crash-safe layer.
+type durableState struct {
+	mu           sync.Mutex
+	w            *journal.Writer
+	jPath        string
+	ckptPath     string
+	compactEvery int
+	crash        func(site string) error
+	nosync       bool
+	resume       map[uint64]*resumeState // token → state
+	bySess       map[uint64]*resumeState
+	dedupHits    int
+	stats        RecoveryStats
+}
+
+// RecoveryStats summarizes what EnableDurability found and rebuilt; slated
+// logs its LogLine at startup so operators can audit a restart.
+type RecoveryStats struct {
+	JournalPath      string
+	CheckpointPath   string
+	CheckpointLoaded bool
+	// Sessions is how many resumable sessions were recovered.
+	Sessions int
+	// DedupOps is how many dedup-window entries (journaled launch acks) were
+	// restored.
+	DedupOps int
+	// Profiles is how many warm first-run classifications were restored.
+	Profiles int
+	// Replayed is how many accepted-but-incomplete source launches recovery
+	// re-executed (exactly once).
+	Replayed int
+	// Lost is how many accepted launches could not be re-executed
+	// (in-process kernels); their sessions see a typed loss error.
+	Lost int
+	// Records is how many whole journal records replay applied.
+	Records int
+	// TruncatedBytes is the torn tail replay cut from the journal.
+	TruncatedBytes int64
+}
+
+// LogLine renders the one-line recovery summary slated prints (and tests
+// assert).
+func (rs *RecoveryStats) LogLine() string {
+	return fmt.Sprintf(
+		"recovery: sessions=%d dedup-ops=%d profiles=%d replayed=%d lost=%d journal-records=%d truncated-bytes=%d",
+		rs.Sessions, rs.DedupOps, rs.Profiles, rs.Replayed, rs.Lost, rs.Records, rs.TruncatedBytes)
+}
+
+// loadedState is the pure result of checkpoint + journal replay, before it
+// is installed into a server.
+type loadedState struct {
+	nextSess uint64
+	sessions map[uint64]*resumeState // token → state
+	bySess   map[uint64]*resumeState
+	profiles map[string]profileSnap
+}
+
+func newLoadedState() *loadedState {
+	return &loadedState{
+		sessions: map[uint64]*resumeState{},
+		bySess:   map[uint64]*resumeState{},
+		profiles: map[string]profileSnap{},
+	}
+}
+
+// seed installs a checkpoint snapshot as the replay baseline.
+func (ls *loadedState) seed(ck *checkpointState) {
+	ls.nextSess = ck.NextSess
+	for _, st := range ck.Sessions {
+		ls.sessions[st.Token] = st
+		ls.bySess[st.Sess] = st
+	}
+	for k, v := range ck.Profiles {
+		ls.profiles[k] = v
+	}
+}
+
+// apply folds one journal record into the state. Idempotent by identity:
+// re-delivered records (the checkpoint-rename-then-crash case) are no-ops.
+func (ls *loadedState) apply(rec *journal.Record) error {
+	switch rec.Kind {
+	case journal.KindSessionOpen:
+		if _, ok := ls.sessions[rec.Token]; ok {
+			return nil
+		}
+		st := &resumeState{Sess: rec.Sess, Token: rec.Token, Proc: rec.Proc}
+		ls.sessions[rec.Token] = st
+		ls.bySess[rec.Sess] = st
+		if rec.Sess >= ls.nextSess {
+			ls.nextSess = rec.Sess + 1
+		}
+	case journal.KindSessionClose:
+		if st, ok := ls.bySess[rec.Sess]; ok {
+			delete(ls.sessions, st.Token)
+			delete(ls.bySess, rec.Sess)
+		}
+	case journal.KindLaunchAccept:
+		st, ok := ls.bySess[rec.Sess]
+		if !ok || rec.OpID == 0 || rec.OpID <= st.MaxOp {
+			return nil // closed session, unstamped op, or re-delivery
+		}
+		st.push(&dedupEntry{
+			OpID: rec.OpID, Code: rec.Code, Err: rec.Err,
+			Degraded: rec.Degraded, Entries: rec.Entries,
+			Src: rec.Src, Kernel: rec.Kernel,
+			GridX: rec.GridX, GridY: rec.GridY, BlockX: rec.BlockX, BlockY: rec.BlockY,
+			TaskSize: rec.TaskSize, Stream: rec.Stream,
+		})
+	case journal.KindLaunchComplete:
+		if st, ok := ls.bySess[rec.Sess]; ok {
+			if e := st.entry(rec.OpID); e != nil {
+				e.Done = true
+			}
+		}
+	case journal.KindStrike:
+		if st, ok := ls.bySess[rec.Sess]; ok && rec.Action == "poison" {
+			st.PoisonErr, st.PoisonCode = rec.Err, rec.Code
+		}
+	case journal.KindProfile:
+		ls.profiles[rec.Kernel] = profileSnap{Class: rec.Class, SoloSec: rec.SoloSec}
+	}
+	return nil
+}
+
+// loadDurableState reads checkpoint + journal from dir and replays into a
+// fresh state. Torn tails are truncated (reported in stats, not errors).
+func loadDurableState(dir string) (*loadedState, journal.ReplayStats, bool, error) {
+	ls := newLoadedState()
+	var ck checkpointState
+	ckLoaded, err := journal.ReadCheckpoint(filepath.Join(dir, CheckpointFile), &ck)
+	if err != nil {
+		return nil, journal.ReplayStats{}, false, err
+	}
+	if ckLoaded {
+		ls.seed(&ck)
+	}
+	stats, err := journal.Replay(filepath.Join(dir, JournalFile), ls.apply)
+	if err != nil {
+		return nil, stats, ckLoaded, err
+	}
+	return ls, stats, ckLoaded, nil
+}
+
+// StateDigest deterministically fingerprints the durable state at dir —
+// sessions, dedup windows, poison marks, and profiles — without installing
+// it into a server. Loading is idempotent, so two consecutive digests of the
+// same directory must match; the crashchaos harness asserts exactly that.
+func StateDigest(dir string) (string, error) {
+	ls, _, _, err := loadDurableState(dir)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "next=%d\n", ls.nextSess)
+	toks := make([]uint64, 0, len(ls.sessions))
+	for t := range ls.sessions {
+		toks = append(toks, t)
+	}
+	sort.Slice(toks, func(i, j int) bool { return toks[i] < toks[j] })
+	for _, t := range toks {
+		st := ls.sessions[t]
+		fmt.Fprintf(&b, "sess=%d tok=%x proc=%s max=%d poison=%q lost=%q\n",
+			st.Sess, st.Token, st.Proc, st.MaxOp, st.PoisonErr, st.LostErr)
+		for _, e := range st.Window {
+			fmt.Fprintf(&b, "  op=%d code=%d err=%q deg=%v done=%v src=%v kernel=%s geom=%d,%d,%d,%d task=%d stream=%d\n",
+				e.OpID, e.Code, e.Err, e.Degraded, e.Done, e.Src, e.Kernel,
+				e.GridX, e.GridY, e.BlockX, e.BlockY, e.TaskSize, e.Stream)
+		}
+	}
+	names := make([]string, 0, len(ls.profiles))
+	for n := range ls.profiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p := ls.profiles[n]
+		fmt.Fprintf(&b, "profile=%s class=%d solo=%.9f\n", n, p.Class, p.SoloSec)
+	}
+	return b.String(), nil
+}
+
+// tokenSalt mixes session IDs into resume tokens. Tokens gate resumption of
+// a single-user local daemon's sessions, not authentication; determinism
+// (same session order → same tokens) is what the chaos harness needs.
+const tokenSalt = 0x9E3779B97F4A7C15
+
+// tokenFor mints the resume token for a session ID (splitmix64 finalizer).
+func tokenFor(sess uint64) uint64 {
+	z := sess + tokenSalt
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// EnableDurability turns on the crash-safe state layer: it recovers any
+// prior state in cfg.Dir (checkpoint + journal replay + launch replay),
+// installs the resumable sessions and warm profiles into the server, and
+// opens the journal for appending. Call before Serve.
+func (s *Server) EnableDurability(cfg Durability) (*RecoveryStats, error) {
+	if cfg.CompactEvery <= 0 {
+		cfg.CompactEvery = DefaultCompactEvery
+	}
+	jPath := filepath.Join(cfg.Dir, JournalFile)
+	ckptPath := filepath.Join(cfg.Dir, CheckpointFile)
+
+	ls, rstats, ckLoaded, err := loadDurableState(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	stats := RecoveryStats{
+		JournalPath:      jPath,
+		CheckpointPath:   ckptPath,
+		CheckpointLoaded: ckLoaded,
+		Sessions:         len(ls.sessions),
+		Records:          rstats.Records,
+		TruncatedBytes:   rstats.TruncatedBytes,
+	}
+	for _, st := range ls.sessions {
+		stats.DedupOps += len(st.Window)
+	}
+	stats.Profiles = len(ls.profiles)
+
+	w, err := journal.OpenWriter(jPath)
+	if err != nil {
+		return nil, err
+	}
+	w.CrashHook = cfg.Crash
+	w.NoSync = cfg.NoSync
+
+	d := &durableState{
+		w:            w,
+		jPath:        jPath,
+		ckptPath:     ckptPath,
+		compactEvery: cfg.CompactEvery,
+		crash:        cfg.Crash,
+		nosync:       cfg.NoSync,
+		resume:       ls.sessions,
+		bySess:       ls.bySess,
+	}
+
+	s.mu.Lock()
+	if ls.nextSess > s.nextSess {
+		s.nextSess = ls.nextSess
+	}
+	s.mu.Unlock()
+	for name, p := range ls.profiles {
+		s.Exec.RestoreProfile(name, policy.Class(p.Class), p.SoloSec)
+	}
+	s.durable = d
+	s.Exec.OnProfile = func(name string, class policy.Class, soloSec float64) {
+		_ = s.journalAppend(&journal.Record{
+			Kind: journal.KindProfile, Kernel: name, Class: int(class), SoloSec: soloSec,
+		})
+	}
+
+	// Exactly-once launch replay: accepted-but-incomplete source launches
+	// re-execute now (their geometry is in the journal); in-process launches
+	// cannot (their closures died with the old process) and are marked lost.
+	s.replayIncomplete(&stats)
+	d.mu.Lock()
+	d.stats = stats
+	d.mu.Unlock()
+	return &stats, nil
+}
+
+// replayIncomplete re-executes every accepted source launch without a
+// completion record and marks non-replayable ones lost. Runs synchronously
+// before the server accepts connections, so a resuming client observes
+// fully settled state.
+func (s *Server) replayIncomplete(stats *RecoveryStats) {
+	d := s.durable
+	d.mu.Lock()
+	type pending struct {
+		st *resumeState
+		e  *dedupEntry
+	}
+	var todo []pending
+	for _, st := range d.resume {
+		for _, e := range st.Window {
+			// Only launches whose accept succeeded are replayable work; a
+			// journaled rejection (Code != 0) never executed and never will.
+			if !e.Done && e.Code == 0 {
+				todo = append(todo, pending{st, e})
+			}
+		}
+	}
+	d.mu.Unlock()
+	sort.Slice(todo, func(i, j int) bool {
+		if todo[i].st.Sess != todo[j].st.Sess {
+			return todo[i].st.Sess < todo[j].st.Sess
+		}
+		return todo[i].e.OpID < todo[j].e.OpID
+	})
+	for _, p := range todo {
+		if !p.e.Src {
+			msg := fmt.Sprintf("daemon: launch op %d lost in crash (in-process kernel not replayable)", p.e.OpID)
+			d.mu.Lock()
+			if p.st.LostErr == "" {
+				p.st.LostErr = msg
+			}
+			d.mu.Unlock()
+			s.completeLaunch(p.st, p.e.OpID, errors.New(msg))
+			stats.Lost++
+			continue
+		}
+		spec := synthesizeSourceSpec(&ipc.Request{
+			Kernel: p.e.Kernel,
+			GridX:  p.e.GridX, GridY: p.e.GridY, BlockX: p.e.BlockX, BlockY: p.e.BlockY,
+		})
+		var err error
+		if spec == nil {
+			err = fmt.Errorf("daemon: replay op %d: invalid journaled geometry", p.e.OpID)
+		} else if p.e.Degraded {
+			err = s.Exec.RunVanilla(spec, p.e.TaskSize)
+		} else {
+			err = s.Exec.Run(spec, p.e.TaskSize)
+		}
+		s.completeLaunch(p.st, p.e.OpID, err)
+		stats.Replayed++
+	}
+}
+
+// RecoveryStatsSnapshot returns the stats EnableDurability produced (nil on
+// a volatile server).
+func (s *Server) RecoveryStatsSnapshot() *RecoveryStats {
+	if s.durable == nil {
+		return nil
+	}
+	s.durable.mu.Lock()
+	defer s.durable.mu.Unlock()
+	st := s.durable.stats
+	return &st
+}
+
+// DedupHits reports how many duplicate ops the dedup window absorbed since
+// startup (replays answered from stored acks plus out-of-window rejections).
+func (s *Server) DedupHits() int {
+	if s.durable == nil {
+		return 0
+	}
+	s.durable.mu.Lock()
+	defer s.durable.mu.Unlock()
+	return s.durable.dedupHits
+}
+
+// Crashed reports whether an injected crash site fired: the simulated
+// process is dead and refuses all further work.
+func (s *Server) Crashed() bool { return s.crashed.Load() }
+
+// crash simulates process death after a fired crash site: every transport
+// closes mid-conversation (no acks escape) and new connections are refused.
+func (s *Server) crash() {
+	if s.crashed.Swap(true) {
+		return
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+}
+
+// journalAppend writes one record through the WAL, compacting afterwards
+// when the log is due. A fired crash site kills the daemon (conns close, no
+// ack escapes) and surfaces fault.ErrCrash to the caller.
+func (s *Server) journalAppend(rec *journal.Record) error {
+	if s.durable == nil {
+		return nil
+	}
+	if err := s.durable.w.Append(rec); err != nil {
+		if errors.Is(err, fault.ErrCrash) {
+			s.crash()
+		}
+		return err
+	}
+	s.maybeCompact()
+	return nil
+}
+
+// maybeCompact folds the journal into the checkpoint once it holds enough
+// records. Crash ordering: the checkpoint publishes (rename) before the
+// journal resets, so a death between the two re-delivers every checkpointed
+// record on recovery — which idempotent apply absorbs.
+func (s *Server) maybeCompact() {
+	d := s.durable
+	if d.w.Records() < d.compactEvery {
+		return
+	}
+	d.mu.Lock()
+	ck := &checkpointState{Profiles: map[string]profileSnap{}}
+	for _, st := range d.resume {
+		ck.Sessions = append(ck.Sessions, st)
+	}
+	sort.Slice(ck.Sessions, func(i, j int) bool { return ck.Sessions[i].Sess < ck.Sessions[j].Sess })
+	d.mu.Unlock()
+	s.mu.Lock()
+	ck.NextSess = s.nextSess
+	s.mu.Unlock()
+	s.Exec.mu.Lock()
+	for name, p := range s.Exec.profiles {
+		ck.Profiles[name] = profileSnap{Class: int(p.class), SoloSec: p.soloSec}
+	}
+	s.Exec.mu.Unlock()
+
+	if err := journal.WriteCheckpoint(d.ckptPath, ck, d.crash); err != nil {
+		if errors.Is(err, fault.ErrCrash) {
+			s.crash()
+		}
+		return // journal keeps everything; next compaction retries
+	}
+	_ = d.w.Reset()
+}
+
+// openSession mints a durable session identity for a fresh hello (or an
+// unknown resume token) and journals it pre-ack. Returns the resume state,
+// or an error when the append died (the caller must vanish without acking).
+func (s *Server) openSession(ss *session, proc string) (*resumeState, error) {
+	if s.durable == nil {
+		return nil, nil
+	}
+	st := &resumeState{Sess: ss.id, Token: tokenFor(ss.id), Proc: proc, attached: true}
+	if err := s.journalAppend(&journal.Record{
+		Kind: journal.KindSessionOpen, Sess: st.Sess, Token: st.Token, Proc: proc,
+	}); err != nil {
+		return nil, err
+	}
+	d := s.durable
+	d.mu.Lock()
+	d.resume[st.Token] = st
+	d.bySess[st.Sess] = st
+	d.mu.Unlock()
+	return st, nil
+}
+
+// resumeSession reattaches a recovered session by token. Verdicts:
+// (state, true)  — found and reattached, durable state restored;
+// (nil, false)   — unknown token or already attached: the caller falls back
+// to a fresh session (client runs degraded, PR 1 semantics).
+func (s *Server) resumeSession(token uint64) (*resumeState, bool) {
+	if s.durable == nil || token == 0 {
+		return nil, false
+	}
+	d := s.durable
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st, ok := d.resume[token]
+	if !ok || st.attached {
+		return nil, false
+	}
+	st.attached = true
+	return st, true
+}
+
+// detachSession releases a resume binding at teardown so a later OpResume
+// can reattach.
+func (s *Server) detachSession(st *resumeState) {
+	if s.durable == nil || st == nil {
+		return
+	}
+	s.durable.mu.Lock()
+	st.attached = false
+	s.durable.mu.Unlock()
+}
+
+// closeSession discards a session's resumable state after a clean OpClose.
+func (s *Server) closeSession(st *resumeState) {
+	if s.durable == nil || st == nil {
+		return
+	}
+	_ = s.journalAppend(&journal.Record{Kind: journal.KindSessionClose, Sess: st.Sess})
+	d := s.durable
+	d.mu.Lock()
+	delete(d.resume, st.Token)
+	delete(d.bySess, st.Sess)
+	d.mu.Unlock()
+}
+
+// dedupCheck answers a replayed launch from the session's dedup window.
+// Returns true when the request was handled (rep filled with the original
+// ack, or a CodeDuplicateOp rejection) and must not execute.
+func (s *Server) dedupCheck(st *resumeState, req *ipc.Request, rep *ipc.Reply) bool {
+	if s.durable == nil || st == nil || req.OpID == 0 {
+		return false
+	}
+	d := s.durable
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if req.OpID > st.MaxOp {
+		return false
+	}
+	d.dedupHits++
+	if e := st.entry(req.OpID); e != nil {
+		rep.Code, rep.Err = ipc.ErrCode(e.Code), e.Err
+		rep.Degraded, rep.Entries = e.Degraded, e.Entries
+		rep.Dup = true
+		return true
+	}
+	rep.Code = ipc.CodeDuplicateOp
+	rep.Err = fmt.Sprintf("daemon: op %d already accepted, outcome outside dedup window", req.OpID)
+	return true
+}
+
+// acceptLaunch journals a launch's accept record — write-ahead of the ack —
+// and installs its dedup entry. src carries the replay geometry. A fired
+// crash site returns fault.ErrCrash: the caller dies without acking.
+func (s *Server) acceptLaunch(st *resumeState, req *ipc.Request, rep *ipc.Reply, src bool) error {
+	if s.durable == nil || st == nil || req.OpID == 0 {
+		return nil
+	}
+	rec := &journal.Record{
+		Kind: journal.KindLaunchAccept, Sess: st.Sess, OpID: req.OpID,
+		Code: uint8(rep.Code), Err: rep.Err, Degraded: rep.Degraded, Entries: rep.Entries,
+		Src: src, Kernel: req.Kernel,
+		GridX: req.GridX, GridY: req.GridY, BlockX: req.BlockX, BlockY: req.BlockY,
+		TaskSize: req.TaskSize, Stream: req.Stream,
+	}
+	if err := s.journalAppend(rec); err != nil {
+		return err
+	}
+	d := s.durable
+	d.mu.Lock()
+	st.push(&dedupEntry{
+		OpID: req.OpID, Code: uint8(rep.Code), Err: rep.Err,
+		Degraded: rep.Degraded, Entries: rep.Entries,
+		Src: src, Kernel: req.Kernel,
+		GridX: req.GridX, GridY: req.GridY, BlockX: req.BlockX, BlockY: req.BlockY,
+		TaskSize: req.TaskSize, Stream: req.Stream,
+	})
+	d.mu.Unlock()
+	return nil
+}
+
+// completeLaunch journals a launch's terminal outcome and marks its dedup
+// entry done; a session-poisoning outcome (panic, containment timeout) also
+// journals the strike so a restart keeps the session poisoned.
+func (s *Server) completeLaunch(st *resumeState, opID uint64, err error) {
+	if s.durable == nil || st == nil || opID == 0 {
+		return
+	}
+	rec := &journal.Record{Kind: journal.KindLaunchComplete, Sess: st.Sess, OpID: opID}
+	if err != nil {
+		rep := &ipc.Reply{}
+		fail(rep, err)
+		rec.Code, rec.Err = uint8(rep.Code), rep.Err
+	}
+	if aerr := s.journalAppend(rec); aerr != nil {
+		return // simulated death: nothing after this record is durable
+	}
+	d := s.durable
+	d.mu.Lock()
+	if e := st.entry(opID); e != nil {
+		e.Done = true
+	}
+	d.mu.Unlock()
+	if errors.Is(err, ErrKernelPanic) || errors.Is(err, ErrKernelTimeout) {
+		rep := &ipc.Reply{}
+		fail(rep, err)
+		_ = s.journalAppend(&journal.Record{
+			Kind: journal.KindStrike, Sess: st.Sess, Action: "poison",
+			Code: uint8(rep.Code), Err: rep.Err,
+		})
+	}
+}
+
+// CloseDurability closes the journal writer (tests and shutdown).
+func (s *Server) CloseDurability() error {
+	if s.durable == nil {
+		return nil
+	}
+	return s.durable.w.Close()
+}

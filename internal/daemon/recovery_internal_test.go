@@ -1,0 +1,77 @@
+package daemon
+
+import (
+	"fmt"
+	"testing"
+
+	"slate/internal/ipc"
+)
+
+// The dedup window is a bounded FIFO: pushing past DedupWindow evicts the
+// oldest entries while MaxOp keeps climbing.
+func TestDedupWindowEviction(t *testing.T) {
+	st := &resumeState{Sess: 1, Token: 0xabc}
+	total := DedupWindow + 10
+	for i := 1; i <= total; i++ {
+		st.push(&dedupEntry{OpID: uint64(i)})
+	}
+	if len(st.Window) != DedupWindow {
+		t.Fatalf("window holds %d entries, want the %d bound", len(st.Window), DedupWindow)
+	}
+	if st.MaxOp != uint64(total) {
+		t.Fatalf("MaxOp = %d, want %d", st.MaxOp, total)
+	}
+	if st.entry(1) != nil || st.entry(10) != nil {
+		t.Fatal("evicted ops still resolvable in the window")
+	}
+	if st.entry(uint64(total)) == nil || st.entry(uint64(total-DedupWindow+1)) == nil {
+		t.Fatal("in-window ops missing")
+	}
+}
+
+// dedupCheck's three verdicts: fresh op falls through, in-window replay
+// returns the stored ack verbatim with Dup set, and an evicted-but-accepted
+// op gets the typed CodeDuplicateOp rejection.
+func TestDedupCheckVerdicts(t *testing.T) {
+	srv := NewServer(1)
+	if _, err := srv.EnableDurability(Durability{Dir: t.TempDir(), NoSync: true}); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.CloseDurability()
+
+	st := &resumeState{Sess: 1, Token: 0xabc}
+	for i := 1; i <= DedupWindow+5; i++ {
+		st.push(&dedupEntry{OpID: uint64(i), Degraded: true, Entries: []string{fmt.Sprintf("ack-%d", i)}})
+	}
+
+	// Fresh op: not handled.
+	rep := &ipc.Reply{}
+	if srv.dedupCheck(st, &ipc.Request{OpID: st.MaxOp + 1}, rep) {
+		t.Fatal("fresh op flagged as duplicate")
+	}
+	// Unstamped op (volatile client): never deduped.
+	if srv.dedupCheck(st, &ipc.Request{OpID: 0}, rep) {
+		t.Fatal("unstamped op flagged as duplicate")
+	}
+
+	// In-window replay: the original ack, verbatim.
+	rep = &ipc.Reply{}
+	if !srv.dedupCheck(st, &ipc.Request{OpID: st.MaxOp}, rep) {
+		t.Fatal("in-window replay not handled")
+	}
+	if !rep.Dup || !rep.Degraded || len(rep.Entries) != 1 || rep.Entries[0] != fmt.Sprintf("ack-%d", st.MaxOp) {
+		t.Fatalf("in-window replay = %+v, want the stored ack with Dup", rep)
+	}
+
+	// Evicted op: accepted once, outcome gone — the typed rejection.
+	rep = &ipc.Reply{}
+	if !srv.dedupCheck(st, &ipc.Request{OpID: 2}, rep) {
+		t.Fatal("evicted duplicate not handled")
+	}
+	if rep.Code != ipc.CodeDuplicateOp || rep.Dup {
+		t.Fatalf("evicted duplicate = %+v, want CodeDuplicateOp without Dup", rep)
+	}
+	if srv.DedupHits() != 2 {
+		t.Fatalf("DedupHits = %d, want 2", srv.DedupHits())
+	}
+}

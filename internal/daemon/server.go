@@ -126,6 +126,13 @@ type Server struct {
 	nextSess uint64
 	draining bool
 	conns    map[net.Conn]struct{}
+
+	// durable is the crash-safe state layer (EnableDurability); nil keeps
+	// the daemon volatile, exactly as before.
+	durable *durableState
+	// crashed latches after an injected crash site fires: the simulated
+	// process is dead.
+	crashed atomic.Bool
 }
 
 // DefaultMaxSessionPending is the per-session launch-queue bound NewServer
@@ -220,6 +227,10 @@ type session struct {
 	id    uint64
 	owned map[uint64]int64 // buffer handle → size, reclaimed if the client vanishes
 	bytes int64            // live session-owned device memory (quota accounting)
+	// resume is the session's durable identity (nil on a volatile daemon):
+	// the dedup window, poison marks, and resume token that survive a
+	// restart.
+	resume *resumeState
 	// pending counts accepted-but-unfinished launches (the backpressure
 	// measure); bumped on the session goroutine, dropped by launch workers.
 	pending atomic.Int64
@@ -292,6 +303,10 @@ func fail(rep *ipc.Reply, err error) {
 // drains in-flight launches and reclaims every session-owned resource:
 // shared buffers and orphaned spec-table entries.
 func (s *Server) ServeConn(nc net.Conn) {
+	if s.crashed.Load() {
+		_ = nc.Close() // the simulated process is dead
+		return
+	}
 	conn := ipc.NewConn(nc)
 	defer conn.Close()
 	s.mu.Lock()
@@ -307,6 +322,7 @@ func (s *Server) ServeConn(nc net.Conn) {
 	var pending sync.WaitGroup
 	defer func() {
 		pending.Wait()
+		s.detachSession(ss.resume) // a vanished client may resume later
 		for h := range ss.owned {
 			_ = s.Registry.Release(h)
 		}
@@ -372,7 +388,57 @@ func (s *Server) ServeConn(nc net.Conn) {
 				_ = conn.SendReply(rep)
 				return
 			}
+			st, err := s.openSession(ss, req.Proc)
+			if err != nil {
+				return // journal died pre-ack: the session never existed
+			}
+			ss.resume = st
 			rep.Session = ss.id
+			if st != nil {
+				rep.Token = st.Token
+			}
+		case ipc.OpResume:
+			// A client reconnecting after a restart or transport loss. The
+			// drain race resolves cleanly: a typed refusal, never a hang —
+			// and, like a refused hello, the conn must not linger.
+			if s.Draining() {
+				fail(rep, ErrDraining)
+				_ = conn.SendReply(rep)
+				return
+			}
+			if ss.resume != nil {
+				fail(rep, fmt.Errorf("daemon: session already established"))
+				break
+			}
+			if st, ok := s.resumeSession(req.SessionToken); ok {
+				ss.id = st.Sess
+				ss.resume = st
+				s.durable.mu.Lock()
+				poisonErr, poisonCode, lost := st.PoisonErr, st.PoisonCode, st.LostErr
+				st.LostErr = "" // surfaced once, at the next Synchronize
+				s.durable.mu.Unlock()
+				ss.mu.Lock()
+				if poisonErr != "" {
+					ss.launch = errFromCode(poisonCode, poisonErr)
+					ss.sticky = true
+				} else if lost != "" {
+					ss.launch = errors.New(lost)
+				}
+				ss.mu.Unlock()
+				rep.Session, rep.Token, rep.Recovered = ss.id, st.Token, true
+			} else {
+				// Unknown (or still-attached) token: state lost. The client
+				// gets a fresh session and is told to run degraded.
+				st, err := s.openSession(ss, req.Proc)
+				if err != nil {
+					return
+				}
+				ss.resume = st
+				rep.Session = ss.id
+				if st != nil {
+					rep.Token = st.Token
+				}
+			}
 		case ipc.OpMalloc:
 			if s.Draining() {
 				fail(rep, ErrDraining)
@@ -427,6 +493,9 @@ func (s *Server) ServeConn(nc net.Conn) {
 				rep.Data = append([]byte(nil), src[:n]...)
 			}
 		case ipc.OpLaunch:
+			if s.dedupCheck(ss.resume, req, rep) {
+				break // replayed op: original ack (or typed duplicate), no re-execution
+			}
 			if err := ss.stickyErr(); err != nil {
 				fail(rep, err)
 				break
@@ -440,9 +509,19 @@ func (s *Server) ServeConn(nc net.Conn) {
 				fail(rep, fmt.Errorf("daemon: unknown kernel token %d", req.Token))
 				break
 			}
-			task := req.TaskSize
-			enqueue(req.Stream, func() error { return s.Exec.Run(spec, task) })
+			if err := s.acceptLaunch(ss.resume, req, rep, false); err != nil {
+				return // journal died pre-ack: the accept never happened
+			}
+			task, opID, st := req.TaskSize, req.OpID, ss.resume
+			enqueue(req.Stream, func() error {
+				err := s.Exec.Run(spec, task)
+				s.completeLaunch(st, opID, err)
+				return err
+			})
 		case ipc.OpLaunchSource:
+			if s.dedupCheck(ss.resume, req, rep) {
+				break
+			}
 			if err := ss.stickyErr(); err != nil {
 				fail(rep, err)
 				break
@@ -451,7 +530,19 @@ func (s *Server) ServeConn(nc net.Conn) {
 				fail(rep, err)
 				break
 			}
-			s.launchSource(req, rep, enqueue)
+			run := s.prepareSource(req, rep)
+			if run == nil {
+				break // rep already failed
+			}
+			if err := s.acceptLaunch(ss.resume, req, rep, true); err != nil {
+				return
+			}
+			opID, st := req.OpID, ss.resume
+			enqueue(req.Stream, func() error {
+				err := run()
+				s.completeLaunch(st, opID, err)
+				return err
+			})
 		case ipc.OpSynchronize:
 			if req.Stream >= 0 {
 				<-streams.tailOf(req.Stream) // cudaStreamSynchronize
@@ -468,6 +559,8 @@ func (s *Server) ServeConn(nc net.Conn) {
 			if err := ss.takeLaunch(); err != nil {
 				fail(rep, err)
 			}
+			s.closeSession(ss.resume) // a clean goodbye ends resumability
+			ss.resume = nil
 			_ = conn.SendReply(rep)
 			return // deferred teardown reclaims buffers and specs
 		default:
@@ -479,13 +572,27 @@ func (s *Server) ServeConn(nc net.Conn) {
 	}
 }
 
-// launchSource runs the injection + runtime-compilation pipeline for one
-// OpLaunchSource and schedules the synthesized execution. When injection or
-// compilation fails for a source whose requested kernel is otherwise valid
-// CUDA, the launch degrades to the untransformed vanilla hardware-scheduler
-// path instead of failing — the paper's transparency contract — and the
-// downgrade is recorded in the executor's decision log.
-func (s *Server) launchSource(req *ipc.Request, rep *ipc.Reply, enqueue func(stream int, run func() error)) {
+// errFromCode rebuilds a typed daemon error from its journaled wire code,
+// so a resumed session's restored poison still satisfies errors.Is.
+func errFromCode(code uint8, msg string) error {
+	switch ipc.ErrCode(code) {
+	case ipc.CodeKernelPanic:
+		return fmt.Errorf("%w (recovered): %s", ErrKernelPanic, msg)
+	case ipc.CodeKernelTimeout:
+		return fmt.Errorf("%w (recovered): %s", ErrKernelTimeout, msg)
+	default:
+		return errors.New(msg)
+	}
+}
+
+// prepareSource runs the injection + runtime-compilation pipeline for one
+// OpLaunchSource and returns the execution thunk the caller schedules (nil
+// when rep was failed instead). When injection or compilation fails for a
+// source whose requested kernel is otherwise valid CUDA, the launch degrades
+// to the untransformed vanilla hardware-scheduler path instead of failing —
+// the paper's transparency contract — and the downgrade is recorded in the
+// executor's decision log.
+func (s *Server) prepareSource(req *ipc.Request, rep *ipc.Reply) func() error {
 	want := "slate_" + req.Kernel
 	out, pipeErr := inject.Transform(req.Source, inject.Options{TaskSize: req.TaskSize, EmitDispatcher: true})
 	if pipeErr == nil {
@@ -494,7 +601,7 @@ func (s *Server) launchSource(req *ipc.Request, rep *ipc.Reply, enqueue func(str
 		if pipeErr == nil {
 			if !img.HasEntry(want) {
 				fail(rep, fmt.Errorf("daemon: kernel %q not found after injection", req.Kernel))
-				return
+				return nil
 			}
 			rep.Entries = img.Entries
 		}
@@ -504,7 +611,7 @@ func (s *Server) launchSource(req *ipc.Request, rep *ipc.Reply, enqueue func(str
 		// Slate: the original source must itself define the kernel.
 		if !sourceHasKernel(req.Source, req.Kernel) {
 			fail(rep, pipeErr)
-			return
+			return nil
 		}
 		rep.Degraded = true
 		rep.Entries = []string{req.Kernel}
@@ -518,14 +625,13 @@ func (s *Server) launchSource(req *ipc.Request, rep *ipc.Reply, enqueue func(str
 	if spec == nil {
 		fail(rep, fmt.Errorf("daemon: launchSource %q: invalid geometry grid=(%d,%d) block=(%d,%d)",
 			req.Kernel, req.GridX, req.GridY, req.BlockX, req.BlockY))
-		return
+		return nil
 	}
 	task := req.TaskSize
 	if rep.Degraded {
-		enqueue(req.Stream, func() error { return s.Exec.RunVanilla(spec, task) })
-	} else {
-		enqueue(req.Stream, func() error { return s.Exec.Run(spec, task) })
+		return func() error { return s.Exec.RunVanilla(spec, task) }
 	}
+	return func() error { return s.Exec.Run(spec, task) }
 }
 
 // sourceHasKernel reports whether the raw, untransformed source defines the

@@ -1,0 +1,90 @@
+package fault
+
+import "errors"
+
+// Crash sites: the named points in the daemon's durability paths where a
+// process death has distinct consequences. The crashchaos harness
+// kill-and-restarts the daemon at every one of them.
+const (
+	// SiteJournalAppendPre: death while appending a journal record — the
+	// frame is torn mid-write, so the record is NOT durable and the client
+	// was never acked. Replay must truncate the torn tail; the client must
+	// re-send, and the re-send must execute (it never ran).
+	SiteJournalAppendPre = "journal.append.pre"
+	// SiteJournalAppendPost: death after the record reached the journal but
+	// before the ack left — durable, un-acked. The client re-sends and must
+	// get the original outcome back without a second execution.
+	SiteJournalAppendPost = "journal.append.post"
+	// SiteCheckpointMid: death halfway through writing a compaction
+	// checkpoint — a partial temp file exists, the rename never happened.
+	// Recovery must ignore the partial file and use old checkpoint + journal.
+	SiteCheckpointMid = "checkpoint.mid"
+	// SiteProfileRenameMid: death between writing the profile table's temp
+	// file and renaming it into place — the published table must remain the
+	// previous complete version.
+	SiteProfileRenameMid = "profile.rename.mid"
+)
+
+// CrashSites lists every named crash site, in a stable order, for harnesses
+// that iterate the whole matrix.
+func CrashSites() []string {
+	return []string{SiteJournalAppendPre, SiteJournalAppendPost, SiteCheckpointMid, SiteProfileRenameMid}
+}
+
+// ErrCrash is the typed cause every simulated crash returns. A component
+// receiving it must behave as if the process died at that instant: abandon
+// the operation, send nothing, clean up nothing.
+var ErrCrash = errors.New("fault: injected crash")
+
+// Crasher simulates one process death: it fires ErrCrash on the Nth hit of
+// its configured site and never again (a process only dies once). Hits are
+// counted per site, deterministically, so a (site, n) pair names one exact
+// crash point across runs. A nil *Crasher never fires, so components can
+// call Hook() results unconditionally.
+type Crasher struct {
+	inj  *Injector // reuses the per-site counters for determinism bookkeeping
+	site string
+	at   uint64
+}
+
+// NewCrasher arms a crash at the n-th hit (0-based) of the named site.
+func NewCrasher(site string, n uint64) *Crasher {
+	return &Crasher{inj: New(Config{}), site: site, at: n}
+}
+
+// Hit reports whether this call is the armed crash point for site, firing at
+// most once.
+func (c *Crasher) Hit(site string) bool {
+	if c == nil || site != c.site {
+		return false
+	}
+	c.inj.mu.Lock()
+	defer c.inj.mu.Unlock()
+	n := c.inj.counters[site]
+	c.inj.counters[site] = n + 1
+	if n != c.at {
+		return false
+	}
+	c.inj.events = append(c.inj.events, Event{Site: site, N: n, Kind: "crash"})
+	return true
+}
+
+// Fired reports whether the armed crash has happened.
+func (c *Crasher) Fired() bool {
+	if c == nil {
+		return false
+	}
+	return len(c.inj.Events()) > 0
+}
+
+// Hook adapts the crasher to the func(site) error shape the durability
+// layers accept: it returns ErrCrash exactly at the armed hit. A nil
+// receiver yields a usable hook that never fires.
+func (c *Crasher) Hook() func(site string) error {
+	return func(site string) error {
+		if c.Hit(site) {
+			return ErrCrash
+		}
+		return nil
+	}
+}

@@ -1,0 +1,76 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+// A crasher fires exactly once, at exactly the armed (site, n) hit.
+func TestCrasherFiresOnceAtArmedHit(t *testing.T) {
+	c := NewCrasher(SiteJournalAppendPre, 2)
+	hook := c.Hook()
+	var fired []int
+	for i := 0; i < 6; i++ {
+		if err := hook(SiteJournalAppendPre); err != nil {
+			if !errors.Is(err, ErrCrash) {
+				t.Fatalf("hit %d: %v, want ErrCrash", i, err)
+			}
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 1 || fired[0] != 2 {
+		t.Fatalf("crash fired at hits %v, want exactly [2]", fired)
+	}
+	if !c.Fired() {
+		t.Fatal("Fired() = false after the crash")
+	}
+}
+
+// Other sites never trigger a crasher armed elsewhere, and their hits do not
+// advance its counter.
+func TestCrasherIgnoresOtherSites(t *testing.T) {
+	c := NewCrasher(SiteCheckpointMid, 0)
+	hook := c.Hook()
+	for i := 0; i < 5; i++ {
+		if err := hook(SiteJournalAppendPost); err != nil {
+			t.Fatalf("foreign site fired: %v", err)
+		}
+	}
+	if c.Fired() {
+		t.Fatal("crasher fired on a foreign site")
+	}
+	if err := hook(SiteCheckpointMid); !errors.Is(err, ErrCrash) {
+		t.Fatalf("armed site hit 0: %v, want ErrCrash", err)
+	}
+}
+
+// A nil crasher is a valid no-op, so durability code can install hooks
+// unconditionally.
+func TestNilCrasherNeverFires(t *testing.T) {
+	var c *Crasher
+	hook := c.Hook()
+	for _, site := range CrashSites() {
+		if err := hook(site); err != nil {
+			t.Fatalf("nil crasher fired at %s: %v", site, err)
+		}
+	}
+	if c.Fired() {
+		t.Fatal("nil crasher reports Fired")
+	}
+}
+
+// The site matrix is stable: harnesses iterate it and bake site names into
+// traces.
+func TestCrashSiteMatrix(t *testing.T) {
+	sites := CrashSites()
+	if len(sites) != 4 {
+		t.Fatalf("%d crash sites, want 4", len(sites))
+	}
+	seen := map[string]bool{}
+	for _, s := range sites {
+		if seen[s] {
+			t.Fatalf("duplicate site %q", s)
+		}
+		seen[s] = true
+	}
+}

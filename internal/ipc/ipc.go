@@ -49,6 +49,12 @@ const (
 	// CodeKernelTimeout is a launch abandoned by the executor's wall-clock
 	// containment deadline (sticky, like a panic).
 	CodeKernelTimeout
+	// CodeDuplicateOp marks a launch whose per-session op ID was already
+	// accepted but whose original outcome is no longer in the bounded dedup
+	// window; the launch was NOT re-executed (exactly-once semantics).
+	// Replays whose outcome is still cached return the original reply with
+	// Dup set instead of this code.
+	CodeDuplicateOp
 )
 
 // Op enumerates command-channel operations.
@@ -65,6 +71,11 @@ const (
 	OpLaunchSource
 	OpSynchronize
 	OpClose
+	// OpResume replaces OpHello for a client reconnecting after a daemon
+	// restart or transport loss: it presents the session token from the
+	// original hello and asks the daemon to reattach the recovered session
+	// state (dedup window, pending launch outcomes).
+	OpResume
 )
 
 func (o Op) String() string {
@@ -87,6 +98,8 @@ func (o Op) String() string {
 		return "synchronize"
 	case OpClose:
 		return "close"
+	case OpResume:
+		return "resume"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -119,6 +132,13 @@ type Request struct {
 	// GridX, GridY, BlockX, BlockY describe the launch geometry
 	// (OpLaunchSource).
 	GridX, GridY, BlockX, BlockY int
+	// OpID is the per-session monotonically increasing operation ID the
+	// client stamps on launches (0 = unstamped). The daemon journals it with
+	// the launch and dedups replays, so a reconnecting client re-sending an
+	// un-acked launch gets exactly-once execution.
+	OpID uint64
+	// SessionToken is the resume credential presented with OpResume.
+	SessionToken uint64
 }
 
 // Reply is one daemon→client response.
@@ -142,6 +162,18 @@ type Reply struct {
 	Data []byte
 	// Entries lists compiled entry points (launchSource).
 	Entries []string
+	// Token is the session resume credential (hello/resume); presenting it
+	// with OpResume after a reconnect reattaches the session's recovered
+	// state.
+	Token uint64
+	// Dup reports that this reply replays the stored outcome of an op the
+	// daemon had already accepted — the launch was not executed again.
+	Dup bool
+	// Recovered reports the resume verdict: true means the daemon restarted
+	// (or the transport dropped) and the session's durable state was
+	// recovered; false on an OpResume reply means the state was lost and the
+	// client got a fresh, degraded session instead.
+	Recovered bool
 }
 
 // Conn wraps a net.Conn with gob framing. Safe for one reader and one

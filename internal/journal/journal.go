@@ -1,0 +1,377 @@
+// Package journal is the daemon's durable-state layer: an append-only
+// write-ahead log of length+CRC32C-framed JSON records, plus an atomically
+// replaced checkpoint file the log periodically compacts into.
+//
+// Durability contract:
+//   - Append is called BEFORE the daemon acks the operation it records
+//     (write-ahead). A crash between append and ack leaves a durable,
+//     un-acked record; the client re-sends and the daemon dedups.
+//   - A crash mid-append leaves a torn tail. Replay detects it (truncated
+//     frame or checksum mismatch), truncates the file back to the last whole
+//     record, and reports what it dropped.
+//   - Replay is idempotent by construction on the consumer side: records
+//     carry identities (session ID, op ID), and appliers must treat a
+//     re-delivered identity as a no-op — the compaction path depends on it,
+//     because a crash after the checkpoint rename but before the log
+//     truncation re-delivers every checkpointed record.
+//
+// Crash simulation: the Writer and checkpoint writer accept a hook
+// (fault.Crasher.Hook) fired at the named sites in internal/fault; a non-nil
+// return makes them behave exactly as a process death at that point would —
+// a torn append, or an orphaned checkpoint temp file.
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"slate/internal/fault"
+	"slate/internal/ipc"
+)
+
+// Kind enumerates journal record types.
+type Kind uint8
+
+const (
+	// KindSessionOpen: a client session was established (hello).
+	KindSessionOpen Kind = iota + 1
+	// KindSessionClose: a session ended cleanly (OpClose); its resumable
+	// state is discarded.
+	KindSessionClose
+	// KindLaunchAccept: a launch passed admission and is about to be acked.
+	KindLaunchAccept
+	// KindLaunchComplete: an accepted launch finished, with its outcome.
+	KindLaunchComplete
+	// KindStrike: a containment transition (quarantine, strike-ladder step,
+	// timeout, panic, vanilla fallback) from the executor's decision log.
+	KindStrike
+	// KindProfile: a kernel's first-run classification — the warm profile
+	// state a restart would otherwise re-measure.
+	KindProfile
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindSessionOpen:
+		return "session-open"
+	case KindSessionClose:
+		return "session-close"
+	case KindLaunchAccept:
+		return "launch-accept"
+	case KindLaunchComplete:
+		return "launch-complete"
+	case KindStrike:
+		return "strike"
+	case KindProfile:
+		return "profile"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Record is one journal entry. Fields beyond Kind are populated per kind;
+// JSON encoding keeps the log debuggable with standard tools.
+type Record struct {
+	Kind Kind `json:"k"`
+	// Sess and OpID identify the operation for dedup (open/close/accept/
+	// complete records).
+	Sess uint64 `json:"sess,omitempty"`
+	OpID uint64 `json:"op,omitempty"`
+	// Token is the session resume credential (session-open).
+	Token uint64 `json:"tok,omitempty"`
+	Proc  string `json:"proc,omitempty"`
+	// Launch parameters (launch-accept). Src marks a source launch, whose
+	// synthesized geometry lets recovery re-execute it; executable in-process
+	// launches cannot be re-run after a crash (their closures died with the
+	// client's view of the spec table).
+	Kernel   string `json:"kernel,omitempty"`
+	Src      bool   `json:"src,omitempty"`
+	GridX    int    `json:"gx,omitempty"`
+	GridY    int    `json:"gy,omitempty"`
+	BlockX   int    `json:"bx,omitempty"`
+	BlockY   int    `json:"by,omitempty"`
+	TaskSize int    `json:"task,omitempty"`
+	Stream   int    `json:"stream,omitempty"`
+	// Accept-time outcome (launch-accept): the reply the client was/will be
+	// acked with.
+	Degraded bool     `json:"deg,omitempty"`
+	Entries  []string `json:"entries,omitempty"`
+	// Completion outcome (launch-complete).
+	Code uint8  `json:"code,omitempty"`
+	Err  string `json:"err,omitempty"`
+	// Containment transition (strike).
+	Action string `json:"action,omitempty"`
+	// Warm profile state (profile).
+	Class   int     `json:"class,omitempty"`
+	SoloSec float64 `json:"solo_sec,omitempty"`
+}
+
+// Writer is the append-only journal. Safe for concurrent appenders; each
+// record is framed, written, and fsynced under one lock so the on-disk
+// record order is the append order.
+type Writer struct {
+	// CrashHook, when set, simulates process death at the journal's named
+	// crash sites (fault.SiteJournalAppendPre/Post). Install before the
+	// first Append.
+	CrashHook func(site string) error
+	// NoSync skips the per-append fsync (tests and benchmarks only).
+	NoSync bool
+
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	records int
+	dead    bool
+}
+
+// OpenWriter opens (creating if absent) the journal at path for appending.
+func OpenWriter(path string) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open: %w", err)
+	}
+	return &Writer{f: f, path: path}, nil
+}
+
+// Path returns the journal file path.
+func (w *Writer) Path() string { return w.path }
+
+// Append encodes rec, frames it, writes it, and fsyncs — all before the
+// caller may ack the operation the record describes. A fired crash hook at
+// the pre site tears the frame mid-write (the record is not durable); at the
+// post site the record is durable but the caller must die before acking.
+// Either way the writer is dead afterwards: the simulated process is gone.
+func (w *Writer) Append(rec *Record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: encode: %w", err)
+	}
+	frame := ipc.AppendFrame(nil, payload)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.dead {
+		return fault.ErrCrash
+	}
+	if w.CrashHook != nil {
+		if err := w.CrashHook(fault.SiteJournalAppendPre); err != nil {
+			// Death mid-write: half the frame reaches the file.
+			_, _ = w.f.Write(frame[:len(frame)/2])
+			w.dead = true
+			return err
+		}
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if !w.NoSync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("journal: sync: %w", err)
+		}
+	}
+	w.records++
+	if w.CrashHook != nil {
+		if err := w.CrashHook(fault.SiteJournalAppendPost); err != nil {
+			// Death after durability, before the ack.
+			w.dead = true
+			return err
+		}
+	}
+	return nil
+}
+
+// Records returns how many records this writer has durably appended.
+func (w *Writer) Records() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.records
+}
+
+// Reset truncates the journal to empty — called after its contents were
+// compacted into a checkpoint.
+func (w *Writer) Reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.dead {
+		return fault.ErrCrash
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("journal: reset: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	w.records = 0
+	return w.f.Sync()
+}
+
+// Close closes the underlying file.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// ReplayStats reports what a replay found.
+type ReplayStats struct {
+	// Records is how many whole, checksum-valid records were applied.
+	Records int
+	// Truncated reports that a torn or corrupt tail was found and cut.
+	Truncated bool
+	// TruncatedBytes is how many trailing bytes were dropped.
+	TruncatedBytes int64
+}
+
+// Replay reads the journal at path, invoking fn for each valid record in
+// append order. A torn or corrupt tail — a partial frame, a checksum
+// mismatch, or an undecodable payload — ends the replay: the file is
+// truncated back to the last whole record (so the next replay is clean) and
+// the loss is reported in the stats, not as an error. A missing file is an
+// empty journal. fn returning an error aborts the replay with that error.
+func Replay(path string, fn func(*Record) error) (ReplayStats, error) {
+	var stats ReplayStats
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if errors.Is(err, os.ErrNotExist) {
+		return stats, nil
+	}
+	if err != nil {
+		return stats, fmt.Errorf("journal: replay open: %w", err)
+	}
+	defer f.Close()
+
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return stats, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return stats, err
+	}
+	var good int64
+	for {
+		payload, err := ipc.ReadFrame(f)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if errors.Is(err, ipc.ErrFrameTruncated) || errors.Is(err, ipc.ErrFrameCorrupt) {
+				return truncateTail(f, good, size, stats)
+			}
+			return stats, fmt.Errorf("journal: replay: %w", err)
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			// A framed-but-undecodable record: treat like corruption from
+			// here on — nothing after it can be trusted.
+			return truncateTail(f, good, size, stats)
+		}
+		if err := fn(&rec); err != nil {
+			return stats, err
+		}
+		stats.Records++
+		good += int64(len(payload)) + ipc.FrameHeaderSize
+	}
+	return stats, nil
+}
+
+// truncateTail cuts the journal back to the last whole record.
+func truncateTail(f *os.File, good, size int64, stats ReplayStats) (ReplayStats, error) {
+	stats.Truncated = true
+	stats.TruncatedBytes = size - good
+	if err := f.Truncate(good); err != nil {
+		return stats, fmt.Errorf("journal: truncate torn tail: %w", err)
+	}
+	return stats, f.Sync()
+}
+
+// WriteCheckpoint atomically replaces the checkpoint at path with the JSON
+// encoding of v, framed with a CRC32C so a torn or rotted checkpoint is
+// detectable: temp file in the same directory, write, fsync, rename, fsync
+// directory. A fired crash hook at fault.SiteCheckpointMid dies after a
+// partial temp write — the rename never happens, and recovery must ignore
+// the orphan temp file.
+func WriteCheckpoint(path string, v any, crashHook func(site string) error) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("journal: checkpoint encode: %w", err)
+	}
+	frame := ipc.AppendFrame(nil, payload)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: checkpoint temp: %w", err)
+	}
+	if crashHook != nil {
+		if err := crashHook(fault.SiteCheckpointMid); err != nil {
+			_, _ = f.Write(frame[:len(frame)/2]) // death mid-checkpoint
+			f.Close()
+			return err
+		}
+	}
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: checkpoint write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("journal: checkpoint publish: %w", err)
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// ReadCheckpoint loads the checkpoint at path into v. Absent → (false, nil).
+// A torn or corrupt checkpoint is quarantined to path+".bad" and reported as
+// absent rather than aborting recovery — the journal still holds everything
+// since the previous good compaction. Orphan temp files from a crashed
+// checkpoint write are removed.
+func ReadCheckpoint(path string, v any) (bool, error) {
+	_ = os.Remove(path + ".tmp") // a crash mid-checkpoint leaves this orphan
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("journal: checkpoint open: %w", err)
+	}
+	payload, ferr := ipc.ReadFrame(f)
+	if ferr == nil {
+		// The frame must be the whole file: trailing bytes mean corruption.
+		var rest [1]byte
+		if n, _ := f.Read(rest[:]); n != 0 {
+			ferr = ipc.ErrFrameCorrupt
+		}
+	}
+	f.Close()
+	if ferr == nil {
+		if err := json.Unmarshal(payload, v); err != nil {
+			ferr = err
+		}
+	}
+	if ferr != nil {
+		if qerr := os.Rename(path, path+".bad"); qerr != nil {
+			return false, fmt.Errorf("journal: quarantine corrupt checkpoint: %v (cause: %v)", qerr, ferr)
+		}
+		return false, nil
+	}
+	return true, nil
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil // best-effort: some filesystems refuse directory opens
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}

@@ -253,22 +253,7 @@ func (p *Profiler) Load(r io.Reader) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for k, v := range table {
-		if v == nil {
-			continue
-		}
-		if v.Device != "" && v.Device != p.Dev.Name {
-			continue
-		}
-		if v.ModelVersion != 0 && v.ModelVersion != engine.ModelVersion {
-			continue
-		}
-		key := v.Fingerprint
-		if key == "" {
-			key = k // legacy name-keyed tables
-		}
-		e := &profEntry{ready: make(chan struct{}), p: v}
-		close(e.ready)
-		p.table[key] = e
+		p.mergeLocked(k, v)
 	}
 	return nil
 }
