@@ -429,6 +429,41 @@ func (c *Client) call(req *ipc.Request) (*ipc.Reply, error) {
 	return rep, nil
 }
 
+// callOn is one command round trip on an explicit transport — the resume
+// handshake path, probing a fresh connection before it is spliced into the
+// client. Same deadline handling and error mapping as call, but it never
+// reads or writes c.conn or the sticky broken state: a failed probe leaves
+// the client exactly as broken as it was.
+func (c *Client) callOn(conn *ipc.Conn, req *ipc.Request) (*ipc.Reply, error) {
+	c.mu.Lock()
+	c.seq++
+	req.Seq = c.seq
+	c.mu.Unlock()
+	if err := conn.SendRequest(req); err != nil {
+		return nil, &opError{op: req.Op, msg: err.Error(), kind: ErrDaemonDown}
+	}
+	if c.timeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(c.timeout))
+	}
+	rep, err := conn.RecvReply()
+	if c.timeout > 0 {
+		_ = conn.SetReadDeadline(time.Time{})
+	}
+	if err != nil {
+		if isTimeout(err) {
+			return nil, &opError{op: req.Op, msg: fmt.Sprintf("no reply within %v", c.timeout), kind: ErrTimeout}
+		}
+		return nil, &opError{op: req.Op, msg: err.Error(), kind: ErrDaemonDown}
+	}
+	if rep.Seq != req.Seq {
+		return nil, fmt.Errorf("client: reply %d for request %d", rep.Seq, req.Seq)
+	}
+	if rep.Err != "" {
+		return rep, &opError{op: req.Op, msg: rep.Err, kind: sentinelFor(rep.Code)}
+	}
+	return rep, nil
+}
+
 // sentinelFor maps a wire error code to its typed sentinel (nil for plain
 // rejections).
 func sentinelFor(code ipc.ErrCode) error {
@@ -698,24 +733,25 @@ func (c *Client) Resume(dial func() (net.Conn, error), rc RetryConfig) (recovere
 			lastErr = derr
 			continue
 		}
-		// Splice in the fresh transport, then run the resume handshake
-		// through the normal call path (deadline + error mapping).
-		c.mu.Lock()
-		c.conn = ipc.NewConn(nc)
-		c.broken = nil
-		c.mu.Unlock()
-		rep, rerr := c.call(&ipc.Request{Op: ipc.OpResume, SessionToken: token, Proc: c.proc})
+		// Run the resume handshake on the fresh transport BEFORE splicing it
+		// into the client: until it succeeds, c.conn and the sticky broken
+		// state stay untouched, so a concurrent caller keeps failing fast
+		// with the original transport error instead of racing onto a
+		// half-resumed (or already re-closed) connection.
+		hc := ipc.NewConn(nc)
+		rep, rerr := c.callOn(hc, &ipc.Request{Op: ipc.OpResume, SessionToken: token, Proc: c.proc})
 		if rerr != nil {
+			hc.Close()
 			if errors.Is(rerr, ErrDraining) {
 				// The daemon is up and refusing: do not redial into it.
-				c.conn.Close()
 				return false, rerr
 			}
-			nc.Close()
 			lastErr = rerr
 			continue
 		}
 		c.mu.Lock()
+		c.conn = hc
+		c.broken = nil
 		c.sess = rep.Session
 		c.token = rep.Token
 		c.pending = nil

@@ -126,6 +126,25 @@ func (st *resumeState) entry(op uint64) *dedupEntry {
 	return nil
 }
 
+// clone deep-copies the entry so a checkpoint snapshot can be marshaled
+// outside the daemon's locks.
+func (e *dedupEntry) clone() *dedupEntry {
+	cp := *e
+	cp.Entries = append([]string(nil), e.Entries...)
+	return &cp
+}
+
+// clone deep-copies the session's resumable state (window entries included)
+// for the same reason.
+func (st *resumeState) clone() *resumeState {
+	cp := *st
+	cp.Window = make([]*dedupEntry, len(st.Window))
+	for i, e := range st.Window {
+		cp.Window[i] = e.clone()
+	}
+	return &cp
+}
+
 // push appends a window entry, evicting the oldest beyond DedupWindow.
 func (st *resumeState) push(e *dedupEntry) {
 	st.Window = append(st.Window, e)
@@ -152,6 +171,16 @@ type checkpointState struct {
 
 // durableState is the daemon's runtime handle on its crash-safe layer.
 type durableState struct {
+	// compactMu serializes journal appends (plus the in-memory effect each
+	// record describes) against compaction. Holding it across the whole
+	// append+apply pair and across the whole snapshot+checkpoint+reset
+	// sequence guarantees two invariants the checkpoint depends on: every
+	// record counted by the journal has its effect visible when the snapshot
+	// is taken, and no record lands between the snapshot and the journal
+	// reset (where it would be silently erased). Ordering: compactMu is
+	// acquired before mu, s.mu, and s.Exec.mu, never the reverse.
+	compactMu sync.Mutex
+
 	mu           sync.Mutex
 	w            *journal.Writer
 	jPath        string
@@ -352,6 +381,13 @@ func (s *Server) EnableDurability(cfg Durability) (*RecoveryStats, error) {
 	if cfg.CompactEvery <= 0 {
 		cfg.CompactEvery = DefaultCompactEvery
 	}
+	// Recovery replays accepted-but-incomplete launches out of the dedup
+	// window, so every pending op must still be inside it: an unbounded (or
+	// window-sized) per-session pending limit would let accepted ops age out
+	// of the window and vanish from replay. Clamp the bound below the window.
+	if s.MaxSessionPending <= 0 || s.MaxSessionPending >= DedupWindow {
+		s.MaxSessionPending = DedupWindow / 2
+	}
 	jPath := filepath.Join(cfg.Dir, JournalFile)
 	ckptPath := filepath.Join(cfg.Dir, CheckpointFile)
 
@@ -400,9 +436,12 @@ func (s *Server) EnableDurability(cfg Durability) (*RecoveryStats, error) {
 	}
 	s.durable = d
 	s.Exec.OnProfile = func(name string, class policy.Class, soloSec float64) {
+		// No apply: the executor installed the profile in memory (under its
+		// own lock) before invoking this hook, so a compaction snapshot
+		// already sees it.
 		_ = s.journalAppend(&journal.Record{
 			Kind: journal.KindProfile, Kernel: name, Class: int(class), SoloSec: soloSec,
-		})
+		}, nil)
 	}
 
 	// Exactly-once launch replay: accepted-but-incomplete source launches
@@ -512,39 +551,55 @@ func (s *Server) crash() {
 	s.mu.Unlock()
 }
 
-// journalAppend writes one record through the WAL, compacting afterwards
-// when the log is due. A fired crash site kills the daemon (conns close, no
-// ack escapes) and surfaces fault.ErrCrash to the caller.
-func (s *Server) journalAppend(rec *journal.Record) error {
+// journalAppend writes one record through the WAL and — still under the
+// compaction lock — runs apply, the record's in-memory effect. Append and
+// apply are atomic with respect to compaction: a record is either absent
+// from both journal and memory (append died) or present in both before any
+// checkpoint can snapshot, so compaction never erases a record whose effect
+// the checkpoint missed. When the log is due afterwards it is folded into
+// the checkpoint before the lock is released. A fired crash site kills the
+// daemon (conns close, no ack escapes) and surfaces fault.ErrCrash to the
+// caller; apply does not run — the record may be durable, but recovery
+// replay rebuilds its effect.
+func (s *Server) journalAppend(rec *journal.Record, apply func()) error {
 	if s.durable == nil {
 		return nil
 	}
-	if err := s.durable.w.Append(rec); err != nil {
+	d := s.durable
+	d.compactMu.Lock()
+	defer d.compactMu.Unlock()
+	if err := d.w.Append(rec); err != nil {
 		if errors.Is(err, fault.ErrCrash) {
 			s.crash()
 		}
 		return err
 	}
-	s.maybeCompact()
+	if apply != nil {
+		apply()
+	}
+	if d.w.Records() >= d.compactEvery {
+		s.compactLocked()
+	}
 	return nil
 }
 
-// maybeCompact folds the journal into the checkpoint once it holds enough
-// records. Crash ordering: the checkpoint publishes (rename) before the
-// journal resets, so a death between the two re-delivers every checkpointed
-// record on recovery — which idempotent apply absorbs.
-func (s *Server) maybeCompact() {
+// compactLocked folds the journal into the checkpoint. Caller holds
+// d.compactMu, so no append can land between the snapshot and the journal
+// reset, and only one compaction runs at a time. The snapshot deep-copies
+// every session under d.mu — json.Marshal then reads the copies without any
+// lock while live states keep mutating. Crash ordering: the checkpoint
+// publishes (rename) before the journal resets, so a death between the two
+// re-delivers every checkpointed record on recovery — which idempotent
+// apply absorbs.
+func (s *Server) compactLocked() {
 	d := s.durable
-	if d.w.Records() < d.compactEvery {
-		return
-	}
 	d.mu.Lock()
 	ck := &checkpointState{Profiles: map[string]profileSnap{}}
 	for _, st := range d.resume {
-		ck.Sessions = append(ck.Sessions, st)
+		ck.Sessions = append(ck.Sessions, st.clone())
 	}
-	sort.Slice(ck.Sessions, func(i, j int) bool { return ck.Sessions[i].Sess < ck.Sessions[j].Sess })
 	d.mu.Unlock()
+	sort.Slice(ck.Sessions, func(i, j int) bool { return ck.Sessions[i].Sess < ck.Sessions[j].Sess })
 	s.mu.Lock()
 	ck.NextSess = s.nextSess
 	s.mu.Unlock()
@@ -571,16 +626,17 @@ func (s *Server) openSession(ss *session, proc string) (*resumeState, error) {
 		return nil, nil
 	}
 	st := &resumeState{Sess: ss.id, Token: tokenFor(ss.id), Proc: proc, attached: true}
+	d := s.durable
 	if err := s.journalAppend(&journal.Record{
 		Kind: journal.KindSessionOpen, Sess: st.Sess, Token: st.Token, Proc: proc,
+	}, func() {
+		d.mu.Lock()
+		d.resume[st.Token] = st
+		d.bySess[st.Sess] = st
+		d.mu.Unlock()
 	}); err != nil {
 		return nil, err
 	}
-	d := s.durable
-	d.mu.Lock()
-	d.resume[st.Token] = st
-	d.bySess[st.Sess] = st
-	d.mu.Unlock()
 	return st, nil
 }
 
@@ -619,12 +675,13 @@ func (s *Server) closeSession(st *resumeState) {
 	if s.durable == nil || st == nil {
 		return
 	}
-	_ = s.journalAppend(&journal.Record{Kind: journal.KindSessionClose, Sess: st.Sess})
 	d := s.durable
-	d.mu.Lock()
-	delete(d.resume, st.Token)
-	delete(d.bySess, st.Sess)
-	d.mu.Unlock()
+	_ = s.journalAppend(&journal.Record{Kind: journal.KindSessionClose, Sess: st.Sess}, func() {
+		d.mu.Lock()
+		delete(d.resume, st.Token)
+		delete(d.bySess, st.Sess)
+		d.mu.Unlock()
+	})
 }
 
 // dedupCheck answers a replayed launch from the session's dedup window.
@@ -666,20 +723,18 @@ func (s *Server) acceptLaunch(st *resumeState, req *ipc.Request, rep *ipc.Reply,
 		GridX: req.GridX, GridY: req.GridY, BlockX: req.BlockX, BlockY: req.BlockY,
 		TaskSize: req.TaskSize, Stream: req.Stream,
 	}
-	if err := s.journalAppend(rec); err != nil {
-		return err
-	}
 	d := s.durable
-	d.mu.Lock()
-	st.push(&dedupEntry{
-		OpID: req.OpID, Code: uint8(rep.Code), Err: rep.Err,
-		Degraded: rep.Degraded, Entries: rep.Entries,
-		Src: src, Kernel: req.Kernel,
-		GridX: req.GridX, GridY: req.GridY, BlockX: req.BlockX, BlockY: req.BlockY,
-		TaskSize: req.TaskSize, Stream: req.Stream,
+	return s.journalAppend(rec, func() {
+		d.mu.Lock()
+		st.push(&dedupEntry{
+			OpID: req.OpID, Code: uint8(rep.Code), Err: rep.Err,
+			Degraded: rep.Degraded, Entries: rep.Entries,
+			Src: src, Kernel: req.Kernel,
+			GridX: req.GridX, GridY: req.GridY, BlockX: req.BlockX, BlockY: req.BlockY,
+			TaskSize: req.TaskSize, Stream: req.Stream,
+		})
+		d.mu.Unlock()
 	})
-	d.mu.Unlock()
-	return nil
 }
 
 // completeLaunch journals a launch's terminal outcome and marks its dedup
@@ -695,21 +750,29 @@ func (s *Server) completeLaunch(st *resumeState, opID uint64, err error) {
 		fail(rep, err)
 		rec.Code, rec.Err = uint8(rep.Code), rep.Err
 	}
-	if aerr := s.journalAppend(rec); aerr != nil {
+	d := s.durable
+	if aerr := s.journalAppend(rec, func() {
+		d.mu.Lock()
+		if e := st.entry(opID); e != nil {
+			e.Done = true
+		}
+		d.mu.Unlock()
+	}); aerr != nil {
 		return // simulated death: nothing after this record is durable
 	}
-	d := s.durable
-	d.mu.Lock()
-	if e := st.entry(opID); e != nil {
-		e.Done = true
-	}
-	d.mu.Unlock()
 	if errors.Is(err, ErrKernelPanic) || errors.Is(err, ErrKernelTimeout) {
 		rep := &ipc.Reply{}
 		fail(rep, err)
+		// The poison must land on the in-memory state too, not just the
+		// journal: a later compaction snapshots memory and discards the
+		// strike record, and the checkpoint must still carry the poison.
 		_ = s.journalAppend(&journal.Record{
 			Kind: journal.KindStrike, Sess: st.Sess, Action: "poison",
 			Code: uint8(rep.Code), Err: rep.Err,
+		}, func() {
+			d.mu.Lock()
+			st.PoisonErr, st.PoisonCode = rep.Err, uint8(rep.Code)
+			d.mu.Unlock()
 		})
 	}
 }

@@ -2,6 +2,7 @@ package daemon
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"slate/internal/ipc"
@@ -73,5 +74,105 @@ func TestDedupCheckVerdicts(t *testing.T) {
 	}
 	if srv.DedupHits() != 2 {
 		t.Fatalf("DedupHits = %d, want 2", srv.DedupHits())
+	}
+}
+
+// Session poisoning survives a compaction: the strike record is folded into
+// the checkpoint's poison fields before the journal (and the strike record
+// in it) is reset, so a restart after any compaction still refuses the
+// poisoned session's launches.
+func TestPoisonSurvivesCompaction(t *testing.T) {
+	dir := t.TempDir()
+	srv := NewServer(1)
+	if _, err := srv.EnableDurability(Durability{Dir: dir, NoSync: true}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := srv.openSession(&session{id: 7}, "poisoned")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := &ipc.Reply{}
+	if err := srv.acceptLaunch(st, &ipc.Request{OpID: 1, Kernel: "k"}, rep, true); err != nil {
+		t.Fatal(err)
+	}
+	srv.completeLaunch(st, 1, fmt.Errorf("kernel k: %w", ErrKernelPanic))
+
+	// Fold everything into the checkpoint and reset the journal: the strike
+	// record is gone, only the checkpoint can carry the poison now.
+	srv.durable.compactMu.Lock()
+	srv.compactLocked()
+	srv.durable.compactMu.Unlock()
+	if err := srv.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+
+	ls, _, _, err := loadDurableState(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ls.bySess[7]
+	if got == nil {
+		t.Fatal("session 7 not recovered")
+	}
+	if got.PoisonErr == "" || got.PoisonCode != uint8(ipc.CodeKernelPanic) {
+		t.Fatalf("recovered poison = (%q, %d), want the panic sticky across compaction", got.PoisonErr, got.PoisonCode)
+	}
+	if e := got.entry(1); e == nil || !e.Done {
+		t.Fatalf("recovered op 1 = %+v, want Done (no replay)", e)
+	}
+}
+
+// Concurrent appenders racing compaction lose nothing: every accepted and
+// completed op lands in checkpoint+journal even when compaction fires every
+// other record, and (under -race) the checkpoint marshal does not read live
+// session state while mutators run.
+func TestConcurrentAppendsDuringCompaction(t *testing.T) {
+	dir := t.TempDir()
+	srv := NewServer(1)
+	if _, err := srv.EnableDurability(Durability{Dir: dir, NoSync: true, CompactEvery: 2}); err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, ops = 4, 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			st, err := srv.openSession(&session{id: uint64(100 + g)}, "stress")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for op := uint64(1); op <= ops; op++ {
+				if err := srv.acceptLaunch(st, &ipc.Request{OpID: op, Kernel: "k"}, &ipc.Reply{}, true); err != nil {
+					t.Error(err)
+					return
+				}
+				srv.completeLaunch(st, op, nil)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := srv.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+
+	ls, _, _, err := loadDurableState(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < goroutines; g++ {
+		st := ls.bySess[uint64(100+g)]
+		if st == nil {
+			t.Fatalf("session %d not recovered", 100+g)
+		}
+		if st.MaxOp != ops || len(st.Window) != ops {
+			t.Fatalf("session %d recovered %d/%d ops (MaxOp=%d)", 100+g, len(st.Window), ops, st.MaxOp)
+		}
+		for _, e := range st.Window {
+			if !e.Done {
+				t.Fatalf("session %d op %d lost its completion across compaction", 100+g, e.OpID)
+			}
+		}
 	}
 }

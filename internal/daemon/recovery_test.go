@@ -308,6 +308,63 @@ func TestDrainRacesResume(t *testing.T) {
 }
 
 // waitIdle polls the server's session count to zero.
+// The record whose append crosses CompactEvery must keep its effect through
+// the compaction it triggers. Here the launch-complete record is exactly the
+// boundary record (open + accept + profile + complete = 4 = CompactEvery): if
+// compaction snapshotted before the completion was installed, the checkpoint
+// would carry the op as accepted-but-incomplete and a restart would execute
+// the acked launch a second time.
+func TestCompactionBoundaryKeepsCompletion(t *testing.T) {
+	dir := t.TempDir()
+	srv1, dial1 := daemon.NewLocal(2)
+	if _, err := srv1.EnableDurability(daemon.Durability{Dir: dir, NoSync: true, CompactEvery: 4}); err != nil {
+		t.Fatal(err)
+	}
+	conn := ipc.NewConn(dial1())
+	hello := call(t, conn, &ipc.Request{Op: ipc.OpHello, Proc: "edge", Seq: 1})
+	if hello.Err != "" {
+		t.Fatal(hello.Err)
+	}
+	launch := sourceLaunch(1)
+	launch.Seq = 2
+	if rep := call(t, conn, launch); rep.Err != "" {
+		t.Fatalf("launch: %v", rep.Err)
+	}
+	if rep := call(t, conn, &ipc.Request{Op: ipc.OpSynchronize, Stream: -1, Seq: 3}); rep.Err != "" {
+		t.Fatalf("sync: %v", rep.Err)
+	}
+	conn.Close()
+	waitIdle(t, srv1)
+	if err := srv1.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, dial2 := daemon.NewLocal(2)
+	stats, err := srv2.EnableDurability(daemon.Durability{Dir: dir, NoSync: true, CompactEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.CloseDurability()
+	if stats.Replayed != 0 || stats.Lost != 0 {
+		t.Fatalf("recovery replayed=%d lost=%d, want 0/0: the completed launch must not run again", stats.Replayed, stats.Lost)
+	}
+	if got := srv2.Exec.Runs("src:rk"); got != 0 {
+		t.Fatalf("completed launch executed %d more times after restart", got)
+	}
+	// The original ack is still answerable from the recovered dedup window.
+	conn2 := ipc.NewConn(dial2())
+	defer conn2.Close()
+	res := call(t, conn2, &ipc.Request{Op: ipc.OpResume, SessionToken: hello.Token, Proc: "edge", Seq: 1})
+	if res.Err != "" || !res.Recovered {
+		t.Fatalf("resume = %+v, want Recovered", res)
+	}
+	replay := sourceLaunch(1)
+	replay.Seq = 2
+	if rep := call(t, conn2, replay); rep.Err != "" || !rep.Dup {
+		t.Fatalf("replayed op = %+v, want the stored ack with Dup", rep)
+	}
+}
+
 func waitIdle(t *testing.T, srv *daemon.Server) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
