@@ -1,0 +1,50 @@
+package main
+
+import (
+	"time"
+
+	"slate/framework"
+	"slate/internal/fleet"
+)
+
+// slated's operational log is structured: every state transition is one
+// `event=<kind> k=v ...` line on stdout, machine-parseable with
+// fleet.ParseEvent, so fleet tooling (or plain grep) can watch a daemon's
+// lifecycle without scraping prose. Builders live here, separated from
+// main's plumbing, so the format is assertable in tests.
+
+// journalEvent reports where the durable daemon keeps its WAL.
+func journalEvent(journalPath, checkpointPath string) string {
+	return fleet.Event("journal", "path", journalPath, "checkpoint", checkpointPath)
+}
+
+// recoveryEvent summarizes what a restart recovered from the state dir.
+func recoveryEvent(rs *framework.RecoveryStats) string {
+	return fleet.Event("recovery",
+		"sessions", fleet.Fmt(rs.Sessions),
+		"dedup_ops", fleet.Fmt(rs.DedupOps),
+		"profiles", fleet.Fmt(rs.Profiles),
+		"replayed", fleet.Fmt(rs.Replayed),
+		"lost", fleet.Fmt(rs.Lost),
+		"journal_records", fleet.Fmt(rs.Records),
+		"truncated_bytes", fleet.Fmt(rs.TruncatedBytes),
+	)
+}
+
+// listeningEvent marks the daemon open for business.
+func listeningEvent(addr string, budget int) string {
+	return fleet.Event("listening", "addr", addr, "budget", fleet.Fmt(budget))
+}
+
+// drainEvent marks the start of a signal-initiated drain.
+func drainEvent(signame string, timeout time.Duration) string {
+	return fleet.Event("drain", "signal", signame, "timeout", timeout.String())
+}
+
+// drainedEvent marks the end of a drain; err is empty on a clean shutdown.
+func drainedEvent(err error) string {
+	if err != nil {
+		return fleet.Event("drained", "ok", "false", "err", err.Error())
+	}
+	return fleet.Event("drained", "ok", "true")
+}

@@ -16,6 +16,10 @@
 // there: a restart over the same directory recovers sessions (clients
 // reattach via their resume tokens), replays accepted-but-incomplete source
 // launches exactly once, and logs a one-line recovery summary.
+//
+// Every lifecycle transition (journal/recovery/listening/drain/drained) is
+// logged as a single structured `event=<kind> key=value ...` line,
+// parseable with fleet.ParseEvent.
 package main
 
 import (
@@ -57,17 +61,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "slated: durability: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("slated: journal %s checkpoint %s\n", stats.JournalPath, stats.CheckpointPath)
-		fmt.Printf("slated: %s\n", stats.LogLine())
+		fmt.Println(journalEvent(stats.JournalPath, stats.CheckpointPath))
+		fmt.Println(recoveryEvent(stats))
 	}
-	fmt.Printf("slated: listening on %s (budget %d)\n", *addr, *budget)
+	fmt.Println(listeningEvent(*addr, *budget))
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	drained := make(chan error, 1)
 	go func() {
 		s := <-sig
-		fmt.Printf("\nslated: %v received, draining (timeout %v)\n", s, *drainTimeout)
+		fmt.Println(drainEvent(s.String(), *drainTimeout))
 		go func() {
 			<-sig
 			fmt.Fprintln(os.Stderr, "slated: second signal, aborting")
@@ -82,12 +86,11 @@ func main() {
 	select {
 	case derr := <-drained:
 		// Listener closed by the drain path: a clean shutdown.
+		fmt.Println(drainedEvent(derr))
 		if derr != nil {
-			fmt.Fprintf(os.Stderr, "slated: drain: %v\n", derr)
 			os.Remove(*addr)
 			os.Exit(1)
 		}
-		fmt.Println("slated: drained cleanly")
 	default:
 		if err != nil && !errors.Is(err, net.ErrClosed) {
 			fmt.Fprintf(os.Stderr, "slated: %v\n", err)

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"errors"
+	"strconv"
+	"testing"
+	"time"
+
+	"slate/framework"
+	"slate/internal/fleet"
+)
+
+// parse asserts the line is a well-formed structured event of the wanted
+// kind and returns its fields.
+func parse(t *testing.T, line, wantKind string) map[string]string {
+	t.Helper()
+	kind, fields, ok := fleet.ParseEvent(line)
+	if !ok {
+		t.Fatalf("not a structured event: %q", line)
+	}
+	if kind != wantKind {
+		t.Fatalf("event kind = %q, want %q (line %q)", kind, wantKind, line)
+	}
+	return fields
+}
+
+func TestLifecycleEventsAreStructured(t *testing.T) {
+	f := parse(t, journalEvent("/var/lib/slate/journal.wal", "/var/lib/slate/ckpt.json"), "journal")
+	if f["path"] != "/var/lib/slate/journal.wal" || f["checkpoint"] != "/var/lib/slate/ckpt.json" {
+		t.Fatalf("journal fields: %v", f)
+	}
+
+	rs := &framework.RecoveryStats{Sessions: 3, DedupOps: 17, Profiles: 2, Replayed: 1, Lost: 0, Records: 41, TruncatedBytes: 9}
+	f = parse(t, recoveryEvent(rs), "recovery")
+	for key, want := range map[string]int{
+		"sessions": 3, "dedup_ops": 17, "profiles": 2,
+		"replayed": 1, "lost": 0, "journal_records": 41, "truncated_bytes": 9,
+	} {
+		got, err := strconv.Atoi(f[key])
+		if err != nil || got != want {
+			t.Fatalf("recovery field %s = %q, want %d", key, f[key], want)
+		}
+	}
+
+	f = parse(t, listeningEvent("/tmp/slate.sock", 8), "listening")
+	if f["addr"] != "/tmp/slate.sock" || f["budget"] != "8" {
+		t.Fatalf("listening fields: %v", f)
+	}
+
+	f = parse(t, drainEvent("terminated", 30*time.Second), "drain")
+	if f["signal"] != "terminated" || f["timeout"] != "30s" {
+		t.Fatalf("drain fields: %v", f)
+	}
+
+	if f = parse(t, drainedEvent(nil), "drained"); f["ok"] != "true" {
+		t.Fatalf("clean drained fields: %v", f)
+	}
+	// Error text contains spaces: it must survive quoting and parse back whole.
+	f = parse(t, drainedEvent(errors.New("2 sessions force-closed at deadline")), "drained")
+	if f["ok"] != "false" || f["err"] != "2 sessions force-closed at deadline" {
+		t.Fatalf("failed drained fields: %v", f)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"net"
 	"os"
@@ -183,7 +184,9 @@ type BackoffConfig struct {
 	// Cooldown is how long an open circuit fails fast before allowing a
 	// probe launch through (default 100ms).
 	Cooldown time.Duration
-	// Seed makes the jitter deterministic for tests (default 1).
+	// Seed makes the jitter deterministic for tests (default 1). Each
+	// client mixes its process name in, so sharing a Seed does not make
+	// clients back off in phase.
 	Seed int64
 }
 
@@ -230,7 +233,9 @@ type breaker struct {
 func WithBackpressureRetry(bc BackoffConfig) Option {
 	bc = bc.withDefaults()
 	return func(c *Client) {
-		c.bp = &breaker{cfg: bc, rng: rand.New(rand.NewSource(bc.Seed))}
+		// Options run after the client's proc is set, so the breaker's
+		// jitter decorrelates across clients the same way dial retries do.
+		c.bp = &breaker{cfg: bc, rng: rand.New(rand.NewSource(jitterSeed(bc.Seed, c.proc)))}
 	}
 }
 
@@ -314,7 +319,9 @@ type RetryConfig struct {
 	BaseDelay time.Duration
 	// MaxDelay caps the backoff (default 1s).
 	MaxDelay time.Duration
-	// Seed makes the jitter deterministic for tests (default 1).
+	// Seed makes the jitter deterministic for tests (default 1). Each
+	// client mixes its process name in, so a herd of clients restarted with
+	// identical configs still retries decorrelated.
 	Seed int64
 }
 
@@ -334,6 +341,40 @@ func (rc RetryConfig) withDefaults() RetryConfig {
 	return rc
 }
 
+// jitterSeed derives a per-client rng seed: the configured seed mixed with
+// the client's process name. A fleet of clients restarted together all
+// carry the same config (and thus the same Seed), and seeding their jitter
+// rngs identically made them back off in phase — every retry landed on the
+// daemon in the same instant, defeating the jitter's whole purpose. Mixing
+// the proc name decorrelates the herd while staying deterministic under a
+// test seed: same (seed, proc) → same schedule, different proc → different
+// schedule.
+func jitterSeed(seed int64, proc string) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(proc))
+	return seed ^ int64(h.Sum64())
+}
+
+// retryWaits computes the jittered backoff waits a client with the given
+// (defaulted) config and process name sleeps between connection attempts
+// (waits[0] precedes attempt 2). DialRetryContext and Resume both draw
+// their schedule from here; the thundering-herd regression test asserts on
+// it directly instead of timing sleeps.
+func retryWaits(rc RetryConfig, proc string) []time.Duration {
+	rng := rand.New(rand.NewSource(jitterSeed(rc.Seed, proc)))
+	waits := make([]time.Duration, 0, rc.Attempts)
+	delay := rc.BaseDelay
+	for attempt := 1; attempt < rc.Attempts; attempt++ {
+		jitter := time.Duration(rng.Int63n(int64(delay)/2 + 1))
+		waits = append(waits, delay/2+jitter)
+		delay *= 2
+		if delay > rc.MaxDelay {
+			delay = rc.MaxDelay
+		}
+	}
+	return waits
+}
+
 // DialRetry connects to the daemon with exponential backoff plus jitter:
 // each failed dial or handshake doubles the delay (capped at MaxDelay), and
 // a random half-delay jitter decorrelates stampeding clients after a daemon
@@ -347,18 +388,12 @@ func DialRetry(dial func() (net.Conn, error), proc string, rc RetryConfig, opts 
 // ctx.Err().
 func DialRetryContext(ctx context.Context, dial func() (net.Conn, error), proc string, rc RetryConfig, opts ...Option) (*Client, error) {
 	rc = rc.withDefaults()
-	rng := rand.New(rand.NewSource(rc.Seed))
-	delay := rc.BaseDelay
+	waits := retryWaits(rc, proc)
 	var lastErr error
 	for attempt := 0; attempt < rc.Attempts; attempt++ {
 		if attempt > 0 {
-			jitter := time.Duration(rng.Int63n(int64(delay)/2 + 1))
-			if err := sleepCtx(ctx, delay/2+jitter); err != nil {
+			if err := sleepCtx(ctx, waits[attempt-1]); err != nil {
 				return nil, fmt.Errorf("client: dial canceled after %d attempts: %w", attempt, err)
-			}
-			delay *= 2
-			if delay > rc.MaxDelay {
-				delay = rc.MaxDelay
 			}
 		}
 		if err := ctx.Err(); err != nil {
@@ -714,18 +749,12 @@ func (c *Client) Resume(dial func() (net.Conn, error), rc RetryConfig) (recovere
 	c.mu.Unlock()
 	old.Close() // the broken transport is dead either way
 
-	rng := rand.New(rand.NewSource(rc.Seed))
-	delay := rc.BaseDelay
+	waits := retryWaits(rc, c.proc)
 	var lastErr error
 	for attempt := 0; attempt < rc.Attempts; attempt++ {
 		if attempt > 0 {
-			jitter := time.Duration(rng.Int63n(int64(delay)/2 + 1))
-			if serr := sleepCtx(ctx, delay/2+jitter); serr != nil {
+			if serr := sleepCtx(ctx, waits[attempt-1]); serr != nil {
 				return false, fmt.Errorf("client: resume canceled after %d attempts: %w", attempt, serr)
-			}
-			delay *= 2
-			if delay > rc.MaxDelay {
-				delay = rc.MaxDelay
 			}
 		}
 		nc, derr := dial()

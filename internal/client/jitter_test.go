@@ -1,0 +1,83 @@
+package client
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// The thundering-herd regression: a fleet of clients restarted together all
+// carry the same RetryConfig (same Seed), and the old code seeded every
+// jitter rng from Seed alone — so the whole herd backed off in phase and
+// re-hit the daemon in the same instant. The fix mixes each client's proc
+// name into its seed; these tests pin both halves of the contract.
+
+func TestRetryJitterDeterministicPerClient(t *testing.T) {
+	rc := RetryConfig{Attempts: 6, Seed: 42}.withDefaults()
+	a := retryWaits(rc, "proc-7")
+	b := retryWaits(rc, "proc-7")
+	if len(a) != rc.Attempts-1 {
+		t.Fatalf("want %d waits, got %d", rc.Attempts-1, len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same (seed, proc) must give the same schedule: wait %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Bounds: each wait is delay/2 + jitter in [0, delay/2], delay doubling
+	// from BaseDelay and capped at MaxDelay.
+	delay := rc.BaseDelay
+	for i, w := range a {
+		if w < delay/2 || w > delay {
+			t.Fatalf("wait %d = %v outside [%v, %v]", i, w, delay/2, delay)
+		}
+		delay *= 2
+		if delay > rc.MaxDelay {
+			delay = rc.MaxDelay
+		}
+	}
+}
+
+func TestRetryJitterNotInLockstep(t *testing.T) {
+	const herd = 32
+	rc := RetryConfig{Attempts: 5, Seed: 1}.withDefaults() // the default everyone ships with
+	schedules := make([][]time.Duration, herd)
+	for i := range schedules {
+		schedules[i] = retryWaits(rc, fmt.Sprintf("worker-%d", i))
+	}
+	distinct := map[string]bool{}
+	for _, s := range schedules {
+		distinct[fmt.Sprint(s)] = true
+	}
+	// With decorrelated seeds a collision across 32 clients is essentially
+	// impossible (nanosecond-granular jitter); in-phase retries would give
+	// exactly 1 distinct schedule.
+	if len(distinct) < herd-2 {
+		t.Fatalf("herd of %d clients shares schedules: only %d distinct (lockstep regression)", herd, len(distinct))
+	}
+	// The first retry is the stampede moment: no instant may concentrate
+	// the herd.
+	firstWait := map[time.Duration]int{}
+	for _, s := range schedules {
+		firstWait[s[0]]++
+	}
+	for w, n := range firstWait {
+		if n > 3 {
+			t.Fatalf("%d/%d clients retry at exactly %v after restart", n, herd, w)
+		}
+	}
+}
+
+func TestBreakerJitterDecorrelated(t *testing.T) {
+	bc := BackoffConfig{Seed: 9}.withDefaults()
+	seeds := map[int64]bool{}
+	for i := 0; i < 8; i++ {
+		seeds[jitterSeed(bc.Seed, fmt.Sprintf("proc-%d", i))] = true
+	}
+	if len(seeds) != 8 {
+		t.Fatalf("breaker seeds collide across procs: %d distinct of 8", len(seeds))
+	}
+	if jitterSeed(bc.Seed, "proc-3") != jitterSeed(bc.Seed, "proc-3") {
+		t.Fatal("jitterSeed must be deterministic")
+	}
+}

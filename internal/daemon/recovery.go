@@ -299,6 +299,36 @@ func (ls *loadedState) apply(rec *journal.Record) error {
 		}
 	case journal.KindProfile:
 		ls.profiles[rec.Kernel] = profileSnap{Class: rec.Class, SoloSec: rec.SoloSec}
+	case journal.KindSessionAdopt:
+		// A session re-homed from a dead fleet member: the record carries the
+		// whole durable segment. Idempotent by token (the session's fleet-wide
+		// identity), like every other record.
+		if _, ok := ls.sessions[rec.Token]; ok {
+			return nil
+		}
+		st := &resumeState{
+			Sess: rec.Sess, Token: rec.Token, Proc: rec.Proc,
+			PoisonErr: rec.Err, PoisonCode: rec.Code, LostErr: rec.Lost,
+		}
+		for _, a := range rec.AdoptOps {
+			st.push(&dedupEntry{
+				OpID: a.OpID, Code: a.Code, Err: a.Err,
+				Degraded: a.Degraded, Entries: a.Entries, Done: a.Done,
+				Src: a.Src, Kernel: a.Kernel,
+				GridX: a.GridX, GridY: a.GridY, BlockX: a.BlockX, BlockY: a.BlockY,
+				TaskSize: a.TaskSize, Stream: a.Stream,
+			})
+		}
+		// The explicit watermark wins over what the (possibly trimmed) window
+		// implies: ops that aged out of the window must stay duplicates.
+		if rec.MaxOp > st.MaxOp {
+			st.MaxOp = rec.MaxOp
+		}
+		ls.sessions[rec.Token] = st
+		ls.bySess[rec.Sess] = st
+		if rec.Sess >= ls.nextSess {
+			ls.nextSess = rec.Sess + 1
+		}
 	}
 	return nil
 }
@@ -365,12 +395,23 @@ func StateDigest(dir string) (string, error) {
 // (same session order → same tokens) is what the chaos harness needs.
 const tokenSalt = 0x9E3779B97F4A7C15
 
-// tokenFor mints the resume token for a session ID (splitmix64 finalizer).
-func tokenFor(sess uint64) uint64 {
-	z := sess + tokenSalt
+// mix64 is the splitmix64 finalizer.
+func mix64(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
 	return z ^ (z >> 31)
+}
+
+// tokenFor mints the resume token for a session ID. seed distinguishes
+// fleet members: without it every daemon would mint the same token for the
+// same session ID, and a token is the fleet's only session identity across
+// a failover. seed 0 reproduces the historical standalone token stream.
+func tokenFor(sess, seed uint64) uint64 {
+	z := sess + tokenSalt
+	if seed != 0 {
+		z ^= mix64(seed + tokenSalt)
+	}
+	return mix64(z)
 }
 
 // EnableDurability turns on the crash-safe state layer: it recovers any
@@ -461,12 +502,30 @@ func (s *Server) EnableDurability(cfg Durability) (*RecoveryStats, error) {
 func (s *Server) replayIncomplete(stats *RecoveryStats) {
 	d := s.durable
 	d.mu.Lock()
+	sts := make([]*resumeState, 0, len(d.resume))
+	for _, st := range d.resume {
+		sts = append(sts, st)
+	}
+	d.mu.Unlock()
+	replayed, lost := s.replaySessions(sts)
+	stats.Replayed += replayed
+	stats.Lost += lost
+}
+
+// replaySessions runs the exactly-once replay pass over the given sessions'
+// dedup windows: accepted-but-incomplete source launches re-execute (their
+// geometry is journaled), in-process launches are marked lost (their
+// closures died with the original process). Both restart recovery and fleet
+// adoption settle re-homed work through this one path.
+func (s *Server) replaySessions(sts []*resumeState) (replayed, lost int) {
+	d := s.durable
 	type pending struct {
 		st *resumeState
 		e  *dedupEntry
 	}
 	var todo []pending
-	for _, st := range d.resume {
+	d.mu.Lock()
+	for _, st := range sts {
 		for _, e := range st.Window {
 			// Only launches whose accept succeeded are replayable work; a
 			// journaled rejection (Code != 0) never executed and never will.
@@ -491,7 +550,7 @@ func (s *Server) replayIncomplete(stats *RecoveryStats) {
 			}
 			d.mu.Unlock()
 			s.completeLaunch(p.st, p.e.OpID, errors.New(msg))
-			stats.Lost++
+			lost++
 			continue
 		}
 		spec := synthesizeSourceSpec(&ipc.Request{
@@ -507,8 +566,9 @@ func (s *Server) replayIncomplete(stats *RecoveryStats) {
 			err = s.Exec.Run(spec, p.e.TaskSize)
 		}
 		s.completeLaunch(p.st, p.e.OpID, err)
-		stats.Replayed++
+		replayed++
 	}
+	return replayed, lost
 }
 
 // RecoveryStatsSnapshot returns the stats EnableDurability produced (nil on
@@ -539,10 +599,19 @@ func (s *Server) DedupHits() int {
 func (s *Server) Crashed() bool { return s.crashed.Load() }
 
 // crash simulates process death after a fired crash site: every transport
-// closes mid-conversation (no acks escape) and new connections are refused.
+// closes mid-conversation (no acks escape), new connections are refused,
+// and the journal writer dies with the process — a dead process cannot
+// append, so an in-flight worker finishing after the crash can never make
+// its completion durable. The append-path sites mark the writer dead
+// themselves; this covers deaths that fire elsewhere (checkpoint.mid),
+// which would otherwise leave the durability of post-crash completions to
+// goroutine timing.
 func (s *Server) crash() {
 	if s.crashed.Swap(true) {
 		return
+	}
+	if s.durable != nil {
+		s.durable.w.Kill()
 	}
 	s.mu.Lock()
 	for c := range s.conns {
@@ -550,6 +619,15 @@ func (s *Server) crash() {
 	}
 	s.mu.Unlock()
 }
+
+// Kill fences the daemon for failover (STONITH-style): the simulated
+// process dies instantly — every transport closes mid-conversation, new
+// connections are refused, and the journal writer refuses all further
+// appends, so nothing this daemon does after Kill returns can become
+// durable. The fleet supervisor calls it before adopting the daemon's
+// state-dir; without the fence, a hung-but-alive daemon could journal a
+// completion concurrently with the adopter re-executing the same launch.
+func (s *Server) Kill() { s.crash() }
 
 // journalAppend writes one record through the WAL and — still under the
 // compaction lock — runs apply, the record's in-memory effect. Append and
@@ -625,7 +703,7 @@ func (s *Server) openSession(ss *session, proc string) (*resumeState, error) {
 	if s.durable == nil {
 		return nil, nil
 	}
-	st := &resumeState{Sess: ss.id, Token: tokenFor(ss.id), Proc: proc, attached: true}
+	st := &resumeState{Sess: ss.id, Token: tokenFor(ss.id, s.TokenSeed), Proc: proc, attached: true}
 	d := s.durable
 	if err := s.journalAppend(&journal.Record{
 		Kind: journal.KindSessionOpen, Sess: st.Sess, Token: st.Token, Proc: proc,

@@ -120,6 +120,10 @@ type Server struct {
 	// MaxSessionBytes bounds each session's live device memory; an OpMalloc
 	// that would exceed it fails with ErrQuota (0 = unbounded).
 	MaxSessionBytes int64
+	// TokenSeed perturbs resume-token minting so two fleet members never
+	// mint the same token for the same session ID; 0 keeps the standalone
+	// daemon's historical token stream exactly. Set before EnableDurability.
+	TokenSeed uint64
 
 	mu       sync.Mutex
 	sessions int
@@ -543,6 +547,16 @@ func (s *Server) ServeConn(nc net.Conn) {
 				s.completeLaunch(st, opID, err)
 				return err
 			})
+		case ipc.OpPing:
+			// Fleet heartbeat: touches no session state, answers with the
+			// daemon's load. The probing connection itself was counted on
+			// arrival, so subtract it — placement wants real sessions only.
+			// A draining daemon still answers (with the typed refusal) so a
+			// monitor can tell "draining" from "dead".
+			rep.Load = int64(s.Sessions()) - 1
+			if s.Draining() {
+				fail(rep, ErrDraining)
+			}
 		case ipc.OpSynchronize:
 			if req.Stream >= 0 {
 				<-streams.tailOf(req.Stream) // cudaStreamSynchronize

@@ -1,0 +1,125 @@
+package fleet
+
+import (
+	"math"
+	"time"
+)
+
+// maxPhi caps the suspicion score: beyond it the normal-model tail
+// probability underflows to zero and -log10 would be +Inf. Any threshold an
+// operator configures sits far below the cap.
+const maxPhi = 64
+
+// Detector is a phi-accrual failure detector (Hayashibara et al.) over one
+// member's heartbeat stream. Instead of a fixed timeout it keeps a bounded
+// history of heartbeat inter-arrival times and scores the current silence
+// against it: Phi(now) = -log10(P(a heartbeat is still coming)), under a
+// normal model of the history. Phi ≈ 1 means "this silence happens ~10% of
+// the time", phi ≈ 8 means one in 10^8 — so thresholds express confidence,
+// not guesses about network latency, and a member with naturally jittery
+// heartbeats earns a wider tolerance automatically.
+//
+// Not goroutine-safe; the supervisor serializes access under its own lock.
+type Detector struct {
+	window int
+	minStd float64 // seconds; floor so a too-regular history cannot make
+	// the model infinitely confident (std→0 would turn any
+	// microsecond of lateness into phi=∞)
+
+	intervals []float64 // seconds, ring-buffered oldest-first
+	last      time.Time
+	seen      bool
+}
+
+// DefaultWindow is the inter-arrival history bound.
+const DefaultWindow = 64
+
+// DefaultMinStd is the standard-deviation floor.
+const DefaultMinStd = 50 * time.Millisecond
+
+// NewDetector builds a detector with the given history bound and std floor
+// (0 → defaults).
+func NewDetector(window int, minStd time.Duration) *Detector {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	if minStd <= 0 {
+		minStd = DefaultMinStd
+	}
+	return &Detector{window: window, minStd: minStd.Seconds()}
+}
+
+// Prime seeds the history with the expected heartbeat interval, so the
+// detector is decisive from the first silence instead of needing a warm-up
+// epoch of real arrivals. Real intervals then displace the synthetic ones.
+func (d *Detector) Prime(expected time.Duration, at time.Time) {
+	d.intervals = d.intervals[:0]
+	for i := 0; i < d.window/4+1; i++ {
+		d.intervals = append(d.intervals, expected.Seconds())
+	}
+	d.last = at
+	d.seen = true
+}
+
+// Heartbeat records one successful heartbeat arrival.
+func (d *Detector) Heartbeat(now time.Time) {
+	if d.seen {
+		iv := now.Sub(d.last).Seconds()
+		if iv > 0 {
+			d.intervals = append(d.intervals, iv)
+			if n := len(d.intervals) - d.window; n > 0 {
+				d.intervals = append(d.intervals[:0], d.intervals[n:]...)
+			}
+		}
+	}
+	d.last = now
+	d.seen = true
+}
+
+// Phi scores the current silence: 0 with no history or no elapsed silence,
+// rising as the gap since the last heartbeat stretches past what the
+// history makes plausible. Capped at maxPhi.
+func (d *Detector) Phi(now time.Time) float64 {
+	if !d.seen || len(d.intervals) == 0 {
+		return 0
+	}
+	elapsed := now.Sub(d.last).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	mean, std := d.stats()
+	z := (elapsed - mean) / std
+	// P(interval >= elapsed) under N(mean, std²): the upper tail.
+	p := 0.5 * math.Erfc(z/math.Sqrt2)
+	if p <= 0 {
+		return maxPhi
+	}
+	phi := -math.Log10(p)
+	if phi > maxPhi {
+		return maxPhi
+	}
+	if phi < 0 {
+		return 0
+	}
+	return phi
+}
+
+// Samples reports how many inter-arrival samples the history holds.
+func (d *Detector) Samples() int { return len(d.intervals) }
+
+func (d *Detector) stats() (mean, std float64) {
+	for _, v := range d.intervals {
+		mean += v
+	}
+	mean /= float64(len(d.intervals))
+	var varsum float64
+	for _, v := range d.intervals {
+		dlt := v - mean
+		varsum += dlt * dlt
+	}
+	std = math.Sqrt(varsum / float64(len(d.intervals)))
+	if std < d.minStd {
+		std = d.minStd
+	}
+	return mean, std
+}

@@ -1,0 +1,85 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPhiRisesWithSilence(t *testing.T) {
+	d := NewDetector(0, 50*time.Millisecond)
+	t0 := time.Unix(1000, 0)
+	d.Prime(500*time.Millisecond, t0)
+	// An on-time heartbeat keeps suspicion negligible.
+	if phi := d.Phi(t0.Add(500 * time.Millisecond)); phi > 1 {
+		t.Fatalf("on-time silence scored phi=%.2f", phi)
+	}
+	// Suspicion grows monotonically with the gap and becomes decisive.
+	prev := -1.0
+	for _, gap := range []time.Duration{600, 700, 800, 900, 1200} {
+		phi := d.Phi(t0.Add(gap * time.Millisecond))
+		if phi < prev {
+			t.Fatalf("phi not monotone: %.2f after %.2f at gap %v", phi, prev, gap*time.Millisecond)
+		}
+		prev = phi
+	}
+	if prev < 8 {
+		t.Fatalf("a 2.4x-late heartbeat only scored phi=%.2f", prev)
+	}
+}
+
+func TestHeartbeatsResetSuspicion(t *testing.T) {
+	d := NewDetector(0, 50*time.Millisecond)
+	now := time.Unix(1000, 0)
+	d.Prime(100*time.Millisecond, now)
+	for i := 0; i < 50; i++ {
+		now = now.Add(100 * time.Millisecond)
+		d.Heartbeat(now)
+	}
+	if phi := d.Phi(now.Add(100 * time.Millisecond)); phi > 1 {
+		t.Fatalf("steady stream still suspect: phi=%.2f", phi)
+	}
+	if d.Samples() > DefaultWindow {
+		t.Fatalf("history unbounded: %d samples", d.Samples())
+	}
+}
+
+func TestJitteryHistoryWidensTolerance(t *testing.T) {
+	// A member with naturally irregular heartbeats must earn a wider
+	// tolerance than a metronomic one — the whole point of accrual over a
+	// fixed timeout.
+	steady := NewDetector(0, 10*time.Millisecond)
+	jittery := NewDetector(0, 10*time.Millisecond)
+	now := time.Unix(1000, 0)
+	steady.Heartbeat(now)
+	jittery.Heartbeat(now)
+	ns, nj := now, now
+	for i := 0; i < 40; i++ {
+		ns = ns.Add(100 * time.Millisecond)
+		steady.Heartbeat(ns)
+		iv := 100 * time.Millisecond
+		if i%2 == 0 {
+			iv = 300 * time.Millisecond
+		}
+		nj = nj.Add(iv)
+		jittery.Heartbeat(nj)
+	}
+	gap := 400 * time.Millisecond
+	if ps, pj := steady.Phi(ns.Add(gap)), jittery.Phi(nj.Add(gap)); ps <= pj {
+		t.Fatalf("steady member (phi=%.2f) should be more suspicious than jittery one (phi=%.2f) at the same gap", ps, pj)
+	}
+}
+
+func TestPhiCappedAndFloored(t *testing.T) {
+	d := NewDetector(0, time.Millisecond)
+	t0 := time.Unix(1000, 0)
+	d.Prime(10*time.Millisecond, t0)
+	if phi := d.Phi(t0.Add(time.Hour)); phi != maxPhi {
+		t.Fatalf("hour-long silence: phi=%.2f, want cap %v", phi, maxPhi)
+	}
+	if phi := d.Phi(t0); phi != 0 {
+		t.Fatalf("zero elapsed: phi=%.2f, want 0", phi)
+	}
+	if phi := NewDetector(0, 0).Phi(t0); phi != 0 {
+		t.Fatalf("no history: phi=%.2f, want 0", phi)
+	}
+}

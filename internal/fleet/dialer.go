@@ -1,0 +1,201 @@
+package fleet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"slate/internal/ipc"
+)
+
+// Dialer is the client side of the fleet: placement-aware connection
+// establishment with capped hedged probes and a per-member circuit breaker.
+// A Connect probes the preferred member first; if the probe has not
+// answered within Hedge, the next candidate is probed concurrently (up to
+// MaxHedges extras), and the first member to answer gets the real
+// connection. Members that keep failing probes trip their breaker and are
+// skipped until a cooldown — a dead member costs one timeout, not one per
+// connect.
+type Dialer struct {
+	sup *Supervisor
+
+	// Hedge is how long to wait on a probe before also trying the next
+	// candidate (default 25ms).
+	Hedge time.Duration
+	// MaxHedges caps the extra candidates per Connect (default 2).
+	MaxHedges int
+	// ProbeTimeout bounds one member probe (default: supervisor's
+	// PingTimeout).
+	ProbeTimeout time.Duration
+	// TripAfter consecutive probe failures open a member's breaker
+	// (default 3); Cooldown is how long it stays open (default 250ms).
+	TripAfter int
+	Cooldown  time.Duration
+
+	mu  sync.Mutex
+	brk map[string]*dialBreaker
+}
+
+type dialBreaker struct {
+	fails     int
+	openUntil time.Time
+}
+
+// NewDialer builds a fleet-aware dialer over this supervisor's directory.
+func (s *Supervisor) NewDialer() *Dialer {
+	return &Dialer{
+		sup:          s,
+		Hedge:        25 * time.Millisecond,
+		MaxHedges:    2,
+		ProbeTimeout: s.cfg.PingTimeout,
+		TripAfter:    3,
+		Cooldown:     250 * time.Millisecond,
+		brk:          map[string]*dialBreaker{},
+	}
+}
+
+// DialFor returns a dial function pinned to one member, shaped for
+// client.DialRetry and Client.Resume — the way a client reaches its
+// session's (possibly re-homed) home.
+func (d *Dialer) DialFor(name string) func() (net.Conn, error) {
+	return func() (net.Conn, error) {
+		m := d.sup.MemberByName(name)
+		if m == nil {
+			return nil, fmt.Errorf("fleet: dial %q: %w", name, ErrFleetUnavailable)
+		}
+		return m.Dial()()
+	}
+}
+
+// Connect opens a transport to a healthy fleet member, preferring the named
+// one (""= no preference, pure placement order). Returns the connection and
+// the name of the member it reached; all probes failing is
+// ErrFleetUnavailable.
+func (d *Dialer) Connect(prefer string) (net.Conn, string, error) {
+	cands := d.candidates(prefer)
+	if len(cands) == 0 {
+		return nil, "", fmt.Errorf("fleet: connect: %w", ErrFleetUnavailable)
+	}
+	type probeRes struct {
+		m   *Member
+		err error
+	}
+	resCh := make(chan probeRes, len(cands))
+	idx, active := 0, 0
+	launch := func() {
+		m := cands[idx]
+		idx++
+		active++
+		go func() { resCh <- probeRes{m, d.probe(m)} }()
+	}
+	launch()
+	timer := time.NewTimer(d.Hedge)
+	defer timer.Stop()
+	var lastErr error
+	for active > 0 {
+		select {
+		case r := <-resCh:
+			active--
+			if r.err == nil {
+				// Winner: hand back a fresh transport (the probe's conn
+				// carried ping traffic and is already closed).
+				d.settle(r.m.Name, true)
+				nc, err := r.m.Dial()()
+				if err == nil {
+					return nc, r.m.Name, nil
+				}
+				lastErr = err // cut between probe and dial; keep going
+			} else {
+				lastErr = r.err
+			}
+			d.settle(r.m.Name, r.err == nil)
+			if idx < len(cands) {
+				launch()
+				timer.Reset(d.Hedge)
+			}
+		case <-timer.C:
+			if idx < len(cands) {
+				launch()
+			}
+		}
+	}
+	return nil, "", fmt.Errorf("fleet: connect: %v: %w", lastErr, ErrFleetUnavailable)
+}
+
+// candidates orders the members a Connect may try: the preferred member
+// first, then routing order, skipping unhealthy members and open breakers,
+// capped at 1+MaxHedges.
+func (d *Dialer) candidates(prefer string) []*Member {
+	now := time.Now()
+	var out []*Member
+	seen := map[string]bool{}
+	add := func(m *Member) {
+		if m == nil || seen[m.Name] || len(out) > d.MaxHedges {
+			return
+		}
+		if m.State() != StateUp || d.open(m.Name, now) {
+			return
+		}
+		seen[m.Name] = true
+		out = append(out, m)
+	}
+	if prefer != "" {
+		add(d.sup.MemberByName(prefer))
+	}
+	for _, m := range d.sup.Members() {
+		add(m)
+	}
+	return out
+}
+
+// probe round-trips one ping on a throwaway connection, bounded by
+// ProbeTimeout. The real connection is dialed only for the winner, so the
+// gob stream the caller layers on it starts clean.
+func (d *Dialer) probe(m *Member) error {
+	nc, err := m.Dial()()
+	if err != nil {
+		return err
+	}
+	conn := ipc.NewConn(nc)
+	defer conn.Close()
+	_ = nc.SetReadDeadline(time.Now().Add(d.ProbeTimeout))
+	if err := conn.SendRequest(&ipc.Request{Op: ipc.OpPing, Seq: 1}); err != nil {
+		return err
+	}
+	rep, err := conn.RecvReply()
+	if err != nil {
+		return err
+	}
+	if rep.Err != "" {
+		return fmt.Errorf("fleet: probe %s: %s", m.Name, rep.Err)
+	}
+	return nil
+}
+
+func (d *Dialer) open(name string, now time.Time) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	b := d.brk[name]
+	return b != nil && now.Before(b.openUntil)
+}
+
+func (d *Dialer) settle(name string, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	b := d.brk[name]
+	if b == nil {
+		b = &dialBreaker{}
+		d.brk[name] = b
+	}
+	if ok {
+		b.fails = 0
+		b.openUntil = time.Time{}
+		return
+	}
+	b.fails++
+	if b.fails >= d.TripAfter {
+		b.openUntil = time.Now().Add(d.Cooldown)
+		b.fails = 0
+	}
+}

@@ -1,0 +1,105 @@
+package fleet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"slate/internal/client"
+	"slate/internal/fault"
+)
+
+func TestConnectPrefersHome(t *testing.T) {
+	sup := testFleet(t, &eventLog{}, 3, fault.PartitionReject)
+	d := sup.NewDialer()
+	nc, name, err := d.Connect("gpu2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if name != "gpu2" {
+		t.Fatalf("connected to %s, want preferred gpu2", name)
+	}
+	// The returned transport is clean: a full client handshake works on it.
+	c, err := client.New(nc, "dialer-test")
+	if err != nil {
+		t.Fatalf("handshake on connected transport: %v", err)
+	}
+	_ = c.Close()
+}
+
+func TestConnectFallsBackFromRejectedMember(t *testing.T) {
+	sup := testFleet(t, &eventLog{}, 2, fault.PartitionReject)
+	if err := sup.CutMember("gpu0"); err != nil {
+		t.Fatal(err)
+	}
+	d := sup.NewDialer()
+	nc, name, err := d.Connect("gpu0")
+	if err != nil {
+		t.Fatalf("connect with one member cut: %v", err)
+	}
+	defer nc.Close()
+	if name != "gpu1" {
+		t.Fatalf("connected to %s, want fallback gpu1", name)
+	}
+}
+
+func TestConnectHedgesPastBlackhole(t *testing.T) {
+	// Drop-mode partition: dials "succeed" but no byte ever returns. Only
+	// the hedged probe lets Connect escape to the healthy member without
+	// waiting out a full timeout budget.
+	sup := testFleet(t, &eventLog{}, 2, fault.PartitionDrop)
+	if err := sup.CutMember("gpu0"); err != nil {
+		t.Fatal(err)
+	}
+	d := sup.NewDialer()
+	d.Hedge = 10 * time.Millisecond
+	d.ProbeTimeout = 150 * time.Millisecond
+	start := time.Now()
+	nc, name, err := d.Connect("gpu0")
+	if err != nil {
+		t.Fatalf("hedged connect: %v", err)
+	}
+	defer nc.Close()
+	if name != "gpu1" {
+		t.Fatalf("connected to %s, want gpu1", name)
+	}
+	// The win must come from the hedge racing ahead, not from waiting out
+	// the blackholed probe.
+	if took := time.Since(start); took >= d.ProbeTimeout {
+		t.Fatalf("connect took %v — hedging never raced (probe timeout %v)", took, d.ProbeTimeout)
+	}
+}
+
+func TestConnectFleetUnavailable(t *testing.T) {
+	sup := testFleet(t, &eventLog{}, 2, fault.PartitionReject)
+	_ = sup.CutMember("gpu0")
+	_ = sup.CutMember("gpu1")
+	d := sup.NewDialer()
+	if _, _, err := d.Connect(""); !errors.Is(err, ErrFleetUnavailable) {
+		t.Fatalf("connect over severed fleet: %v, want ErrFleetUnavailable", err)
+	}
+}
+
+func TestDialerBreakerSkipsRepeatOffender(t *testing.T) {
+	sup := testFleet(t, &eventLog{}, 2, fault.PartitionReject)
+	_ = sup.CutMember("gpu0")
+	d := sup.NewDialer()
+	d.TripAfter = 2
+	d.Cooldown = time.Hour
+	for i := 0; i < 2; i++ {
+		if _, _, err := d.Connect("gpu0"); err != nil {
+			t.Fatalf("connect %d should fall back: %v", i, err)
+		}
+	}
+	// Breaker open: gpu0 is not even a candidate now.
+	cands := d.candidates("gpu0")
+	for _, m := range cands {
+		if m.Name == "gpu0" {
+			t.Fatal("open breaker did not skip gpu0")
+		}
+	}
+	if len(cands) == 0 || cands[0].Name != "gpu1" {
+		t.Fatalf("candidates = %v", cands)
+	}
+}

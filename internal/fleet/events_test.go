@@ -1,0 +1,39 @@
+package fleet
+
+import "testing"
+
+func TestEventRoundTrip(t *testing.T) {
+	line := Event("health", "member", "gpu1", "state", "suspect", "phi", "4.52")
+	want := "event=health member=gpu1 state=suspect phi=4.52"
+	if line != want {
+		t.Fatalf("Event = %q, want %q", line, want)
+	}
+	kind, fields, ok := ParseEvent(line)
+	if !ok || kind != "health" {
+		t.Fatalf("ParseEvent: kind=%q ok=%v", kind, ok)
+	}
+	if fields["member"] != "gpu1" || fields["state"] != "suspect" || fields["phi"] != "4.52" {
+		t.Fatalf("fields = %v", fields)
+	}
+}
+
+func TestEventQuotesAwkwardValues(t *testing.T) {
+	line := Event("failover", "victim", "gpu0", "reason", "no healthy member")
+	kind, fields, ok := ParseEvent(line)
+	if !ok || kind != "failover" {
+		t.Fatalf("ParseEvent(%q): kind=%q ok=%v", line, kind, ok)
+	}
+	if fields["reason"] != "no healthy member" {
+		t.Fatalf("quoted value mangled: %q", fields["reason"])
+	}
+}
+
+func TestParseEventRejectsNonEvents(t *testing.T) {
+	for _, line := range []string{
+		"", "plain log text", "slated: listening on :700", "event=", "key=value first",
+	} {
+		if _, _, ok := ParseEvent(line); ok {
+			t.Fatalf("ParseEvent(%q) accepted a non-event", line)
+		}
+	}
+}

@@ -76,6 +76,11 @@ const (
 	// original hello and asks the daemon to reattach the recovered session
 	// state (dedup window, pending launch outcomes).
 	OpResume
+	// OpPing is the fleet health monitor's lightweight heartbeat: it touches
+	// no session state and replies immediately with the daemon's current
+	// load, so a supervisor can feed a failure detector and a placement
+	// router from one cheap round trip.
+	OpPing
 )
 
 func (o Op) String() string {
@@ -100,6 +105,8 @@ func (o Op) String() string {
 		return "close"
 	case OpResume:
 		return "resume"
+	case OpPing:
+		return "ping"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -174,6 +181,9 @@ type Reply struct {
 	// recovered; false on an OpResume reply means the state was lost and the
 	// client got a fresh, degraded session instead.
 	Recovered bool
+	// Load is the daemon's current session count (ping), excluding the
+	// probing connection itself; the fleet router uses it for placement.
+	Load int64
 }
 
 // Conn wraps a net.Conn with gob framing. Safe for one reader and one

@@ -53,6 +53,12 @@ const (
 	// KindProfile: a kernel's first-run classification — the warm profile
 	// state a restart would otherwise re-measure.
 	KindProfile
+	// KindSessionAdopt: a session re-homed from a failed daemon. The fleet
+	// supervisor ships the session's whole durable segment — resume token,
+	// dedup window, MaxOp watermark, poison and loss marks — into the
+	// adopting daemon's journal as one record, so fleet-wide exactly-once
+	// accounting survives the move.
+	KindSessionAdopt
 )
 
 func (k Kind) String() string {
@@ -69,6 +75,8 @@ func (k Kind) String() string {
 		return "strike"
 	case KindProfile:
 		return "profile"
+	case KindSessionAdopt:
+		return "session-adopt"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -109,6 +117,31 @@ type Record struct {
 	// Warm profile state (profile).
 	Class   int     `json:"class,omitempty"`
 	SoloSec float64 `json:"solo_sec,omitempty"`
+	// Re-homed session segment (session-adopt): the dedup watermark, the
+	// loss mark, and the full window. Poison rides on Code/Err above.
+	MaxOp    uint64      `json:"max_op,omitempty"`
+	Lost     string      `json:"lost,omitempty"`
+	AdoptOps []AdoptedOp `json:"adopt_ops,omitempty"`
+}
+
+// AdoptedOp is one dedup-window entry inside a session-adopt record: the
+// accept-time ack plus the replay material the adopting daemon needs to
+// re-execute an accepted-but-incomplete source launch exactly once.
+type AdoptedOp struct {
+	OpID     uint64   `json:"op"`
+	Code     uint8    `json:"code,omitempty"`
+	Err      string   `json:"err,omitempty"`
+	Degraded bool     `json:"deg,omitempty"`
+	Entries  []string `json:"entries,omitempty"`
+	Done     bool     `json:"done,omitempty"`
+	Src      bool     `json:"src,omitempty"`
+	Kernel   string   `json:"kernel,omitempty"`
+	GridX    int      `json:"gx,omitempty"`
+	GridY    int      `json:"gy,omitempty"`
+	BlockX   int      `json:"bx,omitempty"`
+	BlockY   int      `json:"by,omitempty"`
+	TaskSize int      `json:"task,omitempty"`
+	Stream   int      `json:"stream,omitempty"`
 }
 
 // Writer is the append-only journal. Safe for concurrent appenders; each
@@ -182,6 +215,16 @@ func (w *Writer) Append(rec *Record) error {
 		}
 	}
 	return nil
+}
+
+// Kill marks the writer dead without a crash-site hook: the fleet's
+// daemon-kill (and STONITH-style fencing at failover) uses it to guarantee
+// nothing the fenced daemon does after this point becomes durable. Every
+// later Append or Reset fails with fault.ErrCrash.
+func (w *Writer) Kill() {
+	w.mu.Lock()
+	w.dead = true
+	w.mu.Unlock()
 }
 
 // Records returns how many records this writer has durably appended.
