@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|fig1|…|fig7|ablation|staticmerge|triples|cloud|extpairs|sensitivity|faults|overload|crashchaos|fleetchaos|parbench|modelbench")
+	exp := flag.String("exp", "all", "experiment: all|fig1|…|fig7|ablation|staticmerge|triples|cloud|extpairs|sensitivity|faults|overload|crashchaos|fleetchaos|rollingchaos|parbench|modelbench")
 	loop := flag.Float64("loop", 3.0, "solo kernel loop target in seconds (paper used ~30)")
 	seed := flag.Int64("seed", 1, "trace-model and chaos-driver seed (same seed = same tables)")
 	chaosSessions := flag.Int("chaos-sessions", 12, "hostile client sessions per faults chaos run")
@@ -242,6 +242,10 @@ func main() {
 		}},
 		{name: "fleetchaos", run: func() (string, string, error) {
 			r, err := runFleetChaos(*seed)
+			return r, "", err
+		}},
+		{name: "rollingchaos", run: func() (string, string, error) {
+			r, err := runRollingChaos(*seed)
 			return r, "", err
 		}},
 	}

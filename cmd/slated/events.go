@@ -31,6 +31,26 @@ func recoveryEvent(rs *framework.RecoveryStats) string {
 	)
 }
 
+// migrateEvent reports one session's handoff lifecycle during a planned
+// state adoption (-adopt-state): the token now resumes here. Phases mirror
+// the fleet supervisor's migrate lifecycle (begin/handoff/done/fallback) so
+// the same tooling watches both sides of a move.
+func migrateEvent(phase string, token uint64, from string) string {
+	return fleet.Event("migrate", "phase", phase, "token", fleet.Fmt(token), "from", from)
+}
+
+// adoptedEvent summarizes a completed -adopt-state handoff.
+func adoptedEvent(from string, as *framework.AdoptStats) string {
+	return fleet.Event("adopted",
+		"from", from,
+		"sessions", fleet.Fmt(as.Sessions),
+		"dedup_ops", fleet.Fmt(as.DedupOps),
+		"replayed", fleet.Fmt(as.Replayed),
+		"lost", fleet.Fmt(as.Lost),
+		"conflicts", fleet.Fmt(as.Conflicts),
+	)
+}
+
 // listeningEvent marks the daemon open for business.
 func listeningEvent(addr string, budget int) string {
 	return fleet.Event("listening", "addr", addr, "budget", fleet.Fmt(budget))

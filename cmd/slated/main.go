@@ -17,6 +17,11 @@
 // reattach via their resume tokens), replays accepted-but-incomplete source
 // launches exactly once, and logs a one-line recovery summary.
 //
+// With -adopt-state <dir> a durable daemon additionally adopts a dead or
+// drained peer's state directory at startup — the migration-destination
+// half of a planned handoff: the peer's sessions resume here under their
+// original tokens, each logged as `event=migrate` lifecycle lines.
+//
 // Every lifecycle transition (journal/recovery/listening/drain/drained) is
 // logged as a single structured `event=<kind> key=value ...` line,
 // parseable with fleet.ParseEvent.
@@ -40,7 +45,13 @@ func main() {
 	budget := flag.Int("budget", 8, "executor worker budget (the host 'SM pool')")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long drain waits for sessions before force-closing them")
 	stateDir := flag.String("state-dir", "", "directory for the durable journal + checkpoint (empty = volatile daemon)")
+	adoptState := flag.String("adopt-state", "", "dead or drained peer's state dir to adopt at startup (requires -state-dir); its sessions resume here")
 	flag.Parse()
+
+	if *adoptState != "" && *stateDir == "" {
+		fmt.Fprintln(os.Stderr, "slated: -adopt-state requires -state-dir (adoption must be durable)")
+		os.Exit(1)
+	}
 
 	_ = os.Remove(*addr)
 	l, err := net.Listen("unix", *addr)
@@ -63,6 +74,18 @@ func main() {
 		}
 		fmt.Println(journalEvent(stats.JournalPath, stats.CheckpointPath))
 		fmt.Println(recoveryEvent(stats))
+		if *adoptState != "" {
+			as, err := srv.AdoptState(*adoptState)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "slated: adopt state: %v\n", err)
+				os.Exit(1)
+			}
+			for _, tok := range as.Tokens {
+				fmt.Println(migrateEvent("handoff", tok, *adoptState))
+				fmt.Println(migrateEvent("done", tok, *adoptState))
+			}
+			fmt.Println(adoptedEvent(*adoptState, as))
+		}
 	}
 	fmt.Println(listeningEvent(*addr, *budget))
 

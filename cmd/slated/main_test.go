@@ -61,3 +61,31 @@ func TestLifecycleEventsAreStructured(t *testing.T) {
 		t.Fatalf("failed drained fields: %v", f)
 	}
 }
+
+func TestMigrateEventsAreStructured(t *testing.T) {
+	// Per-session handoff lifecycle lines: one per phase, token preserved.
+	for _, phase := range []string{"begin", "handoff", "done", "fallback"} {
+		f := parse(t, migrateEvent(phase, 0xdeadbeef, "/var/lib/slate.old"), "migrate")
+		if f["phase"] != phase || f["from"] != "/var/lib/slate.old" {
+			t.Fatalf("migrate %s fields: %v", phase, f)
+		}
+		tok, err := strconv.ParseUint(f["token"], 16, 64) // tokens render as hex fleet-wide
+		if err != nil || tok != 0xdeadbeef {
+			t.Fatalf("migrate %s token = %q, want %d", phase, f["token"], uint64(0xdeadbeef))
+		}
+	}
+
+	as := &framework.AdoptStats{Sessions: 2, DedupOps: 9, Replayed: 1, Lost: 0, Conflicts: 1}
+	f := parse(t, adoptedEvent("/var/lib/slate.old", as), "adopted")
+	if f["from"] != "/var/lib/slate.old" {
+		t.Fatalf("adopted fields: %v", f)
+	}
+	for key, want := range map[string]int{
+		"sessions": 2, "dedup_ops": 9, "replayed": 1, "lost": 0, "conflicts": 1,
+	} {
+		got, err := strconv.Atoi(f[key])
+		if err != nil || got != want {
+			t.Fatalf("adopted field %s = %q, want %d", key, f[key], want)
+		}
+	}
+}

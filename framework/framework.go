@@ -63,6 +63,9 @@ type (
 	Durability = daemon.Durability
 	// RecoveryStats summarizes what a durable daemon recovered at startup.
 	RecoveryStats = daemon.RecoveryStats
+	// AdoptStats summarizes a Daemon.AdoptState call — sessions re-homed
+	// into this daemon from a dead or drained peer's state directory.
+	AdoptStats = daemon.AdoptStats
 	// FaultConfig sets seeded fault-injection probabilities.
 	FaultConfig = fault.Config
 	// FaultInjector deterministically perturbs the transport, allocator,

@@ -56,6 +56,10 @@ var (
 	// resume token is unknown); the session restarts fresh and in-flight
 	// work from the old incarnation is gone.
 	ErrSessionLost = errors.New("session state lost across daemon restart")
+	// ErrVersionSkew: the daemon speaks a different protocol version; this
+	// client must connect to a member running its own version. Not
+	// retryable on the same daemon.
+	ErrVersionSkew = daemon.ErrVersionSkew
 )
 
 // opError is a failed command: the op, the daemon's message, and the typed
@@ -300,7 +304,7 @@ func New(nc net.Conn, proc string, opts ...Option) (*Client, error) {
 	for _, o := range opts {
 		o(c)
 	}
-	rep, err := c.call(&ipc.Request{Op: ipc.OpHello, Proc: proc})
+	rep, err := c.call(&ipc.Request{Op: ipc.OpHello, Proc: proc, Version: ipc.ProtocolVersion})
 	if err != nil {
 		c.conn.Close() // a refused handshake must not leak the transport
 		return nil, fmt.Errorf("client: handshake: %w", err)
@@ -517,6 +521,8 @@ func sentinelFor(code ipc.ErrCode) error {
 		return ErrDraining
 	case ipc.CodeDuplicateOp:
 		return ErrDuplicateOp
+	case ipc.CodeVersionSkew:
+		return ErrVersionSkew
 	default:
 		return nil
 	}
@@ -768,11 +774,12 @@ func (c *Client) Resume(dial func() (net.Conn, error), rc RetryConfig) (recovere
 		// with the original transport error instead of racing onto a
 		// half-resumed (or already re-closed) connection.
 		hc := ipc.NewConn(nc)
-		rep, rerr := c.callOn(hc, &ipc.Request{Op: ipc.OpResume, SessionToken: token, Proc: c.proc})
+		rep, rerr := c.callOn(hc, &ipc.Request{Op: ipc.OpResume, SessionToken: token, Proc: c.proc, Version: ipc.ProtocolVersion})
 		if rerr != nil {
 			hc.Close()
-			if errors.Is(rerr, ErrDraining) {
-				// The daemon is up and refusing: do not redial into it.
+			if errors.Is(rerr, ErrDraining) || errors.Is(rerr, ErrVersionSkew) {
+				// The daemon is up and refusing (draining, or speaking a
+				// different protocol version): do not redial into it.
 				return false, rerr
 			}
 			lastErr = rerr

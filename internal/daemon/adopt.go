@@ -75,48 +75,15 @@ func (s *Server) AdoptState(dir string) (*AdoptStats, error) {
 	}
 	sort.Slice(victims, func(i, j int) bool { return victims[i].Sess < victims[j].Sess })
 
-	d := s.durable
 	var adopted []*resumeState
 	for _, v := range victims {
-		d.mu.Lock()
-		_, dup := d.resume[v.Token]
-		d.mu.Unlock()
+		st, dup, err := s.adoptSession(v)
+		if err != nil {
+			return stats, err
+		}
 		if dup {
 			stats.Conflicts++
 			continue
-		}
-		// The token is the credential the client will Resume with and must
-		// survive the move; the session ID is this daemon's namespace, so
-		// mint a fresh one rather than collide with a local session.
-		s.mu.Lock()
-		s.nextSess++
-		sess := s.nextSess
-		s.mu.Unlock()
-		rec := &journal.Record{
-			Kind: journal.KindSessionAdopt, Sess: sess, Token: v.Token, Proc: v.Proc,
-			MaxOp: v.MaxOp, Code: v.PoisonCode, Err: v.PoisonErr, Lost: v.LostErr,
-		}
-		for _, e := range v.Window {
-			rec.AdoptOps = append(rec.AdoptOps, journal.AdoptedOp{
-				OpID: e.OpID, Code: e.Code, Err: e.Err,
-				Degraded: e.Degraded, Entries: e.Entries, Done: e.Done,
-				Src: e.Src, Kernel: e.Kernel,
-				GridX: e.GridX, GridY: e.GridY, BlockX: e.BlockX, BlockY: e.BlockY,
-				TaskSize: e.TaskSize, Stream: e.Stream,
-			})
-		}
-		st := &resumeState{
-			Sess: sess, Token: v.Token, Proc: v.Proc, MaxOp: v.MaxOp,
-			Window: v.Window, PoisonErr: v.PoisonErr, PoisonCode: v.PoisonCode,
-			LostErr: v.LostErr,
-		}
-		if err := s.journalAppend(rec, func() {
-			d.mu.Lock()
-			d.resume[st.Token] = st
-			d.bySess[st.Sess] = st
-			d.mu.Unlock()
-		}); err != nil {
-			return stats, err
 		}
 		stats.Sessions++
 		stats.DedupOps += len(st.Window)
@@ -127,4 +94,54 @@ func (s *Server) AdoptState(dir string) (*AdoptStats, error) {
 	// path. Completions journal here, on the adopter.
 	stats.Replayed, stats.Lost = s.replaySessions(adopted)
 	return stats, nil
+}
+
+// adoptSession durably installs one victim session into this daemon under a
+// fresh local session ID, keeping the resume token. It is the shared
+// per-session half of AdoptState and planned migration. dup reports the
+// token already lives here (idempotent re-adoption); the caller decides
+// whether that is a conflict (failover) or fine (migration retry). The
+// caller runs replaySessions afterwards to settle in-flight work.
+func (s *Server) adoptSession(v *resumeState) (st *resumeState, dup bool, err error) {
+	d := s.durable
+	d.mu.Lock()
+	_, dup = d.resume[v.Token]
+	d.mu.Unlock()
+	if dup {
+		return nil, true, nil
+	}
+	// The token is the credential the client will Resume with and must
+	// survive the move; the session ID is this daemon's namespace, so
+	// mint a fresh one rather than collide with a local session.
+	s.mu.Lock()
+	s.nextSess++
+	sess := s.nextSess
+	s.mu.Unlock()
+	rec := &journal.Record{
+		Kind: journal.KindSessionAdopt, Sess: sess, Token: v.Token, Proc: v.Proc,
+		MaxOp: v.MaxOp, Code: v.PoisonCode, Err: v.PoisonErr, Lost: v.LostErr,
+	}
+	for _, e := range v.Window {
+		rec.AdoptOps = append(rec.AdoptOps, journal.AdoptedOp{
+			OpID: e.OpID, Code: e.Code, Err: e.Err,
+			Degraded: e.Degraded, Entries: e.Entries, Done: e.Done,
+			Src: e.Src, Kernel: e.Kernel,
+			GridX: e.GridX, GridY: e.GridY, BlockX: e.BlockX, BlockY: e.BlockY,
+			TaskSize: e.TaskSize, Stream: e.Stream,
+		})
+	}
+	st = &resumeState{
+		Sess: sess, Token: v.Token, Proc: v.Proc, MaxOp: v.MaxOp,
+		Window: v.Window, PoisonErr: v.PoisonErr, PoisonCode: v.PoisonCode,
+		LostErr: v.LostErr,
+	}
+	if err := s.journalAppend(rec, func() {
+		d.mu.Lock()
+		d.resume[st.Token] = st
+		d.bySess[st.Sess] = st
+		d.mu.Unlock()
+	}); err != nil {
+		return nil, false, err
+	}
+	return st, false, nil
 }

@@ -3,6 +3,7 @@ package daemon
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -460,6 +461,27 @@ func (x *Executor) RestoreProfile(name string, class policy.Class, soloSec float
 		return
 	}
 	x.profiles[name] = &execProfile{class: class, soloSec: soloSec}
+}
+
+// ProfileEntry is one recorded first-run classification, exported so the
+// fleet can ship warm profiles along with migrating sessions.
+type ProfileEntry struct {
+	Name    string
+	Class   policy.Class
+	SoloSec float64
+}
+
+// Profiles snapshots every recorded classification, sorted by kernel name
+// for deterministic iteration.
+func (x *Executor) Profiles() []ProfileEntry {
+	x.mu.Lock()
+	out := make([]ProfileEntry, 0, len(x.profiles))
+	for name, p := range x.profiles {
+		out = append(out, ProfileEntry{Name: name, Class: p.class, SoloSec: p.soloSec})
+	}
+	x.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // ProfileSoloSec returns the recorded solo time of a classified kernel.

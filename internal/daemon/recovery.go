@@ -329,6 +329,14 @@ func (ls *loadedState) apply(rec *journal.Record) error {
 		if rec.Sess >= ls.nextSess {
 			ls.nextSess = rec.Sess + 1
 		}
+	case journal.KindSessionMigrate:
+		// Planned migration source tombstone: the destination made its adopted
+		// copy durable before this record was written, so the session is
+		// simply no longer ours. Idempotent like a close.
+		if st, ok := ls.sessions[rec.Token]; ok {
+			delete(ls.sessions, rec.Token)
+			delete(ls.bySess, st.Sess)
+		}
 	}
 	return nil
 }

@@ -25,6 +25,10 @@ var (
 	ErrQuota = errors.New("daemon: session quota exceeded")
 	// ErrDraining rejects new work while the daemon shuts down gracefully.
 	ErrDraining = errors.New("daemon: draining, not accepting new work")
+	// ErrVersionSkew rejects a Hello/Resume whose protocol version differs
+	// from the daemon's: mixed-version fleets must refuse skew, not trade
+	// frames the other side misreads.
+	ErrVersionSkew = errors.New("daemon: protocol version skew")
 )
 
 // SpecTable exchanges executable kernel specs between in-process clients
@@ -124,6 +128,12 @@ type Server struct {
 	// mint the same token for the same session ID; 0 keeps the standalone
 	// daemon's historical token stream exactly. Set before EnableDurability.
 	TokenSeed uint64
+	// ProtocolVersion is the wire version this daemon speaks; 0 means
+	// ipc.ProtocolVersion (the build's own). Hello/Resume requests carrying
+	// a different non-zero version are refused with CodeVersionSkew, so a
+	// mixed-version fleet fails handshakes loudly instead of corrupting
+	// session state. Set before serving.
+	ProtocolVersion uint32
 
 	mu       sync.Mutex
 	sessions int
@@ -280,6 +290,20 @@ func (ss *session) takeLaunch() error {
 	return err
 }
 
+// checkVersion enforces the protocol-version handshake on a Hello/Resume.
+// A zero request version is a legacy (pre-versioning) client and accepted;
+// anything else must match the daemon's effective version exactly.
+func (s *Server) checkVersion(reqVersion uint32) error {
+	have := s.ProtocolVersion
+	if have == 0 {
+		have = ipc.ProtocolVersion
+	}
+	if reqVersion != 0 && reqVersion != have {
+		return fmt.Errorf("%w: client speaks v%d, daemon speaks v%d", ErrVersionSkew, reqVersion, have)
+	}
+	return nil
+}
+
 // fail marks a reply failed, classifying the error so clients recover
 // typed sentinels.
 func fail(rep *ipc.Reply, err error) {
@@ -297,6 +321,8 @@ func fail(rep *ipc.Reply, err error) {
 		rep.Code = ipc.CodeQuota
 	case errors.Is(err, ErrDraining):
 		rep.Code = ipc.CodeDraining
+	case errors.Is(err, ErrVersionSkew):
+		rep.Code = ipc.CodeVersionSkew
 	default:
 		rep.Code = ipc.CodeGeneric
 	}
@@ -383,8 +409,14 @@ func (s *Server) ServeConn(nc net.Conn) {
 		switch req.Op {
 		case ipc.OpHello:
 			// Session established; hand the client its session ID so its
-			// spec deposits carry an owner tag. A draining daemon admits no
-			// new sessions.
+			// spec deposits carry an owner tag. A version-skewed client is
+			// refused before any state is touched; a draining daemon admits
+			// no new sessions.
+			if err := s.checkVersion(req.Version); err != nil {
+				fail(rep, err)
+				_ = conn.SendReply(rep)
+				return
+			}
 			if s.Draining() {
 				// A refused session must not linger holding the conn open —
 				// drain's polite phase waits on the session count.
@@ -404,7 +436,13 @@ func (s *Server) ServeConn(nc net.Conn) {
 		case ipc.OpResume:
 			// A client reconnecting after a restart or transport loss. The
 			// drain race resolves cleanly: a typed refusal, never a hang —
-			// and, like a refused hello, the conn must not linger.
+			// and, like a refused hello, the conn must not linger. Version
+			// skew is refused the same way.
+			if err := s.checkVersion(req.Version); err != nil {
+				fail(rep, err)
+				_ = conn.SendReply(rep)
+				return
+			}
 			if s.Draining() {
 				fail(rep, ErrDraining)
 				_ = conn.SendReply(rep)

@@ -103,3 +103,50 @@ func TestDialerBreakerSkipsRepeatOffender(t *testing.T) {
 		t.Fatalf("candidates = %v", cands)
 	}
 }
+
+// Satellite regression: half-open recovery. A tripped breaker re-admits the
+// member once its cooldown lapses, and the first successful probe closes it
+// for good — a healed member is not locked out forever, and the trip
+// counter restarts clean afterwards.
+func TestDialerBreakerHalfOpenRecovery(t *testing.T) {
+	sup := testFleet(t, &eventLog{}, 1, fault.PartitionReject)
+	d := sup.NewDialer()
+	d.TripAfter = 1
+	d.Cooldown = 60 * time.Millisecond
+
+	_ = sup.CutMember("gpu0")
+	if _, _, err := d.Connect("gpu0"); !errors.Is(err, ErrFleetUnavailable) {
+		t.Fatalf("connect to severed sole member: %v, want ErrFleetUnavailable", err)
+	}
+
+	// Healed but still inside the cooldown: the breaker stays latched and
+	// the sole member is not even probed.
+	_ = sup.HealMember("gpu0")
+	if _, _, err := d.Connect("gpu0"); !errors.Is(err, ErrFleetUnavailable) {
+		t.Fatalf("connect inside cooldown: %v, want ErrFleetUnavailable (breaker latched)", err)
+	}
+
+	// Past the cooldown the member is re-admitted (half-open) and the
+	// successful probe closes the breaker.
+	time.Sleep(d.Cooldown + 20*time.Millisecond)
+	nc, name, err := d.Connect("gpu0")
+	if err != nil || name != "gpu0" {
+		t.Fatalf("half-open connect = %q, %v; want gpu0", name, err)
+	}
+	nc.Close()
+	nc, name, err = d.Connect("gpu0") // closed now: no cooldown wait needed
+	if err != nil || name != "gpu0" {
+		t.Fatalf("post-recovery connect = %q, %v; want gpu0", name, err)
+	}
+	nc.Close()
+
+	// The recovery reset the failure count: it takes a full TripAfter run of
+	// fresh failures to trip again, not a stale leftover.
+	_ = sup.CutMember("gpu0")
+	if _, _, err := d.Connect("gpu0"); !errors.Is(err, ErrFleetUnavailable) {
+		t.Fatalf("connect after re-cut: %v, want ErrFleetUnavailable", err)
+	}
+	if !d.open("gpu0", time.Now()) {
+		t.Fatal("breaker did not re-trip after recovery + fresh failure")
+	}
+}

@@ -136,20 +136,42 @@ type Member struct {
 	Capacity int
 
 	sup      *Supervisor
-	srv      *daemon.Server
 	rawDial  func() net.Conn
 	part     *fault.Partition
-	det      *Detector
 	stateDir string
+	budget   int
+	dur      *daemon.Durability
 
-	// Guarded by sup.mu.
+	// Guarded by sup.mu. srv and det are swappable: a rolling restart
+	// replaces the daemon instance (and its fresh detector history) behind
+	// the member's stable fleet identity, and gen counts incarnations so
+	// each restart mints from a distinct token stream.
+	srv    *daemon.Server
+	det    *Detector
+	gen    int
 	state  MemberState
 	load   int64
 	primed bool
 }
 
+// server returns the member's current daemon instance; dials and failovers
+// must go through it (not a captured pointer) so they always reach the live
+// incarnation.
+func (m *Member) server() *daemon.Server {
+	m.sup.mu.Lock()
+	defer m.sup.mu.Unlock()
+	return m.srv
+}
+
 // Srv exposes the member's daemon (accounting and tests).
-func (m *Member) Srv() *daemon.Server { return m.srv }
+func (m *Member) Srv() *daemon.Server { return m.server() }
+
+// Gen returns the member's incarnation count (restarts since AddMember).
+func (m *Member) Gen() int {
+	m.sup.mu.Lock()
+	defer m.sup.mu.Unlock()
+	return m.gen
+}
 
 // StateDir returns the member's durable state directory ("" = volatile).
 func (m *Member) StateDir() string { return m.stateDir }
@@ -229,14 +251,18 @@ func (s *Supervisor) AddMember(spec MemberSpec) (*Member, error) {
 	srv.TokenSeed = tokenSeedFor(spec.Name)
 	m := &Member{
 		Name: spec.Name, Profile: spec.Profile, Capacity: spec.Capacity,
-		sup: s, srv: srv,
+		sup: s, srv: srv, budget: spec.Budget,
 		part:  fault.NewPartition(s.cfg.PartitionMode),
 		det:   NewDetector(s.cfg.Window, s.cfg.MinStd),
 		state: StateUp,
 	}
+	if spec.Durability != nil {
+		dur := *spec.Durability
+		m.dur = &dur
+	}
 	m.rawDial = func() net.Conn {
 		clientSide, serverSide := net.Pipe()
-		go srv.ServeConn(serverSide)
+		go m.server().ServeConn(serverSide)
 		return clientSide
 	}
 	if spec.Durability != nil {
@@ -451,7 +477,7 @@ func (s *Supervisor) KillMember(name string) error {
 	if s.cfg.AutoFailover {
 		return s.Failover(name)
 	}
-	m.srv.Kill()
+	m.server().Kill()
 	return nil
 }
 
@@ -471,9 +497,7 @@ func (s *Supervisor) Failover(victimName string) error {
 	victim.state = StateDown
 	s.mu.Unlock()
 
-	victim.srv.Kill()
-	waitIdle(victim.srv, 2*time.Second)
-	_ = victim.srv.CloseDurability()
+	s.fence(victim)
 
 	adopter := s.pickAdopter(victim)
 	if adopter == nil {
@@ -484,23 +508,44 @@ func (s *Supervisor) Failover(victimName string) error {
 		s.emit("failover", "victim", victimName, "adopter", adopter.Name, "ok", "true", "sessions", "0", "reason", "volatile member")
 		return nil
 	}
-	stats, err := adopter.srv.AdoptState(victim.stateDir)
+	stats, err := s.adoptInto(victim, adopter)
 	if err != nil {
 		s.emit("failover", "victim", victimName, "adopter", adopter.Name, "ok", "false", "reason", err.Error())
 		return fmt.Errorf("fleet: failover of %s: %w", victimName, err)
 	}
+	s.emit("failover", "victim", victimName, "adopter", adopter.Name, "ok", "true",
+		"sessions", Fmt(stats.Sessions), "dedup_ops", Fmt(stats.DedupOps),
+		"replayed", Fmt(stats.Replayed), "lost", Fmt(stats.Lost), "conflicts", Fmt(stats.Conflicts))
+	return nil
+}
+
+// fence makes the victim's daemon inert: Kill (nothing after it becomes
+// durable), wait for its session goroutines to unwind, close the journal.
+// Shared by failure-initiated failover and the planned-migration fallback.
+func (s *Supervisor) fence(victim *Member) {
+	srv := victim.server()
+	srv.Kill()
+	waitIdle(srv, 2*time.Second)
+	_ = srv.CloseDurability()
+}
+
+// adoptInto ships a fenced victim's durable state into the adopter,
+// tombstones the victim's state files, and re-homes the moved tokens. The
+// victim must be fenced first.
+func (s *Supervisor) adoptInto(victim, adopter *Member) (*daemon.AdoptStats, error) {
+	stats, err := adopter.server().AdoptState(victim.stateDir)
+	if err != nil {
+		return nil, err
+	}
 	if err := tombstone(victim.stateDir); err != nil {
-		return fmt.Errorf("fleet: failover of %s: tombstone: %w", victimName, err)
+		return nil, fmt.Errorf("tombstone: %w", err)
 	}
 	s.mu.Lock()
 	for _, tok := range stats.Tokens {
 		s.rehome[tok] = adopter.Name
 	}
 	s.mu.Unlock()
-	s.emit("failover", "victim", victimName, "adopter", adopter.Name, "ok", "true",
-		"sessions", Fmt(stats.Sessions), "dedup_ops", Fmt(stats.DedupOps),
-		"replayed", Fmt(stats.Replayed), "lost", Fmt(stats.Lost), "conflicts", Fmt(stats.Conflicts))
-	return nil
+	return stats, nil
 }
 
 // pickAdopter returns the first healthy durable member other than the
@@ -612,23 +657,27 @@ func (s *Supervisor) Locate(token uint64, lastHome string) (string, error) {
 // the drain's polite phase is not held up by probe connections.
 func (s *Supervisor) DrainAll(timeout time.Duration) error {
 	s.mu.Lock()
-	var todo []*Member
+	type drainee struct {
+		m   *Member
+		srv *daemon.Server
+	}
+	var todo []drainee
 	for _, m := range s.members {
 		if m.state == StateDown {
 			continue
 		}
 		m.state = StateDraining
-		todo = append(todo, m)
+		todo = append(todo, drainee{m, m.srv})
 	}
 	s.mu.Unlock()
 	var firstErr error
-	for _, m := range todo {
-		s.emit("drain", "member", m.Name, "phase", "begin")
-		err := m.srv.Drain(timeout)
+	for _, d := range todo {
+		s.emit("drain", "member", d.m.Name, "phase", "begin")
+		err := d.srv.Drain(timeout)
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}
-		s.emit("drain", "member", m.Name, "phase", "done", "ok", Fmt(err == nil))
+		s.emit("drain", "member", d.m.Name, "phase", "done", "ok", Fmt(err == nil))
 	}
 	return firstErr
 }

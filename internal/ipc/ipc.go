@@ -55,7 +55,18 @@ const (
 	// Replays whose outcome is still cached return the original reply with
 	// Dup set instead of this code.
 	CodeDuplicateOp
+	// CodeVersionSkew refuses a Hello/Resume whose protocol version does not
+	// match the daemon's: mixed-version fleets must fail the handshake
+	// loudly instead of exchanging frames the other side misreads. The
+	// client should redial a member running its own version.
+	CodeVersionSkew
 )
+
+// ProtocolVersion is the wire protocol generation this build speaks. Clients
+// stamp it on Hello/Resume; daemons refuse a mismatched, non-zero version
+// with CodeVersionSkew (zero means a legacy, pre-versioning peer and is
+// accepted for compatibility — gob decodes absent fields as zero).
+const ProtocolVersion uint32 = 1
 
 // Op enumerates command-channel operations.
 type Op uint8
@@ -146,6 +157,10 @@ type Request struct {
 	OpID uint64
 	// SessionToken is the resume credential presented with OpResume.
 	SessionToken uint64
+	// Version is the client's ProtocolVersion, stamped on OpHello and
+	// OpResume so the daemon can refuse version skew before any session
+	// state is touched. Zero = legacy client (accepted).
+	Version uint32
 }
 
 // Reply is one daemon→client response.

@@ -59,6 +59,12 @@ const (
 	// adopting daemon's journal as one record, so fleet-wide exactly-once
 	// accounting survives the move.
 	KindSessionAdopt
+	// KindSessionMigrate: a session cooperatively handed off to another
+	// daemon (planned migration). It is the source-side tombstone: the
+	// destination has already made the adopted copy durable, so replaying
+	// this record simply drops the session from the source's recoverable
+	// state — a restart over the source dir recovers nothing for it.
+	KindSessionMigrate
 )
 
 func (k Kind) String() string {
@@ -77,6 +83,8 @@ func (k Kind) String() string {
 		return "profile"
 	case KindSessionAdopt:
 		return "session-adopt"
+	case KindSessionMigrate:
+		return "session-migrate"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
