@@ -54,9 +54,12 @@ func runCrashChaos(seed int64) (string, error) {
 	for _, s := range []int64{seed, seed + 1} {
 		for _, site := range fault.CrashSites() {
 			var r ccResult
-			if site == fault.SiteProfileRenameMid {
+			switch site {
+			case fault.SiteProfileRenameMid:
 				r = profileCrashLeg(s)
-			} else {
+			case fault.SiteJournalBatchMid, fault.SiteJournalBatchPost:
+				r = batchCrashLeg(s, site)
+			default:
 				r = daemonCrashLeg(s, site)
 			}
 			r.site, r.seed = site, s
@@ -280,6 +283,199 @@ func daemonCrashLeg(seed int64, site string) ccResult {
 	}
 
 	// Drain-after-recovery must terminate.
+	if err := srv2.Drain(5 * time.Second); err != nil {
+		r.err = fmt.Errorf("drain after recovery: %w", err)
+		return r
+	}
+	_ = srv2.CloseDurability()
+	return r
+}
+
+// batchCrashLeg runs the group-commit crash sites: the scripted workload
+// submits its launches as OpLaunchBatch frames, so the armed site fires
+// inside journal.AppendBatch — either mid-write (a torn prefix of the group:
+// some accept records whole, the next frame cut, nothing acked) or post-sync
+// (the whole group durable, the batch ack lost). The daemon's AppendBatch
+// call order is deterministic here — accept(batch1), completions(batch1,
+// forced by the interleaved Synchronize), accept(batch2), completions(batch2)
+// — so the seed-varied hit walks the death across all four. Verification is
+// the same exactly-once ledger as daemonCrashLeg, except the client can hold
+// a whole SET of pending ops (the in-flight batch), all of which Resume must
+// replay under their original IDs.
+func batchCrashLeg(seed int64, site string) ccResult {
+	var r ccResult
+	dir, err := os.MkdirTemp("", "crashchaos-batch")
+	if err != nil {
+		r.err = err
+		return r
+	}
+	defer os.RemoveAll(dir)
+
+	hit := uint64(seed % 4)
+	srv1, dial1 := daemon.NewLocal(4)
+	crasher := fault.NewCrasher(site, hit)
+	if _, err := srv1.EnableDurability(daemon.Durability{
+		Dir: dir, CompactEvery: 64, Crash: crasher.Hook(), NoSync: true,
+	}); err != nil {
+		r.err = err
+		return r
+	}
+	cli, err := client.New(dial1(), "crashchaos-batch", client.WithTimeout(5*time.Second))
+	if err != nil {
+		r.err = fmt.Errorf("incarnation 1 handshake: %w", err)
+		return r
+	}
+
+	const batches, perBatch = 2, 4
+	const launches = batches * perBatch
+	acked := map[string]bool{}
+	for bi := 0; bi < batches; bi++ {
+		b := cli.NewBatch()
+		names := make([]string, 0, perBatch)
+		for j := 0; j < perBatch; j++ {
+			name := ccKernelName(site, seed, bi*perBatch+j)
+			names = append(names, name)
+			if err := b.LaunchSource(ccSource(name), name, kern.D1(4), kern.D1(32), 4); err != nil {
+				r.err = fmt.Errorf("batch build %s: %v", name, err)
+				return r
+			}
+		}
+		acks, serr := b.Submit()
+		switch {
+		case serr == nil:
+			for i, a := range acks {
+				if a.Code == 0 {
+					acked[names[i]] = true
+				}
+			}
+		case errors.Is(serr, client.ErrDaemonDown) || errors.Is(serr, client.ErrTimeout):
+			// The simulated process died with the batch in flight; every item
+			// is now a pending op Resume will replay.
+		default:
+			r.err = fmt.Errorf("batch %d: unexpected %v", bi, serr)
+			return r
+		}
+		// Force the completion group commit between batches so the journal's
+		// AppendBatch sequence is deterministic.
+		_ = cli.Synchronize()
+	}
+	if !crasher.Fired() {
+		r.err = fmt.Errorf("crash site never fired (armed hit %d)", hit)
+		return r
+	}
+	// Batched item j of batch bi carried op ID bi*perBatch+j+1, so the
+	// client's pending set maps back to kernel names.
+	pendingNames := map[string]bool{}
+	for _, op := range cli.PendingOps() {
+		if op >= 1 && op <= launches {
+			pendingNames[ccKernelName(site, seed, int(op-1))] = true
+		}
+	}
+	r.fired = true
+	r.acked = len(acked)
+	waitSessions(srv1, 5*time.Second)
+	_ = srv1.CloseDurability()
+
+	jstats, err := journal.Replay(filepath.Join(dir, daemon.JournalFile), func(*journal.Record) error { return nil })
+	if err != nil {
+		r.err = fmt.Errorf("journal replay: %w", err)
+		return r
+	}
+	r.trunc = jstats.TruncatedBytes
+
+	d1, err := daemon.StateDigest(dir)
+	if err != nil {
+		r.err = fmt.Errorf("digest 1: %w", err)
+		return r
+	}
+	d2, err := daemon.StateDigest(dir)
+	if err != nil {
+		r.err = fmt.Errorf("digest 2: %w", err)
+		return r
+	}
+	if d1 != d2 {
+		r.err = errors.New("state digest changed between consecutive replays")
+		return r
+	}
+	durable := parseDigestOps(d1)
+
+	srv2, dial2 := daemon.NewLocal(4)
+	stats, err := srv2.EnableDurability(daemon.Durability{Dir: dir, NoSync: true})
+	if err != nil {
+		r.err = fmt.Errorf("recovery: %w", err)
+		return r
+	}
+	r.replayed = stats.Replayed
+
+	recovered, err := cli.Resume(func() (net.Conn, error) { return dial2(), nil }, client.RetryConfig{Attempts: 3})
+	if err != nil {
+		r.err = fmt.Errorf("resume: %w", err)
+		return r
+	}
+	if !recovered {
+		r.err = errors.New("resume reported state lost; the journal should have held this session")
+		return r
+	}
+	if err := cli.Synchronize(); err != nil {
+		r.err = fmt.Errorf("post-resume sync: %w", err)
+		return r
+	}
+
+	// Exactly-once over the whole batched workload: durable accepts settle to
+	// one execution total; re-sent pending items (the in-flight batch,
+	// expanded by Resume into per-item replays) run exactly once; everything
+	// else never ran.
+	for i := 0; i < launches; i++ {
+		name := ccKernelName(site, seed, i)
+		runs2 := srv2.Exec.Runs("src:" + name)
+		ent, inJournal := durable[name]
+		switch {
+		case inJournal:
+			done1 := 0
+			if ent.done {
+				done1 = 1
+			}
+			if runs2+done1 != 1 {
+				r.err = fmt.Errorf("%s: runs2=%d + durable-complete=%d, want exactly 1", name, runs2, done1)
+				return r
+			}
+		case pendingNames[name]:
+			if runs2 != 1 {
+				r.err = fmt.Errorf("%s: re-sent batched op ran %d times, want 1", name, runs2)
+				return r
+			}
+		default:
+			if runs2 != 0 {
+				r.err = fmt.Errorf("%s: never accepted, yet ran %d times", name, runs2)
+				return r
+			}
+		}
+		if acked[name] && !inJournal {
+			r.err = fmt.Errorf("%s: acked but its accept record is not durable (group commit broke write-ahead)", name)
+			return r
+		}
+	}
+
+	// Liveness: a fresh batch on the resumed session must accept and run.
+	live := ccKernelName(site, seed, 99)
+	lb := cli.NewBatch()
+	if err := lb.LaunchSource(ccSource(live), live, kern.D1(4), kern.D1(32), 4); err != nil {
+		r.err = fmt.Errorf("post-recovery batch build: %v", err)
+		return r
+	}
+	if _, err := lb.Submit(); err != nil {
+		r.err = fmt.Errorf("post-recovery batch: %w", err)
+		return r
+	}
+	if err := cli.Synchronize(); err != nil {
+		r.err = fmt.Errorf("post-recovery sync: %w", err)
+		return r
+	}
+	r.deduped = srv2.DedupHits()
+	if err := cli.Close(); err != nil {
+		r.err = fmt.Errorf("close: %w", err)
+		return r
+	}
 	if err := srv2.Drain(5 * time.Second); err != nil {
 		r.err = fmt.Errorf("drain after recovery: %w", err)
 		return r

@@ -1,0 +1,146 @@
+// Batched-dispatch benchmark: measures the amortized launch path against the
+// one-at-a-time path on a fully durable daemon (real fsync per group commit).
+// Both legs push the same number of identical quick kernels through a fresh
+// daemon; the single leg pays one IPC round trip plus one accept fsync and
+// one completion fsync per launch, the batched leg pays one round trip and
+// one accept fsync per batch with completions group-committed by the
+// dispatch loop. The record lands in BENCH_dispatch.json so CI can fail the
+// build if batched dispatch ever stops beating the single path.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"slate/internal/client"
+	"slate/internal/daemon"
+	"slate/internal/kern"
+)
+
+// dispatchBenchRecord is the schema of BENCH_dispatch.json.
+type dispatchBenchRecord struct {
+	Experiment string `json:"experiment"`
+	Launches   int    `json:"launches"`
+	BatchSize  int    `json:"batch_size"`
+	// Wall-clock per leg, launch through final synchronize, fsync included.
+	SingleSec  float64 `json:"single_sec"`
+	BatchedSec float64 `json:"batched_sec"`
+	// The headline rates: accepted launches per second on each path.
+	SinglePerSec  float64 `json:"single_launches_per_sec"`
+	BatchedPerSec float64 `json:"batched_launches_per_sec"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// dbSpec builds the benchmark kernel: a minimal valid spec with a no-op
+// body, so the measured cost is the dispatch path, not simulated compute.
+func dbSpec() *kern.Spec {
+	return &kern.Spec{
+		Name: "dispatch_bench", Grid: kern.D1(4), BlockDim: kern.D1(32),
+		FLOPsPerBlock: 1e4, InstrPerBlock: 1e4, L2BytesPerBlock: 1e4,
+		ComputeEff: 0.5,
+		Exec:       func(int) {},
+	}
+}
+
+// dispatchLeg times one path: a fresh durable daemon (fsync ON — the cost
+// batching amortizes), `launches` quick kernels in groups of batchSize with a
+// synchronize after each group, then a clean close and drain.
+func dispatchLeg(launches, batchSize int, batched bool) (float64, error) {
+	dir, err := os.MkdirTemp("", "dispatchbench")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	srv, dial := daemon.NewLocal(4)
+	if _, err := srv.EnableDurability(daemon.Durability{Dir: dir, CompactEvery: 1 << 20}); err != nil {
+		return 0, err
+	}
+	cli, err := client.Local(srv, dial, "dispatchbench", client.WithTimeout(30*time.Second))
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := 0; i < launches; i += batchSize {
+		if batched {
+			b := cli.NewBatch()
+			for j := 0; j < batchSize; j++ {
+				if err := b.Launch(dbSpec(), 4); err != nil {
+					return 0, fmt.Errorf("batch build: %w", err)
+				}
+			}
+			acks, err := b.Submit()
+			if err != nil {
+				return 0, fmt.Errorf("batch submit: %w", err)
+			}
+			for _, a := range acks {
+				if a.Code != 0 {
+					return 0, fmt.Errorf("batched item op %d rejected: %s", a.OpID, a.Err)
+				}
+			}
+		} else {
+			for j := 0; j < batchSize; j++ {
+				if err := cli.Launch(dbSpec(), 4); err != nil {
+					return 0, fmt.Errorf("single launch: %w", err)
+				}
+			}
+		}
+		if err := cli.Synchronize(); err != nil {
+			return 0, fmt.Errorf("synchronize: %w", err)
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	if err := cli.Close(); err != nil {
+		return 0, fmt.Errorf("close: %w", err)
+	}
+	if err := srv.Drain(10 * time.Second); err != nil {
+		return 0, fmt.Errorf("drain: %w", err)
+	}
+	_ = srv.CloseDurability()
+	return elapsed, nil
+}
+
+// runDispatchBench executes both legs and writes the record to benchOut.
+// Batched dispatch slower than (or equal to) the single path is an error —
+// the whole point of the amortized path is to win.
+func runDispatchBench(benchOut string) error {
+	const launches, batchSize = 512, 32
+	singleSec, err := dispatchLeg(launches, batchSize, false)
+	if err != nil {
+		return fmt.Errorf("single leg: %w", err)
+	}
+	batchedSec, err := dispatchLeg(launches, batchSize, true)
+	if err != nil {
+		return fmt.Errorf("batched leg: %w", err)
+	}
+	rec := dispatchBenchRecord{
+		Experiment: "batched-dispatch",
+		Launches:   launches,
+		BatchSize:  batchSize,
+		SingleSec:  singleSec,
+		BatchedSec: batchedSec,
+	}
+	if singleSec > 0 {
+		rec.SinglePerSec = float64(launches) / singleSec
+	}
+	if batchedSec > 0 {
+		rec.BatchedPerSec = float64(launches) / batchedSec
+		rec.Speedup = singleSec / batchedSec
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(benchOut, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("dispatch: %d launches in batches of %d — single %.0f/s, batched %.0f/s, speedup %.2fx\n",
+		launches, batchSize, rec.SinglePerSec, rec.BatchedPerSec, rec.Speedup)
+	fmt.Printf("wrote %s\n", benchOut)
+	if rec.Speedup <= 1 {
+		return fmt.Errorf("batched dispatch is not faster than single launches (%.2fx)", rec.Speedup)
+	}
+	return nil
+}

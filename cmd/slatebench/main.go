@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|fig1|…|fig7|ablation|staticmerge|triples|cloud|extpairs|sensitivity|faults|overload|crashchaos|fleetchaos|rollingchaos|parbench|modelbench")
+	exp := flag.String("exp", "all", "experiment: all|fig1|…|fig7|ablation|staticmerge|triples|cloud|extpairs|sensitivity|faults|overload|crashchaos|fleetchaos|rollingchaos|parbench|modelbench|dispatch")
 	loop := flag.Float64("loop", 3.0, "solo kernel loop target in seconds (paper used ~30)")
 	seed := flag.Int64("seed", 1, "trace-model and chaos-driver seed (same seed = same tables)")
 	chaosSessions := flag.Int("chaos-sessions", 12, "hostile client sessions per faults chaos run")
@@ -35,6 +35,7 @@ func main() {
 		"worker-pool width for experiment cells (output is byte-identical at any value; 1 = serial)")
 	benchOut := flag.String("bench-out", "BENCH_harness.json", "file the parbench experiment writes its record to")
 	modelBenchOut := flag.String("model-bench-out", "BENCH_model.json", "file the modelbench experiment writes its record to")
+	dispatchBenchOut := flag.String("dispatch-bench-out", "BENCH_dispatch.json", "file the dispatch experiment writes its record to")
 	flag.Parse()
 
 	var dev *gpu.Device
@@ -68,6 +69,16 @@ func main() {
 		// every cold model build twice (legacy path, one-pass path).
 		if err := runModelbench(dev, *seed, *modelBenchOut); err != nil {
 			fmt.Fprintf(os.Stderr, "slatebench: modelbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if selected == "dispatch" {
+		// Benchmark mode: not part of -exp all, because it times the launch
+		// path against a real-fsync durable daemon twice (single, batched).
+		if err := runDispatchBench(*dispatchBenchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "slatebench: dispatch: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -20,6 +20,7 @@ import (
 	"slate/internal/daemon"
 	"slate/internal/fault"
 	"slate/internal/inject"
+	"slate/internal/ipc"
 	"slate/internal/kern"
 	"slate/internal/nvrtc"
 	"slate/internal/policy"
@@ -51,6 +52,11 @@ type (
 	InjectOptions = inject.Options
 	// Compiler is the runtime compiler with its compile cache.
 	Compiler = nvrtc.Compiler
+	// Batch accumulates launches for one amortized OpLaunchBatch submit;
+	// build with Client.NewBatch.
+	Batch = client.Batch
+	// BatchAck is one batched item's verdict, in submission order.
+	BatchAck = ipc.BatchAck
 	// ClientOption configures a client connection (timeouts, sharing).
 	ClientOption = client.Option
 	// RetryConfig shapes DialRetry's exponential backoff.

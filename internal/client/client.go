@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"net"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -86,8 +87,13 @@ type Buffer struct {
 // Size returns the allocation size.
 func (b *Buffer) Size() int64 { return b.size }
 
-// Session returns the daemon-assigned session ID from the handshake.
-func (c *Client) Session() uint64 { return c.sess }
+// Session returns the daemon-assigned session ID from the handshake. Locked:
+// Resume rewrites the ID on re-home, and callers probe it concurrently.
+func (c *Client) Session() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sess
+}
 
 // Token returns the resume token from the handshake: zero when the daemon
 // runs without durability, otherwise the handle Resume presents after a
@@ -126,11 +132,48 @@ type Client struct {
 	token uint64
 	// nextOp numbers launches for exactly-once replay: each launch carries
 	// a monotonic per-session op ID the daemon journals and dedups on.
+	// Stamped under mu in the same critical section as the send, so wire
+	// order equals op-ID order — the daemon's monotonic dedup watermark
+	// (MaxOp) depends on never seeing a fresh op below an already-seen one.
 	nextOp uint64
-	// pending is the last stamped launch whose fate the transport failure
-	// left unknown; Resume re-sends it, and the daemon's dedup window
-	// answers with the original outcome if it was already accepted.
-	pending *ipc.Request
+	// waiters holds the in-flight calls awaiting replies, keyed by Seq. The
+	// call path is pipelined: mu is released after the send, and whichever
+	// waiter holds recvMu pumps replies off the transport, delivering each to
+	// its waiter's buffered channel. Guarded by waitMu, NOT mu: the pumper
+	// must be able to route a reply while a sender holds mu across a blocked
+	// SendRequest, or an unbuffered transport (net.Pipe) deadlocks — sender
+	// blocked writing, daemon blocked replying, pumper blocked on mu.
+	waiters map[uint64]*waiter
+	// pending is the set of stamped launches whose fates a transport failure
+	// left unknown; Resume re-sends each under its original op ID, and the
+	// daemon's dedup window answers with the original outcome for any that
+	// were already accepted.
+	pending map[uint64]*ipc.Request
+
+	// recvMu elects the reply pumper: exactly one waiter at a time reads the
+	// transport and routes replies by Seq. Never held together with mu by the
+	// same goroutine except in the documented pump order (recvMu, then mu).
+	recvMu sync.Mutex
+
+	// waitMu guards waiters alone and is never held across transport I/O.
+	// Lock order: mu before waitMu; the pumper's reply-routing fast path
+	// takes waitMu without mu.
+	waitMu sync.Mutex
+}
+
+// waiter is one in-flight call: the request (kept for pending-op tracking on
+// failure) and the buffered channel its result is delivered on. The channel
+// has capacity 1 and receives exactly one callResult, so delivery never
+// blocks the pumper.
+type waiter struct {
+	req *ipc.Request
+	ch  chan callResult
+}
+
+// callResult is one call's terminal outcome as routed by the reply pumper.
+type callResult struct {
+	rep *ipc.Reply
+	err error
 }
 
 // Option configures a Client.
@@ -229,6 +272,12 @@ type breaker struct {
 	fails    int // consecutive retry-exhausted launches
 	openedAt time.Time
 	open     bool
+	// probing marks the single half-open probe in flight: an open circuit
+	// past its cooldown admits exactly one launch, and every admit must be
+	// balanced by settle (the probe's verdict) or cancel (released without a
+	// verdict, e.g. the caller's context was canceled mid-backoff). A leaked
+	// probe would wedge the breaker: nothing could ever close it again.
+	probing bool
 }
 
 // WithBackpressureRetry makes launches retry ErrBackpressure rejections
@@ -251,10 +300,11 @@ func (b *breaker) admit() error {
 	if !b.open {
 		return nil
 	}
-	if time.Since(b.openedAt) < b.cfg.Cooldown {
+	if b.probing || time.Since(b.openedAt) < b.cfg.Cooldown {
 		return ErrCircuitOpen
 	}
-	// Half-open: let this launch probe the daemon.
+	// Half-open: let exactly this launch probe the daemon.
+	b.probing = true
 	return nil
 }
 
@@ -277,6 +327,7 @@ func (b *breaker) backoff(ctx context.Context, attempt int) error {
 func (b *breaker) settle(stillBackpressured bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.probing = false
 	if !stillBackpressured {
 		b.fails = 0
 		b.open = false
@@ -287,6 +338,15 @@ func (b *breaker) settle(stillBackpressured bool) {
 		b.open = true
 		b.openedAt = time.Now()
 	}
+}
+
+// cancel releases an admit without judging the daemon: the launch ended for
+// a reason (context cancellation) that says nothing about the daemon's load,
+// so the circuit state is untouched and a half-open probe slot is returned.
+func (b *breaker) cancel() {
+	b.mu.Lock()
+	b.probing = false
+	b.mu.Unlock()
 }
 
 // WithTimeout bounds every command round trip: a call that has not received
@@ -300,7 +360,12 @@ func WithTimeout(d time.Duration) Option {
 
 // New wraps a transport connection and performs the hello handshake.
 func New(nc net.Conn, proc string, opts ...Option) (*Client, error) {
-	c := &Client{conn: ipc.NewConn(nc), proc: proc}
+	c := &Client{
+		conn:    ipc.NewConn(nc),
+		proc:    proc,
+		waiters: map[uint64]*waiter{},
+		pending: map[uint64]*ipc.Request{},
+	}
 	for _, o := range opts {
 		o(c)
 	}
@@ -430,42 +495,192 @@ func Local(srv *daemon.Server, dial func() net.Conn, proc string, opts ...Option
 // deadline and mapping wire error codes back to typed sentinels. Transport
 // failures are sticky: the first one poisons the client, and every later
 // call fails fast with ErrDaemonDown.
+//
+// The round trip is pipelined: mu is held only across seq/op-ID stamping and
+// the send (so wire order equals stamp order), then released while the reply
+// is awaited. Concurrent calls each register a waiter keyed by Seq, and
+// whichever waiter holds recvMu pumps replies off the transport, routing each
+// to its waiter's buffered channel — a reply is always delivered before
+// recvMu is released, and a waiter re-checks its channel after acquiring
+// recvMu, so no wakeup is ever lost.
 func (c *Client) call(req *ipc.Request) (*ipc.Reply, error) {
+	return c.doCall(req, false)
+}
+
+// callStamped is call for launches: the op ID (per batch item, for batched
+// sends) is stamped inside the send critical section. Each invocation stamps
+// FRESH op IDs — a backpressure retry must re-stamp, because under pipelining
+// a newer op may have been accepted since the rejected attempt, and re-using
+// the old (now below-watermark) ID would be falsely rejected as a duplicate.
+// Re-stamping is safe exactly because a definite rejection means the op was
+// never accepted.
+func (c *Client) callStamped(req *ipc.Request) (*ipc.Reply, error) {
+	return c.doCall(req, true)
+}
+
+func (c *Client) doCall(req *ipc.Request, stamp bool) (*ipc.Reply, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.broken != nil {
+		c.mu.Unlock()
 		return nil, &opError{op: req.Op, msg: c.broken.Error(), kind: ErrDaemonDown}
+	}
+	if stamp {
+		if req.Op == ipc.OpLaunchBatch {
+			for i := range req.Batch {
+				c.nextOp++
+				req.Batch[i].OpID = c.nextOp
+			}
+		} else {
+			c.nextOp++
+			req.OpID = c.nextOp
+		}
 	}
 	c.seq++
 	req.Seq = c.seq
-	if err := c.conn.SendRequest(req); err != nil {
-		c.broken = err
-		c.notePendingLocked(req)
-		return nil, &opError{op: req.Op, msg: err.Error(), kind: ErrDaemonDown}
-	}
+	conn := c.conn
+	w := &waiter{req: req, ch: make(chan callResult, 1)}
+	c.waitMu.Lock()
+	c.waiters[req.Seq] = w
+	c.waitMu.Unlock()
+	// Send under mu: concurrent senders serialize here, so the wire carries
+	// requests in seq (and therefore op-ID) order. A write deadline bounds
+	// the blocked-send window so a wedged daemon surfaces as ErrTimeout
+	// instead of hanging the whole client behind mu.
 	if c.timeout > 0 {
-		_ = c.conn.SetReadDeadline(time.Now().Add(c.timeout))
+		_ = conn.SetWriteDeadline(time.Now().Add(c.timeout))
 	}
-	rep, err := c.conn.RecvReply()
+	err := conn.SendRequest(req)
 	if c.timeout > 0 {
-		_ = c.conn.SetReadDeadline(time.Time{})
+		_ = conn.SetWriteDeadline(time.Time{})
 	}
 	if err != nil {
-		c.broken = err
-		c.notePendingLocked(req)
+		c.failLocked(err)
+		c.mu.Unlock()
+		<-w.ch // drain our own broadcast result
 		if isTimeout(err) {
 			return nil, &opError{op: req.Op, msg: fmt.Sprintf("no reply within %v", c.timeout), kind: ErrTimeout}
 		}
 		return nil, &opError{op: req.Op, msg: err.Error(), kind: ErrDaemonDown}
 	}
-	if rep.Seq != req.Seq {
-		c.broken = fmt.Errorf("client: reply %d for request %d", rep.Seq, req.Seq)
-		return nil, c.broken
+	c.mu.Unlock()
+	return c.awaitReply(conn, req, w.ch)
+}
+
+// awaitReply blocks until req's result is delivered, pumping the transport
+// whenever no other waiter is. Exactly one result is ever delivered per
+// waiter, so the channel reads cannot double-fire.
+func (c *Client) awaitReply(conn *ipc.Conn, req *ipc.Request, ch chan callResult) (*ipc.Reply, error) {
+	for {
+		select {
+		case res := <-ch:
+			return c.finish(req, res)
+		default:
+		}
+		c.recvMu.Lock()
+		// Re-check after acquiring: another pumper may have delivered our
+		// reply while we waited for the pump slot.
+		select {
+		case res := <-ch:
+			c.recvMu.Unlock()
+			return c.finish(req, res)
+		default:
+		}
+		if c.timeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(c.timeout))
+		}
+		rep, err := conn.RecvReply()
+		if c.timeout > 0 {
+			_ = conn.SetReadDeadline(time.Time{})
+		}
+		if err != nil {
+			// Transport death (or deadline expiry, after which the half-read
+			// frame cannot be resynchronized): poison the client and fail
+			// every in-flight waiter — ourselves included, via the broadcast.
+			// A stale pumper whose conn was already replaced by Resume must
+			// not poison the fresh transport. Taking mu here cannot deadlock
+			// against a sender blocked in SendRequest: the transport just
+			// errored, so that send fails (or times out) and releases mu.
+			c.mu.Lock()
+			if conn == c.conn {
+				c.failLocked(err)
+			} else {
+				c.waitMu.Lock()
+				w, ok := c.waiters[req.Seq]
+				if ok {
+					delete(c.waiters, req.Seq)
+				}
+				c.waitMu.Unlock()
+				if ok {
+					c.notePendingLocked(w.req)
+					w.ch <- callResult{err: err}
+				}
+			}
+			c.mu.Unlock()
+			c.recvMu.Unlock()
+			continue
+		}
+		// Route under waitMu alone — never mu. A sender may be holding mu
+		// across a blocked SendRequest right now, and on an unbuffered
+		// transport the daemon only unblocks once this pump drains its reply.
+		c.waitMu.Lock()
+		w, ok := c.waiters[rep.Seq]
+		if ok {
+			delete(c.waiters, rep.Seq)
+		}
+		c.waitMu.Unlock()
+		if !ok {
+			// A reply no in-flight call asked for: the framing is
+			// desynchronized and nothing later on this transport can be
+			// trusted. Poison the client — which notes every in-flight
+			// stamped launch as pending, so Resume replays them under their
+			// original op IDs instead of silently losing their fates.
+			c.mu.Lock()
+			if conn == c.conn {
+				c.failLocked(fmt.Errorf("client: reply for unknown request %d", rep.Seq))
+			}
+			c.mu.Unlock()
+			c.recvMu.Unlock()
+			continue
+		}
+		// Deliver before releasing recvMu: the owner's post-acquire re-check
+		// then always observes it.
+		w.ch <- callResult{rep: rep}
+		c.recvMu.Unlock()
 	}
-	if rep.Err != "" {
-		return rep, &opError{op: req.Op, msg: rep.Err, kind: sentinelFor(rep.Code)}
+}
+
+// failLocked poisons the client with a sticky transport error and fails every
+// in-flight waiter, noting each stamped launch as pending for Resume replay.
+// Caller holds c.mu.
+func (c *Client) failLocked(err error) {
+	if c.broken == nil {
+		c.broken = err
 	}
-	return rep, nil
+	c.waitMu.Lock()
+	drained := make([]*waiter, 0, len(c.waiters))
+	for seq, w := range c.waiters {
+		delete(c.waiters, seq)
+		drained = append(drained, w)
+	}
+	c.waitMu.Unlock()
+	for _, w := range drained {
+		c.notePendingLocked(w.req)
+		w.ch <- callResult{err: err}
+	}
+}
+
+// finish maps a routed result to the call's return values.
+func (c *Client) finish(req *ipc.Request, res callResult) (*ipc.Reply, error) {
+	if res.err != nil {
+		if isTimeout(res.err) {
+			return nil, &opError{op: req.Op, msg: fmt.Sprintf("no reply within %v", c.timeout), kind: ErrTimeout}
+		}
+		return nil, &opError{op: req.Op, msg: res.err.Error(), kind: ErrDaemonDown}
+	}
+	if res.rep.Err != "" {
+		return res.rep, &opError{op: req.Op, msg: res.rep.Err, kind: sentinelFor(res.rep.Code)}
+	}
+	return res.rep, nil
 }
 
 // callOn is one command round trip on an explicit transport — the resume
@@ -534,19 +749,22 @@ func sentinelFor(code ipc.ErrCode) error {
 // of hammering a saturated daemon.
 func (c *Client) callLaunch(req *ipc.Request) (*ipc.Reply, error) {
 	if c.bp == nil {
-		return c.call(req)
+		return c.callStamped(req)
 	}
 	if err := c.bp.admit(); err != nil {
 		return nil, &opError{op: req.Op, msg: "launch rejected locally", kind: ErrCircuitOpen}
 	}
-	rep, err := c.call(req)
+	rep, err := c.callStamped(req)
 	for attempt := 1; attempt <= c.bp.cfg.Attempts && errors.Is(err, ErrBackpressure); attempt++ {
 		if serr := c.bp.backoff(c.ctx, attempt); serr != nil {
-			// Canceled mid-backoff: surface the cancellation without
-			// counting this launch against the circuit breaker.
+			// Canceled mid-backoff: surface the cancellation without judging
+			// the daemon — and release the breaker's admit, or repeated
+			// cancellations would leak half-open probe slots and wedge the
+			// circuit permanently open.
+			c.bp.cancel()
 			return rep, &opError{op: req.Op, msg: "canceled during backpressure backoff", kind: serr}
 		}
-		rep, err = c.call(req)
+		rep, err = c.callStamped(req)
 	}
 	c.bp.settle(errors.Is(err, ErrBackpressure))
 	return rep, err
@@ -554,35 +772,74 @@ func (c *Client) callLaunch(req *ipc.Request) (*ipc.Reply, error) {
 
 // notePendingLocked records a stamped launch whose fate the transport
 // failure left unknown — the daemon may or may not have accepted it.
-// Resume re-sends it under the same op ID, and journal-backed dedup on the
-// daemon turns the re-send into a fetch of the original outcome instead of
-// a second execution. Unstamped ops (queries, memcpy, sync) are idempotent
-// or harmless to drop and are not tracked.
+// Resume re-sends each under its original op ID, and journal-backed dedup on
+// the daemon turns the re-send into a fetch of the original outcome instead
+// of a second execution. A batched request expands into one pending
+// single-launch request per item, so replay needs no batch-aware daemon
+// support. Unstamped ops (queries, memcpy, sync) are idempotent or harmless
+// to drop and are not tracked. Caller holds c.mu.
 func (c *Client) notePendingLocked(req *ipc.Request) {
+	if req.Op == ipc.OpLaunchBatch {
+		for _, it := range req.Batch {
+			if it.OpID == 0 {
+				continue
+			}
+			single := &ipc.Request{
+				TaskSize: it.TaskSize, Stream: it.Stream, OpID: it.OpID,
+			}
+			if it.Src {
+				single.Op = ipc.OpLaunchSource
+				single.Source, single.Kernel = it.Source, it.Kernel
+				single.GridX, single.GridY = it.GridX, it.GridY
+				single.BlockX, single.BlockY = it.BlockX, it.BlockY
+			} else {
+				single.Op = ipc.OpLaunch
+				single.Token = it.Token
+			}
+			c.pending[it.OpID] = single
+		}
+		return
+	}
 	if req.OpID == 0 {
 		return
 	}
 	cp := *req
-	c.pending = &cp
+	c.pending[req.OpID] = &cp
 }
 
-// PendingOp returns the op ID of the stamped launch whose fate a transport
-// failure left unknown (0 = none). Resume replays it.
+// PendingOp returns the lowest op ID among the stamped launches whose fates
+// a transport failure left unknown (0 = none). Resume replays them all;
+// single-op callers (the fleet session wrapper, chaos scripts) keep their
+// pre-batching semantics because a non-batched client has at most one.
 func (c *Client) PendingOp() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.pending == nil {
-		return 0
+	var min uint64
+	for op := range c.pending {
+		if min == 0 || op < min {
+			min = op
+		}
 	}
-	return c.pending.OpID
+	return min
 }
 
-// nextOpID stamps a launch with the next monotonic per-session op ID.
-func (c *Client) nextOpID() uint64 {
+// PendingOps returns every unsettled stamped op ID in ascending order —
+// the set Resume replays (empty = none).
+func (c *Client) PendingOps() []uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.nextOp++
-	return c.nextOp
+	return c.pendingIDsLocked()
+}
+
+// pendingIDsLocked snapshots the pending-op set in ascending ID order.
+// Caller holds c.mu.
+func (c *Client) pendingIDsLocked() []uint64 {
+	ids := make([]uint64, 0, len(c.pending))
+	for op := range c.pending {
+		ids = append(ids, op)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // isTimeout recognizes an expired read deadline however the transport
@@ -671,10 +928,11 @@ func (c *Client) LaunchStream(spec *kern.Spec, taskSize, stream int) error {
 	if err := spec.Validate(); err != nil {
 		return err
 	}
-	tok := c.specs.PutOwned(spec, c.sess)
-	// One op ID per launch, assigned before the first send so backpressure
-	// retries of the same launch reuse it (they are the same op).
-	_, err := c.callLaunch(&ipc.Request{Op: ipc.OpLaunch, Token: tok, TaskSize: taskSize, Stream: stream, OpID: c.nextOpID()})
+	tok := c.specs.PutOwned(spec, c.Session())
+	// The op ID is stamped inside the send critical section (callStamped), so
+	// concurrent launches hit the wire in op-ID order; backpressure retries
+	// re-stamp (a rejected op was never accepted, so the old ID is dead).
+	_, err := c.callLaunch(&ipc.Request{Op: ipc.OpLaunch, Token: tok, TaskSize: taskSize, Stream: stream})
 	return err
 }
 
@@ -694,7 +952,6 @@ func (c *Client) LaunchSourceDegraded(source, kernel string, grid, block kern.Di
 	rep, err := c.callLaunch(&ipc.Request{
 		Op: ipc.OpLaunchSource, Source: source, Kernel: kernel, TaskSize: taskSize,
 		GridX: grid.X, GridY: grid.Y, BlockX: block.X, BlockY: block.Y,
-		OpID: c.nextOpID(),
 	})
 	if err != nil {
 		return nil, false, err
@@ -749,11 +1006,18 @@ func (c *Client) Resume(dial func() (net.Conn, error), rc RetryConfig) (recovere
 	rc = rc.withDefaults()
 	c.mu.Lock()
 	token := c.token
-	pending := c.pending
+	pendingIDs := c.pendingIDsLocked()
+	pending := make([]*ipc.Request, 0, len(pendingIDs))
+	for _, op := range pendingIDs {
+		pending = append(pending, c.pending[op])
+	}
 	ctx := c.ctx
 	old := c.conn
 	c.mu.Unlock()
-	old.Close() // the broken transport is dead either way
+	// The broken transport is dead either way. Closing it also unblocks any
+	// stale pumper still parked in RecvReply on it; the conn identity check
+	// keeps that pumper from poisoning the resumed client.
+	old.Close()
 
 	waits := retryWaits(rc, c.proc)
 	var lastErr error
@@ -790,22 +1054,22 @@ func (c *Client) Resume(dial func() (net.Conn, error), rc RetryConfig) (recovere
 		c.broken = nil
 		c.sess = rep.Session
 		c.token = rep.Token
-		c.pending = nil
+		c.pending = map[uint64]*ipc.Request{}
 		c.mu.Unlock()
 		if !rep.Recovered {
-			if pending != nil {
-				return false, fmt.Errorf("client: resumed into a fresh session; op %d's outcome is unknown: %w", pending.OpID, ErrSessionLost)
+			if len(pending) != 0 {
+				return false, fmt.Errorf("client: resumed into a fresh session; op %d's outcome is unknown: %w", pending[0].OpID, ErrSessionLost)
 			}
 			return false, nil
 		}
-		if pending != nil {
-			// Re-send under the original op ID: the daemon's dedup window
-			// answers with the journaled outcome if the op was accepted, or
-			// executes it for the first time if the crash beat the journal
-			// append. ErrDuplicateOp means "accepted exactly once, reply
-			// aged out" — the launch is safe, only its details are gone.
-			if _, perr := c.call(pending); perr != nil && !errors.Is(perr, ErrDuplicateOp) {
-				return true, fmt.Errorf("client: resumed, but replaying op %d failed: %w", pending.OpID, perr)
+		// Re-send every pending op, in ascending op-ID order, under its
+		// original ID: the daemon's dedup window answers with the journaled
+		// outcome for any the daemon had accepted, and executes the rest for
+		// the first time. ErrDuplicateOp means "accepted exactly once, reply
+		// aged out" — the launch is safe, only its details are gone.
+		for _, preq := range pending {
+			if _, perr := c.call(preq); perr != nil && !errors.Is(perr, ErrDuplicateOp) {
+				return true, fmt.Errorf("client: resumed, but replaying op %d failed: %w", preq.OpID, perr)
 			}
 		}
 		return true, nil

@@ -1,0 +1,157 @@
+// Batched dispatch (daemon side): a persistent per-session dispatch loop
+// pulling launches off a bounded ring queue. The single-launch path spawns a
+// goroutine per launch and pays one journal fsync per completion; the batch
+// path amortizes both — one loop goroutine serves the whole session, and
+// completion records are buffered and group-committed (one fsync) when the
+// ring drains or the buffer fills.
+package daemon
+
+import (
+	"sync"
+)
+
+// completionFlushThreshold bounds how many executed-but-not-yet-journaled
+// completions the dispatch loop buffers before forcing a group commit; the
+// loop also flushes whenever its ring runs dry. Buffering widens the window
+// where a crash loses a completion record — which the exactly-once contract
+// already tolerates (the launch re-executes on recovery replay) — in
+// exchange for one fsync per group instead of per launch.
+const completionFlushThreshold = 16
+
+// dispatchItem is one accepted batched launch handed to the session's
+// dispatch loop: the stream-ordering tails it must respect, the execution
+// thunk, and the bookkeeping identities for completion journaling.
+type dispatchItem struct {
+	prev <-chan struct{} // the stream's previous tail; wait before running
+	next chan struct{}   // this launch's tail; closed when it finishes
+	run  func() error
+	opID uint64
+	st   *resumeState
+	ss   *session
+	wg   *sync.WaitGroup // the session's pending WaitGroup (teardown/sync)
+}
+
+// ranItem is an executed item awaiting its group-committed completion record.
+type ranItem struct {
+	it  dispatchItem
+	err error
+}
+
+// dispatcher is the per-session dispatch loop. Items are pushed from the
+// session's ServeConn goroutine (which already did admission, dedup, and the
+// group-commit accept journaling) and consumed by one persistent goroutine.
+// The ring is bounded by admission — a session can never have more than
+// MaxSessionPending accepted-unfinished launches — and grows only on
+// unbounded (volatile, MaxSessionPending=0) daemons.
+type dispatcher struct {
+	s *Server
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	ring   []dispatchItem
+	head   int
+	count  int
+	closed bool
+
+	done chan struct{} // closed when the loop has drained and flushed
+}
+
+// newDispatcher starts a session's dispatch loop with the given ring
+// capacity (<=0 selects DefaultMaxSessionPending).
+func newDispatcher(s *Server, capacity int) *dispatcher {
+	if capacity <= 0 {
+		capacity = DefaultMaxSessionPending
+	}
+	dp := &dispatcher{s: s, ring: make([]dispatchItem, capacity), done: make(chan struct{})}
+	dp.cond = sync.NewCond(&dp.mu)
+	go dp.loop()
+	return dp
+}
+
+// push enqueues one accepted launch. Never blocks: admission bounds the ring
+// on configured daemons, and the ring doubles for unbounded ones.
+func (dp *dispatcher) push(it dispatchItem) {
+	dp.mu.Lock()
+	if dp.count == len(dp.ring) {
+		grown := make([]dispatchItem, 2*len(dp.ring))
+		for i := 0; i < dp.count; i++ {
+			grown[i] = dp.ring[(dp.head+i)%len(dp.ring)]
+		}
+		dp.ring, dp.head = grown, 0
+	}
+	dp.ring[(dp.head+dp.count)%len(dp.ring)] = it
+	dp.count++
+	dp.mu.Unlock()
+	dp.cond.Signal()
+}
+
+// close tells the loop no more items are coming; it drains the ring, flushes
+// buffered completions, and exits. The session's pending WaitGroup observes
+// every item's completion, so teardown's pending.Wait() covers the drain.
+func (dp *dispatcher) close() {
+	dp.mu.Lock()
+	dp.closed = true
+	dp.mu.Unlock()
+	dp.cond.Signal()
+}
+
+// loop is the persistent dispatch goroutine: pop, respect stream order, run,
+// buffer the completion, group-commit when idle or full. Completion
+// bookkeeping order matters: the journal flush happens BEFORE the pending
+// counters drop, so a Synchronize that saw pending.Wait() return knows every
+// finished launch's completion record is durable; the stream tail closes
+// right after the run, so stream chaining is not serialized behind fsyncs.
+func (dp *dispatcher) loop() {
+	var buffered []ranItem
+	flush := func() {
+		if len(buffered) == 0 {
+			return
+		}
+		outs := make([]launchOutcome, 0, len(buffered))
+		for _, r := range buffered {
+			outs = append(outs, launchOutcome{st: r.it.st, opID: r.it.opID, err: r.err})
+		}
+		dp.s.completeLaunches(outs)
+		for _, r := range buffered {
+			if r.err != nil {
+				r.it.ss.recordLaunch(r.err)
+			}
+			r.it.ss.pending.Add(-1)
+			r.it.wg.Done()
+		}
+		buffered = buffered[:0]
+	}
+	for {
+		dp.mu.Lock()
+		for dp.count == 0 && !dp.closed {
+			if len(buffered) > 0 {
+				// Ring ran dry: group-commit what has finished before
+				// sleeping (flush does journal IO, so drop the lock).
+				dp.mu.Unlock()
+				flush()
+				dp.mu.Lock()
+				continue
+			}
+			dp.cond.Wait()
+		}
+		if dp.count == 0 {
+			dp.mu.Unlock()
+			flush()
+			close(dp.done)
+			return
+		}
+		it := dp.ring[dp.head]
+		dp.ring[dp.head] = dispatchItem{}
+		dp.head = (dp.head + 1) % len(dp.ring)
+		dp.count--
+		dp.mu.Unlock()
+
+		<-it.prev
+		err := it.run()
+		close(it.next)
+		buffered = append(buffered, ranItem{it: it, err: err})
+		if len(buffered) >= completionFlushThreshold {
+			flush()
+		}
+	}
+}

@@ -863,6 +863,167 @@ func (s *Server) completeLaunch(st *resumeState, opID uint64, err error) {
 	}
 }
 
+// journalAppendBatch is journalAppend for a group commit: every record in
+// recs reaches the file in one write and one fsync (journal.AppendBatch), and
+// apply — the combined in-memory effect, in record order — runs under the
+// same compaction lock. The on-disk bytes are identical to len(recs)
+// sequential Appends, so recovery replay, adoption, and migration consume
+// batched records with no format awareness. A fired crash site kills the
+// daemon and surfaces fault.ErrCrash exactly like the single-record path.
+func (s *Server) journalAppendBatch(recs []*journal.Record, apply func()) error {
+	if s.durable == nil || len(recs) == 0 {
+		return nil
+	}
+	d := s.durable
+	d.compactMu.Lock()
+	defer d.compactMu.Unlock()
+	if err := d.w.AppendBatch(recs); err != nil {
+		if errors.Is(err, fault.ErrCrash) {
+			s.crash()
+		}
+		return err
+	}
+	if apply != nil {
+		apply()
+	}
+	if d.w.Records() >= d.compactEvery {
+		s.compactLocked()
+	}
+	return nil
+}
+
+// dedupCheckItem is dedupCheck for one batched launch: same window semantics
+// (in-window → original ack replayed with Dup set; at-or-below MaxOp but aged
+// out → CodeDuplicateOp), answered into the item's BatchAck.
+func (s *Server) dedupCheckItem(st *resumeState, opID uint64, ack *ipc.BatchAck) bool {
+	if s.durable == nil || st == nil || opID == 0 {
+		return false
+	}
+	d := s.durable
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if opID > st.MaxOp {
+		return false
+	}
+	d.dedupHits++
+	if e := st.entry(opID); e != nil {
+		ack.Code, ack.Err = ipc.ErrCode(e.Code), e.Err
+		ack.Degraded, ack.Entries = e.Degraded, e.Entries
+		ack.Dup = true
+		return true
+	}
+	ack.Code = ipc.CodeDuplicateOp
+	ack.Err = fmt.Sprintf("daemon: op %d already accepted, outcome outside dedup window", opID)
+	return true
+}
+
+// acceptLaunchBatch journals the accept records for every accepted item of a
+// batch — write-ahead of the single batch ack — in one group commit, and
+// installs their dedup entries in op-ID order. idxs selects the accepted
+// items (per-item rejections are acked but never journaled, mirroring the
+// single-launch path where a failed prepare is a definite rejection). A fired
+// crash site returns fault.ErrCrash: the caller dies without acking, so
+// either no item of the batch is durable (torn prefix truncates on replay) or
+// all are (durable, un-acked; the dedup window absorbs the re-send).
+func (s *Server) acceptLaunchBatch(st *resumeState, batch []ipc.BatchItem, acks []ipc.BatchAck, idxs []int) error {
+	if s.durable == nil || st == nil || len(idxs) == 0 {
+		return nil
+	}
+	recs := make([]*journal.Record, 0, len(idxs))
+	entries := make([]*dedupEntry, 0, len(idxs))
+	for _, i := range idxs {
+		it, a := &batch[i], &acks[i]
+		recs = append(recs, &journal.Record{
+			Kind: journal.KindLaunchAccept, Sess: st.Sess, OpID: it.OpID,
+			Code: uint8(a.Code), Err: a.Err, Degraded: a.Degraded, Entries: a.Entries,
+			Src: it.Src, Kernel: it.Kernel,
+			GridX: it.GridX, GridY: it.GridY, BlockX: it.BlockX, BlockY: it.BlockY,
+			TaskSize: it.TaskSize, Stream: it.Stream,
+		})
+		entries = append(entries, &dedupEntry{
+			OpID: it.OpID, Code: uint8(a.Code), Err: a.Err,
+			Degraded: a.Degraded, Entries: a.Entries,
+			Src: it.Src, Kernel: it.Kernel,
+			GridX: it.GridX, GridY: it.GridY, BlockX: it.BlockX, BlockY: it.BlockY,
+			TaskSize: it.TaskSize, Stream: it.Stream,
+		})
+	}
+	d := s.durable
+	return s.journalAppendBatch(recs, func() {
+		d.mu.Lock()
+		for _, e := range entries {
+			st.push(e)
+		}
+		d.mu.Unlock()
+	})
+}
+
+// launchOutcome is one finished launch awaiting its completion record; the
+// dispatch loop collects these and completeLaunches group-commits them.
+type launchOutcome struct {
+	st   *resumeState
+	opID uint64
+	err  error
+}
+
+// completeLaunches is completeLaunch for a group of finished launches: every
+// completion record — and, for session-poisoning outcomes, the strike record
+// ordered right after its completion — lands in one fsync. Per-record order
+// inside the batch matches what sequential completeLaunch calls would have
+// written, so replay sees an identical log. A simulated death drops the whole
+// group: none of the completions is durable and recovery re-executes them,
+// which the exactly-once contract permits (completion loss, not duplication).
+func (s *Server) completeLaunches(outs []launchOutcome) {
+	if s.durable == nil {
+		return
+	}
+	d := s.durable
+	recs := make([]*journal.Record, 0, len(outs))
+	applies := make([]func(), 0, len(outs))
+	for _, o := range outs {
+		if o.st == nil || o.opID == 0 {
+			continue
+		}
+		rec := &journal.Record{Kind: journal.KindLaunchComplete, Sess: o.st.Sess, OpID: o.opID}
+		if o.err != nil {
+			rep := &ipc.Reply{}
+			fail(rep, o.err)
+			rec.Code, rec.Err = uint8(rep.Code), rep.Err
+		}
+		recs = append(recs, rec)
+		st, op := o.st, o.opID
+		applies = append(applies, func() {
+			d.mu.Lock()
+			if e := st.entry(op); e != nil {
+				e.Done = true
+			}
+			d.mu.Unlock()
+		})
+		if errors.Is(o.err, ErrKernelPanic) || errors.Is(o.err, ErrKernelTimeout) {
+			rep := &ipc.Reply{}
+			fail(rep, o.err)
+			recs = append(recs, &journal.Record{
+				Kind: journal.KindStrike, Sess: st.Sess, Action: "poison",
+				Code: uint8(rep.Code), Err: rep.Err,
+			})
+			code, msg := uint8(rep.Code), rep.Err
+			applies = append(applies, func() {
+				d.mu.Lock()
+				st.PoisonErr, st.PoisonCode = msg, code
+				d.mu.Unlock()
+			})
+		}
+	}
+	if len(recs) == 0 {
+		return
+	}
+	_ = s.journalAppendBatch(recs, func() {
+		for _, f := range applies {
+			f()
+		}
+	})
+}
+
 // CloseDurability closes the journal writer (tests and shutdown).
 func (s *Server) CloseDurability() error {
 	if s.durable == nil {

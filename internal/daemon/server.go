@@ -350,7 +350,13 @@ func (s *Server) ServeConn(nc net.Conn) {
 	s.mu.Unlock()
 
 	var pending sync.WaitGroup
+	// disp is the session's batched-dispatch loop, started lazily on the
+	// first OpLaunchBatch; nil for sessions that never batch.
+	var disp *dispatcher
 	defer func() {
+		if disp != nil {
+			disp.close() // drain the ring, group-commit buffered completions
+		}
 		pending.Wait()
 		s.detachSession(ss.resume) // a vanished client may resume later
 		for h := range ss.owned {
@@ -585,6 +591,13 @@ func (s *Server) ServeConn(nc net.Conn) {
 				s.completeLaunch(st, opID, err)
 				return err
 			})
+		case ipc.OpLaunchBatch:
+			if disp == nil {
+				disp = newDispatcher(s, s.MaxSessionPending)
+			}
+			if s.handleLaunchBatch(ss, streams, &pending, disp, req, rep) {
+				return // journal died pre-ack: no item of the batch was acked
+			}
 		case ipc.OpPing:
 			// Fleet heartbeat: touches no session state, answers with the
 			// daemon's load. The probing connection itself was counted on
@@ -724,6 +737,125 @@ func synthesizeSourceSpec(req *ipc.Request) *kern.Spec {
 		return nil
 	}
 	return spec
+}
+
+// batchItemRequest synthesizes the single-launch request one batched item
+// describes, so the prepare pipeline (prepareSource, spec synthesis) is
+// shared verbatim between the two paths.
+func batchItemRequest(it *ipc.BatchItem) *ipc.Request {
+	r := &ipc.Request{TaskSize: it.TaskSize, Stream: it.Stream, OpID: it.OpID}
+	if it.Src {
+		r.Op = ipc.OpLaunchSource
+		r.Source, r.Kernel = it.Source, it.Kernel
+		r.GridX, r.GridY, r.BlockX, r.BlockY = it.GridX, it.GridY, it.BlockX, it.BlockY
+	} else {
+		r.Op = ipc.OpLaunch
+		r.Token = it.Token
+	}
+	return r
+}
+
+// handleLaunchBatch serves one OpLaunchBatch: per-item dedup, whole-batch
+// admission, per-item prepare, ONE group-commit journal append for every
+// accepted item (write-ahead of the single batch ack), then hand-off to the
+// session's persistent dispatch loop. Order matters:
+//
+//  1. dedup first — replayed items are answered from the window and consume
+//     no admission quota;
+//  2. admission on the fresh count, whole-batch — a batch either fits under
+//     MaxSessionPending entirely or is refused entirely (a typed
+//     ErrBackpressure at the reply level, so the client's retry loop treats
+//     it exactly like a single launch's definite rejection and re-stamps);
+//  3. prepare per item — a failed prepare is a definite per-item rejection,
+//     acked in the item's BatchAck and never journaled, mirroring the single
+//     path;
+//  4. one acceptLaunchBatch group commit, then enqueue. The stream tails are
+//     pushed here, on the session goroutine, because streamTracker is
+//     confined to it by design.
+//
+// Returns true when the journal died mid-append: the caller must vanish
+// without acking (crash semantics — either a torn prefix that replay
+// truncates, or a fully durable batch the dedup window answers on re-send).
+func (s *Server) handleLaunchBatch(ss *session, streams *streamTracker, wg *sync.WaitGroup, disp *dispatcher, req *ipc.Request, rep *ipc.Reply) bool {
+	n := len(req.Batch)
+	if n == 0 {
+		fail(rep, fmt.Errorf("daemon: empty launch batch"))
+		return false
+	}
+	if err := ss.stickyErr(); err != nil {
+		fail(rep, err)
+		return false
+	}
+	acks := make([]ipc.BatchAck, n)
+	fresh := make([]int, 0, n)
+	for i := range req.Batch {
+		it := &req.Batch[i]
+		acks[i].OpID = it.OpID
+		if it.OpID == 0 {
+			acks[i].Code = ipc.CodeGeneric
+			acks[i].Err = "daemon: batched launches must carry op IDs"
+			continue
+		}
+		if s.dedupCheckItem(ss.resume, it.OpID, &acks[i]) {
+			continue
+		}
+		fresh = append(fresh, i)
+	}
+	if len(fresh) > 0 {
+		if s.Draining() {
+			fail(rep, ErrDraining)
+			return false
+		}
+		if have := ss.pending.Load(); s.MaxSessionPending > 0 && have+int64(len(fresh)) > int64(s.MaxSessionPending) {
+			fail(rep, fmt.Errorf("%w: %d pending + %d batched (max %d)",
+				ErrBackpressure, have, len(fresh), s.MaxSessionPending))
+			return false
+		}
+	}
+	type preparedItem struct {
+		idx int
+		run func() error
+	}
+	accepted := make([]preparedItem, 0, len(fresh))
+	acceptedIdx := make([]int, 0, len(fresh))
+	for _, i := range fresh {
+		it := &req.Batch[i]
+		ireq := batchItemRequest(it)
+		var run func() error
+		if it.Src {
+			irep := &ipc.Reply{}
+			run = s.prepareSource(ireq, irep)
+			if run == nil {
+				acks[i].Code, acks[i].Err = irep.Code, irep.Err
+				continue
+			}
+			acks[i].Degraded, acks[i].Entries = irep.Degraded, irep.Entries
+		} else {
+			spec, ok := s.Specs.Take(it.Token)
+			if !ok {
+				acks[i].Code = ipc.CodeGeneric
+				acks[i].Err = fmt.Sprintf("daemon: unknown kernel token %d", it.Token)
+				continue
+			}
+			task := it.TaskSize
+			run = func() error { return s.Exec.Run(spec, task) }
+		}
+		accepted = append(accepted, preparedItem{idx: i, run: run})
+		acceptedIdx = append(acceptedIdx, i)
+	}
+	if err := s.acceptLaunchBatch(ss.resume, req.Batch, acks, acceptedIdx); err != nil {
+		return true
+	}
+	st := ss.resume
+	for _, p := range accepted {
+		it := &req.Batch[p.idx]
+		prev, next := streams.push(it.Stream)
+		ss.pending.Add(1)
+		wg.Add(1)
+		disp.push(dispatchItem{prev: prev, next: next, run: p.run, opID: it.OpID, st: st, ss: ss, wg: wg})
+	}
+	rep.Acks = acks
+	return false
 }
 
 // NewLocal builds an in-process daemon and returns it with a dial function

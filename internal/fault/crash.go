@@ -23,12 +23,24 @@ const (
 	// file and renaming it into place — the published table must remain the
 	// previous complete version.
 	SiteProfileRenameMid = "profile.rename.mid"
+	// SiteJournalBatchMid: death partway through a group-commit batch append —
+	// a prefix of the batch's records reached the file whole, the next frame
+	// is torn, and nothing was fsynced. Replay must truncate back to the last
+	// whole record; no item of the batch was acked, so the client re-sends the
+	// whole batch and every item must execute exactly once.
+	SiteJournalBatchMid = "journal.batch.mid"
+	// SiteJournalBatchPost: death after the whole batch is durable (one
+	// fsync) but before the batch ack left — every record durable, none
+	// acked. The re-sent batch must be answered entirely from the dedup
+	// window without a second execution.
+	SiteJournalBatchPost = "journal.batch.post"
 )
 
 // CrashSites lists every named crash site, in a stable order, for harnesses
 // that iterate the whole matrix.
 func CrashSites() []string {
-	return []string{SiteJournalAppendPre, SiteJournalAppendPost, SiteCheckpointMid, SiteProfileRenameMid}
+	return []string{SiteJournalAppendPre, SiteJournalAppendPost, SiteCheckpointMid, SiteProfileRenameMid,
+		SiteJournalBatchMid, SiteJournalBatchPost}
 }
 
 // ErrCrash is the typed cause every simulated crash returns. A component

@@ -92,6 +92,11 @@ const (
 	// load, so a supervisor can feed a failure detector and a placement
 	// router from one cheap round trip.
 	OpPing
+	// OpLaunchBatch carries N stamped launches in one frame (batched
+	// dispatch): the daemon admits, journals, and acks the whole batch in one
+	// round trip — one group-commit fsync instead of N — and replies with a
+	// per-item BatchAck slice in batch order.
+	OpLaunchBatch
 )
 
 func (o Op) String() string {
@@ -118,6 +123,8 @@ func (o Op) String() string {
 		return "resume"
 	case OpPing:
 		return "ping"
+	case OpLaunchBatch:
+		return "launchBatch"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -155,6 +162,10 @@ type Request struct {
 	// the launch and dedups replays, so a reconnecting client re-sending an
 	// un-acked launch gets exactly-once execution.
 	OpID uint64
+	// Batch carries the items of an OpLaunchBatch, in submission order. Each
+	// item is a fully stamped launch; Request-level launch fields are unused
+	// for batched sends.
+	Batch []BatchItem
 	// SessionToken is the resume credential presented with OpResume.
 	SessionToken uint64
 	// Version is the client's ProtocolVersion, stamped on OpHello and
@@ -199,6 +210,39 @@ type Reply struct {
 	// Load is the daemon's current session count (ping), excluding the
 	// probing connection itself; the fleet router uses it for placement.
 	Load int64
+	// Acks carries the per-item outcomes of an OpLaunchBatch, in the batch's
+	// submission order. Reply-level Err/Code describe batch-level refusals
+	// (draining, poisoned session); per-item accept/reject verdicts live here.
+	Acks []BatchAck
+}
+
+// BatchItem is one stamped launch inside an OpLaunchBatch request: the same
+// fields a single OpLaunch/OpLaunchSource carries, minus the envelope.
+type BatchItem struct {
+	// Src selects the source-launch path (Source/Kernel/geometry) over the
+	// in-process spec-token path (Token).
+	Src      bool
+	Token    uint64
+	TaskSize int
+	Stream   int
+	// OpID is the per-session monotonic op ID; every batched item must be
+	// stamped (the daemon refuses unstamped items).
+	OpID   uint64
+	Source string
+	Kernel string
+	GridX, GridY, BlockX, BlockY int
+}
+
+// BatchAck is one item's accept-time verdict inside an OpLaunchBatch reply.
+type BatchAck struct {
+	OpID uint64
+	Code ErrCode
+	Err  string
+	// Degraded/Entries mirror the source-launch ack fields.
+	Degraded bool
+	Entries  []string
+	// Dup marks a replayed op answered from the dedup window.
+	Dup bool
 }
 
 // Conn wraps a net.Conn with gob framing. Safe for one reader and one
@@ -252,6 +296,13 @@ func (c *Conn) RecvReply() (*Reply, error) {
 // it. Clients use it for per-operation deadlines.
 func (c *Conn) SetReadDeadline(t time.Time) error {
 	return c.c.SetReadDeadline(t)
+}
+
+// SetWriteDeadline bounds the next Send on the transport; a zero time clears
+// it. Clients use it so a wedged peer cannot block a sender indefinitely
+// while it holds the send-ordering lock.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	return c.c.SetWriteDeadline(t)
 }
 
 // Close closes the transport once.

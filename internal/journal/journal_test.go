@@ -128,6 +128,139 @@ func TestPostAppendCrashIsDurable(t *testing.T) {
 	}
 }
 
+// AppendBatch is a pure group commit: the on-disk bytes are identical to the
+// same records appended one at a time, so every replay consumer (recovery,
+// adoption, migration) reads batched journals with no format awareness.
+func TestAppendBatchBytesMatchSingles(t *testing.T) {
+	dir := t.TempDir()
+	single := filepath.Join(dir, "single.slate")
+	batched := filepath.Join(dir, "batched.slate")
+	recs := []*Record{rec(1, 1, "a"), rec(1, 2, "b"), rec(1, 3, "c"), rec(1, 4, "d")}
+
+	ws, err := OpenWriter(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := ws.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ws.Close()
+
+	wb, err := OpenWriter(batched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.AppendBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	if wb.Records() != len(recs) {
+		t.Fatalf("Records() = %d after a %d-record batch", wb.Records(), len(recs))
+	}
+	wb.Close()
+
+	sb, err := os.ReadFile(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := os.ReadFile(batched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sb) == 0 || string(sb) != string(bb) {
+		t.Fatalf("batched journal bytes differ from singles (%d vs %d bytes)", len(bb), len(sb))
+	}
+}
+
+// A crash mid-batch leaves a torn prefix: some records whole, the next frame
+// cut, nothing synced. Replay keeps the whole prefix, truncates the tear, and
+// the writer is dead afterwards.
+func TestAppendBatchMidCrashTornPrefix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.slate")
+	w, err := OpenWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := fault.NewCrasher(fault.SiteJournalBatchMid, 0)
+	w.CrashHook = c.Hook()
+	batch := []*Record{rec(1, 1, "p1"), rec(1, 2, "p2"), rec(1, 3, "cut"), rec(1, 4, "lost")}
+	if err := w.AppendBatch(batch); !errors.Is(err, fault.ErrCrash) {
+		t.Fatalf("armed batch append = %v, want ErrCrash", err)
+	}
+	if err := w.AppendBatch(batch[:1]); !errors.Is(err, fault.ErrCrash) {
+		t.Fatalf("post-crash batch append = %v, want ErrCrash (writer dead)", err)
+	}
+	w.Close()
+
+	var got []string
+	stats, err := Replay(path, func(r *Record) error {
+		got = append(got, r.Kernel)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Truncated || stats.TruncatedBytes == 0 {
+		t.Fatalf("stats = %+v, want a cut tail", stats)
+	}
+	if len(got) != 2 || got[0] != "p1" || got[1] != "p2" {
+		t.Fatalf("torn-prefix replay = %v, want the whole prefix [p1 p2]", got)
+	}
+	// Idempotent: the truncation must not change what a second replay sees.
+	stats, err = Replay(path, func(*Record) error { return nil })
+	if err != nil || stats.Records != 2 || stats.Truncated {
+		t.Fatalf("second replay = %+v, %v, want 2 clean records", stats, err)
+	}
+}
+
+// A crash after the batch's single fsync leaves every record durable — the
+// group commit is all-or-nothing past the sync point.
+func TestAppendBatchPostCrashAllDurable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.slate")
+	w, err := OpenWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := fault.NewCrasher(fault.SiteJournalBatchPost, 0)
+	w.CrashHook = c.Hook()
+	batch := []*Record{rec(1, 1, "a"), rec(1, 2, "b"), rec(1, 3, "c")}
+	if err := w.AppendBatch(batch); !errors.Is(err, fault.ErrCrash) {
+		t.Fatalf("armed batch append = %v, want ErrCrash", err)
+	}
+	w.Close()
+	var got []string
+	stats, err := Replay(path, func(r *Record) error {
+		got = append(got, r.Kernel)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 3 || stats.Truncated {
+		t.Fatalf("stats = %+v, want all 3 records durable", stats)
+	}
+	if got[2] != "c" {
+		t.Fatalf("records = %v", got)
+	}
+}
+
+// An empty batch is a no-op, not an error or an fsync.
+func TestAppendBatchEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.slate")
+	w, err := OpenWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendBatch(nil); err != nil {
+		t.Fatal(err)
+	}
+	if w.Records() != 0 {
+		t.Fatalf("Records() = %d after empty batch", w.Records())
+	}
+	w.Close()
+}
+
 // Reset empties the journal after compaction; later appends start fresh.
 func TestResetAfterCompaction(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "j.slate")
