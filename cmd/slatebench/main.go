@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|fig1|…|fig7|ablation|staticmerge|triples|cloud|extpairs|sensitivity|faults|overload|crashchaos|fleetchaos|rollingchaos|parbench|modelbench|dispatch")
+	exp := flag.String("exp", "all", "experiment: all|fig1|…|fig7|ablation|staticmerge|triples|cloud|extpairs|sensitivity|faults|overload|crashchaos|fleetchaos|rollingchaos|parbench|modelbench|dispatch|simbench")
 	loop := flag.Float64("loop", 3.0, "solo kernel loop target in seconds (paper used ~30)")
 	seed := flag.Int64("seed", 1, "trace-model and chaos-driver seed (same seed = same tables)")
 	chaosSessions := flag.Int("chaos-sessions", 12, "hostile client sessions per faults chaos run")
@@ -31,11 +31,14 @@ func main() {
 	svgDir := flag.String("svg", "", "directory to write SVG figures into (optional)")
 	devName := flag.String("device", "titanxp", "device preset: titanxp|p100|v100|jetson")
 	profileTable := flag.String("profiles", "", "profile-table JSON: loaded if present, saved after table2")
-	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+	parallel := flag.Int("parallel", runtime.NumCPU(),
 		"worker-pool width for experiment cells (output is byte-identical at any value; 1 = serial)")
+	simWorkers := flag.Int("sim-workers", runtime.NumCPU(),
+		"intra-simulation worker count: sharded sub-simulations and engine fan (byte-identical at any value; 1 = serial)")
 	benchOut := flag.String("bench-out", "BENCH_harness.json", "file the parbench experiment writes its record to")
 	modelBenchOut := flag.String("model-bench-out", "BENCH_model.json", "file the modelbench experiment writes its record to")
 	dispatchBenchOut := flag.String("dispatch-bench-out", "BENCH_dispatch.json", "file the dispatch experiment writes its record to")
+	simBenchOut := flag.String("sim-bench-out", "BENCH_sim.json", "file the simbench experiment writes its record to")
 	flag.Parse()
 
 	var dev *gpu.Device
@@ -74,6 +77,16 @@ func main() {
 		return
 	}
 
+	if selected == "simbench" {
+		// Benchmark mode: not part of -exp all, because it deliberately runs
+		// the heaviest cell twice (cold serial, cold sharded).
+		if err := runSimbench(dev, *loop, *seed, *simWorkers, *simBenchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "slatebench: simbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if selected == "dispatch" {
 		// Benchmark mode: not part of -exp all, because it times the launch
 		// path against a real-fsync durable daemon twice (single, batched).
@@ -84,7 +97,7 @@ func main() {
 		return
 	}
 
-	h := harness.New(harness.Config{LoopSeconds: *loop, Dev: dev, Seed: *seed, Parallel: *parallel})
+	h := harness.New(harness.Config{LoopSeconds: *loop, Dev: dev, Seed: *seed, Parallel: *parallel, SimWorkers: *simWorkers})
 
 	type experiment struct {
 		name string

@@ -1,0 +1,148 @@
+// Intra-simulation benchmark: runs the heaviest Fig. 7 cell — one pairing's
+// solo calibration plus all three scheduler co-runs — once strictly
+// serially and once with the sharded/fanned simulator core (ShardedClock
+// sub-simulations, engine rate-fixpoint fan, model build fan), verifies the
+// rendered outputs are byte-identical, and records the speedup to
+// BENCH_sim.json. Unlike parbench (which parallelizes across cells), this
+// measures parallelism INSIDE a single cell — the foundation the trace and
+// fleet scale items build on.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"slate/gpu"
+	"slate/harness"
+	"slate/internal/engine"
+	"slate/workloads"
+)
+
+// simRecord is the schema of BENCH_sim.json.
+type simRecord struct {
+	Experiment   string  `json:"experiment"`
+	Pair         string  `json:"pair"`
+	Device       string  `json:"device"`
+	LoopSeconds  float64 `json:"loop_seconds"`
+	Seed         int64   `json:"seed"`
+	ModelVersion int     `json:"model_version"`
+	// GOMAXPROCS and NumCPU bound any honest speedup; a sub-1 speedup with
+	// one core is expected and the gate skips rather than failing.
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	Workers    int     `json:"workers"`
+	SerialSec  float64 `json:"serial_sec"`
+	ShardedSec float64 `json:"sharded_sec"`
+	Speedup    float64 `json:"speedup"`
+	// Identical is the byte-comparison of the serial and sharded cell
+	// renders — DESIGN.md §15's contract, checked on every run.
+	Identical bool `json:"identical"`
+}
+
+// simCell runs the heaviest pairing's cell on a fresh, cold harness and
+// returns the rendered output with the wall-clock spent.
+func simCell(dev *gpu.Device, loop float64, seed int64, simWorkers int) (string, float64, error) {
+	h := harness.New(harness.Config{Dev: dev, LoopSeconds: loop, Seed: seed, Parallel: 1, SimWorkers: simWorkers})
+	start := time.Now()
+	out, err := h.SimBenchCell(h.HeaviestPairIndex())
+	if err != nil {
+		return "", 0, err
+	}
+	return out, time.Since(start).Seconds(), nil
+}
+
+// regressTolerance is how much of the previously recorded speedup the gate
+// demands: wall-clock benchmarks are noisy, so a run only fails the
+// fail-if-slower gate when it loses more than a third of the recorded
+// speedup on comparable hardware.
+const regressTolerance = 0.67
+
+// runSimbench executes the serial-vs-sharded comparison for one cell and
+// writes the record to benchOut. Gates, in order: (1) the outputs must be
+// byte-identical — always, on any machine; (2) with ≥ 2 effective cores the
+// sharded run must beat serial (speedup > 1); (3) if a previous record from
+// a multi-core run exists at benchOut, the new speedup must not collapse
+// below regressTolerance of it. On a single-core runner gates 2 and 3 are
+// skipped with a visible notice.
+func runSimbench(dev *gpu.Device, loop float64, seed int64, workers int, benchOut string) error {
+	if workers < 2 {
+		workers = runtime.NumCPU()
+		if workers < 2 {
+			workers = 2
+		}
+	}
+
+	// Load any previously recorded run before overwriting it.
+	var prior *simRecord
+	if data, err := os.ReadFile(benchOut); err == nil {
+		var p simRecord
+		if json.Unmarshal(data, &p) == nil && p.Experiment != "" {
+			prior = &p
+		}
+	}
+
+	pairIdx := harness.New(harness.Config{Dev: dev, LoopSeconds: loop, Seed: seed}).HeaviestPairIndex()
+	pair := workloads.Pairs()[pairIdx]
+	pairName := pair[0].Code + "-" + pair[1].Code
+
+	serialOut, serialSec, err := simCell(dev, loop, seed, 1)
+	if err != nil {
+		return fmt.Errorf("serial cell: %w", err)
+	}
+	shardedOut, shardedSec, err := simCell(dev, loop, seed, workers)
+	if err != nil {
+		return fmt.Errorf("sharded cell: %w", err)
+	}
+
+	rec := simRecord{
+		Experiment:   "simbench-cell",
+		Pair:         pairName,
+		Device:       dev.Name,
+		LoopSeconds:  loop,
+		Seed:         seed,
+		ModelVersion: engine.ModelVersion,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+		Workers:      workers,
+		SerialSec:    serialSec,
+		ShardedSec:   shardedSec,
+		Identical:    serialOut == shardedOut,
+	}
+	if shardedSec > 0 {
+		rec.Speedup = serialSec / shardedSec
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(benchOut, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("simbench: pair %s serial %.2fs, sharded(%d) %.2fs, speedup %.2fx on GOMAXPROCS=%d NumCPU=%d, identical=%v\n",
+		pairName, serialSec, workers, shardedSec, rec.Speedup, rec.GOMAXPROCS, rec.NumCPU, rec.Identical)
+	fmt.Printf("wrote %s\n", benchOut)
+
+	if !rec.Identical {
+		return fmt.Errorf("sharded cell output diverged from serial — determinism contract broken")
+	}
+	eff := effectiveParallelism()
+	if eff < 2 {
+		fmt.Printf("simbench: NOTICE — effective parallelism %d < 2, speedup gates skipped (single-core runner)\n", eff)
+		return nil
+	}
+	if rec.Speedup <= 1 {
+		return fmt.Errorf("sharded cell slower than serial (%.2fx) with %d cores available", rec.Speedup, eff)
+	}
+	if prior != nil && prior.GOMAXPROCS >= 2 && prior.NumCPU >= 2 && prior.Speedup > 1 {
+		floor := prior.Speedup * regressTolerance
+		if rec.Speedup < floor {
+			return fmt.Errorf("speedup %.2fx fell below %.2fx (%.0f%% of recorded %.2fx) — intra-sim parallelism regressed",
+				rec.Speedup, floor, regressTolerance*100, prior.Speedup)
+		}
+	}
+	return nil
+}

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"slate/internal/device"
 	"slate/internal/kern"
@@ -53,6 +55,11 @@ func (m Mode) String() string {
 // PerfModel supplies the locality parameters for a kernel under a given
 // scheduling regime. Implementations may run real cache simulations
 // (TraceModel) or return fixed values (StaticModel, for tests).
+//
+// Implementations must be safe for concurrent lookups: with Engine.Workers
+// > 1 the rate fixpoint fans its per-kernel pass across goroutines.
+// TraceModel's singleflight entry cache and the stateless StaticModel both
+// satisfy this.
 type PerfModel interface {
 	// HitRate returns the kernel's L2 hit rate when it effectively owns
 	// l2Bytes of cache under the given mode and task size.
@@ -160,12 +167,25 @@ type Handle struct {
 	completion  *vtime.Event
 	checkpoint  *vtime.Event
 
+	// modelWarm records that the PerfModel has served this instance once,
+	// i.e. any expensive cold entry build (trace synthesis, MRC sweep) is
+	// behind us; the rate fixpoint fans pass 1 across kernels only while a
+	// cold build is possible or the kernel set is wide.
+	modelWarm bool
+
 	// last computed rate snapshot (blocks/sec and per-block resource use)
 	rate        float64
 	dramPerBlk  float64
 	hitRate     float64
 	memThrottle float64
 	smAlloc     float64
+
+	// rate/allocation at which the pending completion and checkpoint
+	// events were scheduled; when both are bitwise-unchanged by a
+	// recompute, the events still describe the correct schedule and the
+	// cancel-and-reschedule churn is skipped.
+	schedRate  float64
+	schedAlloc float64
 }
 
 // Spec returns the kernel descriptor.
@@ -195,9 +215,105 @@ type Engine struct {
 	Clock *vtime.Clock
 	Model PerfModel
 
+	// Workers bounds the goroutines used to fan per-kernel work inside a
+	// single event: pass 1 of the computeRates fixpoint (model lookups +
+	// demand computation) and the advanceProgress integration. <= 1 keeps
+	// the hot path strictly serial. Results are bit-identical at any
+	// setting — each kernel writes only its own index-assigned slots and
+	// the cross-kernel folds (bus arbitration, L2 share update) stay
+	// serial — so this is a pure wall-clock knob.
+	Workers int
+
+	// RescheduleEveryEvent disables the completion-event reschedule skip
+	// so tests can measure the event churn it removes.
+	RescheduleEveryEvent bool
+
 	nextID     int
 	running    []*Handle
 	lastUpdate vtime.Time
+
+	// scratch holds the per-recompute working buffers. recompute runs on
+	// every simulation event, and without reuse these allocations dominate
+	// the event loop's profile.
+	scratch engineScratch
+	sorter  prioSorter
+}
+
+// engineScratch is the reusable working set of allocate/computeRates.
+type engineScratch struct {
+	alloc, shares, demands, uncon, accessRates []float64
+	snaps                                      []rateSnap
+	order                                      []int
+}
+
+// rateSnap is one kernel's rate snapshot within the fixpoint.
+type rateSnap struct {
+	rate, dramPB, hit, throttle float64
+}
+
+// prioSorter orders hardware-kernel indices by priority without the
+// per-call closure allocation of sort.Slice. Equal priorities fall back to
+// kernel index, making the permutation unique (and therefore stable across
+// sort-algorithm internals).
+type prioSorter struct {
+	order   []int
+	running []*Handle
+}
+
+func (p *prioSorter) Len() int { return len(p.order) }
+func (p *prioSorter) Less(a, b int) bool {
+	pa := p.running[p.order[a]].opts.Priority
+	pb := p.running[p.order[b]].opts.Priority
+	if pa != pb {
+		return pa < pb
+	}
+	return p.order[a] < p.order[b]
+}
+func (p *prioSorter) Swap(a, b int) { p.order[a], p.order[b] = p.order[b], p.order[a] }
+
+// Fan gates. With every model entry warm the per-kernel pass-1 work is a few
+// hundred nanoseconds and a goroutine handoff would dominate, so the fan
+// engages only where it pays: a possible cold model build (milliseconds of
+// trace synthesis and MRC sweeping) at any width, or a kernel set wide
+// enough to amortize the handoff. Vars rather than consts so tests can
+// lower them.
+var (
+	rateFanKernels    = 16
+	advanceFanKernels = 16
+)
+
+// f64Scratch returns buf resized to n, reallocating only on growth. The
+// caller is responsible for (re)initializing the contents.
+func f64Scratch(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// fanKernels runs f(0..n-1) on min(e.Workers, n) goroutines, pulling indices
+// from a shared counter. The caller guarantees f(i) touches only slot i.
+func (e *Engine) fanKernels(n int, f func(i int)) {
+	workers := e.Workers
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // New constructs an engine. The device must validate.
@@ -351,36 +467,47 @@ func (e *Engine) Stall(h *Handle, d vtime.Duration) error {
 }
 
 // advanceProgress integrates every running kernel's progress and metrics
-// from lastUpdate to now using the last computed rates.
+// from lastUpdate to now using the last computed rates. Each kernel's
+// integration touches only its own handle, so wide kernel sets fan across
+// Workers goroutines with bit-identical results.
 func (e *Engine) advanceProgress(now vtime.Time) {
 	dt := now.Sub(e.lastUpdate).Seconds()
 	e.lastUpdate = now
 	if dt <= 0 {
 		return
 	}
+	if e.Workers > 1 && len(e.running) >= advanceFanKernels {
+		e.fanKernels(len(e.running), func(i int) { e.advanceHandle(e.running[i], dt) })
+		return
+	}
 	for _, h := range e.running {
-		if h.rate <= 0 {
-			continue
-		}
-		blocks := h.rate * dt
-		if rem := h.numBlocks - h.blocksDone; blocks > rem {
-			blocks = rem
-		}
-		h.blocksDone += blocks
-		ovh := 1.0
-		if h.opts.Mode == SlateSched {
-			ovh = 1 + e.Dev.InjectedInstrOverhead
-		}
-		h.metrics.FLOPs += blocks * h.spec.FLOPsPerBlock
-		h.metrics.L2Bytes += blocks * h.spec.L2BytesPerBlock
-		h.metrics.DRAMBytes += blocks * h.dramPerBlk
-		h.metrics.Instr += blocks * h.spec.InstrPerBlock * ovh
-		h.metrics.Busy += vtime.FromSeconds(dt)
-		h.metrics.StallMemThrottle += h.memThrottle * dt
-		h.metrics.SMSecondsIntegral += h.smAlloc * dt
-		if h.opts.Mode == SlateSched && h.spec.NumBlocks() > 0 {
-			h.metrics.Atomics = int64(h.blocksDone) / int64(h.opts.TaskSize)
-		}
+		e.advanceHandle(h, dt)
+	}
+}
+
+// advanceHandle integrates one kernel's progress over dt seconds.
+func (e *Engine) advanceHandle(h *Handle, dt float64) {
+	if h.rate <= 0 {
+		return
+	}
+	blocks := h.rate * dt
+	if rem := h.numBlocks - h.blocksDone; blocks > rem {
+		blocks = rem
+	}
+	h.blocksDone += blocks
+	ovh := 1.0
+	if h.opts.Mode == SlateSched {
+		ovh = 1 + e.Dev.InjectedInstrOverhead
+	}
+	h.metrics.FLOPs += blocks * h.spec.FLOPsPerBlock
+	h.metrics.L2Bytes += blocks * h.spec.L2BytesPerBlock
+	h.metrics.DRAMBytes += blocks * h.dramPerBlk
+	h.metrics.Instr += blocks * h.spec.InstrPerBlock * ovh
+	h.metrics.Busy += vtime.FromSeconds(dt)
+	h.metrics.StallMemThrottle += h.memThrottle * dt
+	h.metrics.SMSecondsIntegral += h.smAlloc * dt
+	if h.opts.Mode == SlateSched && h.spec.NumBlocks() > 0 {
+		h.metrics.Atomics = int64(h.blocksDone) / int64(h.opts.TaskSize)
 	}
 }
 
@@ -433,6 +560,26 @@ func (e *Engine) recompute(now vtime.Time) {
 
 	// Reschedule completion events and tail-reallocation checkpoints.
 	for _, h := range e.running {
+		// Drop references to events that already fired: the clock recycles
+		// their allocations once the callback returns, so cancelling a
+		// stale pointer later could hit an unrelated reissued event.
+		if h.completion != nil && !h.completion.Pending() {
+			h.completion = nil
+		}
+		if h.checkpoint != nil && !h.checkpoint.Pending() {
+			h.checkpoint = nil
+		}
+		// Skip the cancel-and-reschedule when nothing about this kernel's
+		// schedule changed — the common case when an unrelated co-runner
+		// event triggered the recompute. Rate is a step function of
+		// blocksDone for a fixed co-runner set, and under a constant rate
+		// the pending completion's absolute time (now + remaining/rate) is
+		// invariant, so a bitwise-unchanged (rate, allocation) pair means
+		// the pending events still describe the correct schedule.
+		if !e.RescheduleEveryEvent && h.completion != nil &&
+			h.rate == h.schedRate && h.smAlloc == h.schedAlloc {
+			continue
+		}
 		if h.completion != nil {
 			e.Clock.Cancel(h.completion)
 			h.completion = nil
@@ -441,6 +588,7 @@ func (e *Engine) recompute(now vtime.Time) {
 			e.Clock.Cancel(h.checkpoint)
 			h.checkpoint = nil
 		}
+		h.schedRate, h.schedAlloc = h.rate, h.smAlloc
 		if h.rate <= 0 {
 			continue
 		}
@@ -474,7 +622,8 @@ func (e *Engine) recompute(now vtime.Time) {
 // which for full-size kernels means the later kernel only runs during the
 // earlier one's tail (§V-A2).
 func (e *Engine) allocate(now vtime.Time) []float64 {
-	alloc := make([]float64, len(e.running))
+	e.scratch.alloc = f64Scratch(e.scratch.alloc, len(e.running))
+	alloc := e.scratch.alloc
 	free := float64(e.Dev.NumSMs)
 
 	// Slate partitions first (disjoint by construction of the scheduler).
@@ -496,15 +645,15 @@ func (e *Engine) allocate(now vtime.Time) []float64 {
 
 	// Hardware kernels in priority order take what their remaining blocks
 	// can fill, from what is free.
-	order := make([]int, 0, len(e.running))
+	order := e.scratch.order[:0]
 	for i, h := range e.running {
 		if h.opts.Mode == HardwareSched {
 			order = append(order, i)
 		}
 	}
-	sort.Slice(order, func(a, b int) bool {
-		return e.running[order[a]].opts.Priority < e.running[order[b]].opts.Priority
-	})
+	e.scratch.order = order
+	e.sorter.order, e.sorter.running = order, e.running
+	sort.Sort(&e.sorter)
 	for _, i := range order {
 		h := e.running[i]
 		if free <= 0 || now < h.pausedUntil {
@@ -528,7 +677,11 @@ func (e *Engine) allocate(now vtime.Time) []float64 {
 }
 
 // computeRates runs the coupled rate/L2-share fixpoint and stores each
-// running kernel's snapshot.
+// running kernel's snapshot. Pass 1 — the per-kernel model lookups and
+// demand computation, where any expensive cold model build happens — writes
+// only index-assigned slots, so it fans across Workers goroutines with
+// bit-identical results; the cross-kernel folds (bus arbitration in pass 2,
+// the L2 share update in pass 3) stay serial.
 func (e *Engine) computeRates(now vtime.Time) {
 	n := len(e.running)
 	if n == 0 {
@@ -537,15 +690,21 @@ func (e *Engine) computeRates(now vtime.Time) {
 	alloc := e.allocate(now)
 
 	// Initial equal L2 shares.
-	shares := make([]float64, n)
+	e.scratch.shares = f64Scratch(e.scratch.shares, n)
+	shares := e.scratch.shares
 	for i := range shares {
 		shares[i] = 1.0 / float64(n)
 	}
 
-	type snap struct {
-		rate, dramPB, hit, throttle float64
+	if cap(e.scratch.snaps) < n {
+		e.scratch.snaps = make([]rateSnap, n)
 	}
-	snaps := make([]snap, n)
+	snaps := e.scratch.snaps[:n]
+	e.scratch.demands = f64Scratch(e.scratch.demands, n)
+	e.scratch.uncon = f64Scratch(e.scratch.uncon, n)
+	e.scratch.accessRates = f64Scratch(e.scratch.accessRates, n)
+	demands, uncon, accessRates := e.scratch.demands, e.scratch.uncon, e.scratch.accessRates
+
 	l2Size := float64(e.Dev.L2.SizeBytes)
 	// Bus interference applies only among kernels that actually hold SMs.
 	sharers := 0
@@ -555,94 +714,120 @@ func (e *Engine) computeRates(now vtime.Time) {
 		}
 	}
 
+	// Pass 1 body for kernel i: reads shares[i]/alloc[i] and the shared
+	// read-only device/model, writes slots i of snaps/demands/uncon.
+	passOne := func(i int) {
+		h := e.running[i]
+		s := alloc[i]
+		if s <= 0 {
+			snaps[i] = rateSnap{}
+			return
+		}
+		hit := e.Model.HitRate(h.spec, h.opts.Mode, h.opts.TaskSize, shares[i]*l2Size)
+		runB := e.Model.MeanRunBytes(h.spec, h.opts.Mode, h.opts.TaskSize)
+		h.modelWarm = true
+		runEff := e.Dev.DRAM.RunEfficiency(runB)
+		dramPB := h.spec.L2BytesPerBlock * (1 - hit)
+
+		active := e.activeWorkers(h, s)
+		// Active workers spread across the allocated SMs; once fewer
+		// workers than SMs remain, each active block has an SM to
+		// itself and the kernel effectively occupies only `occ` SMs.
+		occ := s
+		if active < occ {
+			occ = active
+		}
+		if occ <= 0 {
+			snaps[i] = rateSnap{}
+			return
+		}
+		warpsPerSM := active * h.warpsPerBlock / occ
+		mlp := h.spec.MemMLP
+		if mlp <= 0 {
+			mlp = 1
+		}
+		cUtil := e.Dev.SM.ComputeUtil(warpsPerSM)
+		mUtil := e.Dev.SM.MemUtil(warpsPerSM * mlp)
+
+		ovh := 1.0
+		if h.opts.Mode == SlateSched {
+			ovh = 1 + e.Dev.InjectedInstrOverhead
+		}
+		ops := h.spec.OpsPerBlock
+		if ops <= 0 {
+			ops = h.spec.FLOPsPerBlock
+		}
+		computeRate := math.Inf(1)
+		if ops > 0 {
+			rc := occ * e.Dev.SM.PeakFLOPS() * h.spec.ComputeEff * cUtil
+			computeRate = rc / (ops * ovh)
+		}
+		l2Rate := math.Inf(1)
+		if h.spec.L2BytesPerBlock > 0 {
+			rl2 := e.Dev.DRAM.L2Ceiling(int(math.Ceil(occ)), e.Dev.NumSMs)
+			l2Rate = rl2 / h.spec.L2BytesPerBlock
+		}
+		// Service floor: dispatch (hardware) or queue atomic (Slate),
+		// amortized over active workers, plus the block latency floor.
+		floor := e.Dev.BlockLatencySeconds
+		var serialRate = math.Inf(1)
+		if h.opts.Mode == HardwareSched {
+			floor += e.Dev.BlockDispatchSeconds
+		} else {
+			floor += e.Dev.AtomicSerialSeconds / float64(h.opts.TaskSize)
+			// Global queue serialization: one atomic at a time.
+			serialRate = float64(h.opts.TaskSize) / e.Dev.AtomicSerialSeconds
+		}
+		latRate := active / floor
+
+		r := math.Min(computeRate, math.Min(l2Rate, math.Min(latRate, serialRate)))
+		uncon[i] = r
+		snaps[i] = rateSnap{hit: hit, dramPB: dramPB}
+		if dramPB > 0 {
+			memEff := h.spec.MemEff
+			if memEff <= 0 {
+				memEff = 1
+			}
+			dramCeil := e.Dev.DRAM.StreamCeiling(int(math.Ceil(occ))) * runEff * mUtil * memEff
+			if sharers > 1 {
+				// Sharing the bus with another kernel's stream breaks
+				// row locality for both (memsys.CorunEfficiency).
+				dramCeil *= e.Dev.DRAM.CorunEff()
+			}
+			demands[i] = math.Min(r*dramPB, dramCeil)
+		}
+	}
+
 	for iter := 0; iter < 4; iter++ {
-		// Pass 1: per-kernel unconstrained demands.
-		demands := make([]float64, n)
-		uncon := make([]float64, n) // non-DRAM-bound block rate
-		for i, h := range e.running {
-			s := alloc[i]
-			if s <= 0 {
-				snaps[i] = snap{}
-				continue
-			}
-			hit := e.Model.HitRate(h.spec, h.opts.Mode, h.opts.TaskSize, shares[i]*l2Size)
-			runB := e.Model.MeanRunBytes(h.spec, h.opts.Mode, h.opts.TaskSize)
-			runEff := e.Dev.DRAM.RunEfficiency(runB)
-			dramPB := h.spec.L2BytesPerBlock * (1 - hit)
-
-			active := e.activeWorkers(h, s)
-			// Active workers spread across the allocated SMs; once fewer
-			// workers than SMs remain, each active block has an SM to
-			// itself and the kernel effectively occupies only `occ` SMs.
-			occ := s
-			if active < occ {
-				occ = active
-			}
-			if occ <= 0 {
-				snaps[i] = snap{}
-				continue
-			}
-			warpsPerSM := active * h.warpsPerBlock / occ
-			mlp := h.spec.MemMLP
-			if mlp <= 0 {
-				mlp = 1
-			}
-			cUtil := e.Dev.SM.ComputeUtil(warpsPerSM)
-			mUtil := e.Dev.SM.MemUtil(warpsPerSM * mlp)
-
-			ovh := 1.0
-			if h.opts.Mode == SlateSched {
-				ovh = 1 + e.Dev.InjectedInstrOverhead
-			}
-			ops := h.spec.OpsPerBlock
-			if ops <= 0 {
-				ops = h.spec.FLOPsPerBlock
-			}
-			computeRate := math.Inf(1)
-			if ops > 0 {
-				rc := occ * e.Dev.SM.PeakFLOPS() * h.spec.ComputeEff * cUtil
-				computeRate = rc / (ops * ovh)
-			}
-			l2Rate := math.Inf(1)
-			if h.spec.L2BytesPerBlock > 0 {
-				rl2 := e.Dev.DRAM.L2Ceiling(int(math.Ceil(occ)), e.Dev.NumSMs)
-				l2Rate = rl2 / h.spec.L2BytesPerBlock
-			}
-			// Service floor: dispatch (hardware) or queue atomic (Slate),
-			// amortized over active workers, plus the block latency floor.
-			floor := e.Dev.BlockLatencySeconds
-			var serialRate = math.Inf(1)
-			if h.opts.Mode == HardwareSched {
-				floor += e.Dev.BlockDispatchSeconds
-			} else {
-				floor += e.Dev.AtomicSerialSeconds / float64(h.opts.TaskSize)
-				// Global queue serialization: one atomic at a time.
-				serialRate = float64(h.opts.TaskSize) / e.Dev.AtomicSerialSeconds
-			}
-			latRate := active / floor
-
-			r := math.Min(computeRate, math.Min(l2Rate, math.Min(latRate, serialRate)))
-			uncon[i] = r
-			snaps[i] = snap{hit: hit, dramPB: dramPB}
-			if dramPB > 0 {
-				memEff := h.spec.MemEff
-				if memEff <= 0 {
-					memEff = 1
+		// Pass 1: per-kernel unconstrained demands. Fan only when it pays:
+		// a cold model entry may need building (the multi-millisecond
+		// case), or the kernel set is wide enough to amortize handoffs.
+		for i := range demands {
+			demands[i], uncon[i], accessRates[i] = 0, 0, 0
+		}
+		fan := false
+		if e.Workers > 1 && n > 1 {
+			fan = n >= rateFanKernels
+			if !fan {
+				for _, h := range e.running {
+					if !h.modelWarm {
+						fan = true
+						break
+					}
 				}
-				dramCeil := e.Dev.DRAM.StreamCeiling(int(math.Ceil(occ))) * runEff * mUtil * memEff
-				if sharers > 1 {
-					// Sharing the bus with another kernel's stream breaks
-					// row locality for both (memsys.CorunEfficiency).
-					dramCeil *= e.Dev.DRAM.CorunEff()
-				}
-				demands[i] = math.Min(r*dramPB, dramCeil)
+			}
+		}
+		if fan {
+			e.fanKernels(n, passOne)
+		} else {
+			for i := 0; i < n; i++ {
+				passOne(i)
 			}
 		}
 
 		// Pass 2: arbitrate the shared bus and finalize rates.
 		grants := e.Dev.DRAM.Arbitrate(demands)
 		totalAccess := 0.0
-		accessRates := make([]float64, n)
 		for i, h := range e.running {
 			if alloc[i] <= 0 {
 				continue

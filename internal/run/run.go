@@ -100,6 +100,19 @@ func NewDriver(clock *vtime.Clock, b Backend) *Driver {
 // Run launches every job at time zero (concurrent processes), drives the
 // clock to completion, and returns per-app results in job order.
 func (d *Driver) Run(jobs []Job) ([]Result, error) {
+	collect := d.Start(jobs)
+	if n := d.Clock.Run(50_000_000); n >= 50_000_000 {
+		return nil, fmt.Errorf("run: simulation did not converge")
+	}
+	return collect()
+}
+
+// Start schedules every job on the driver's clock without firing a single
+// event, and returns the collector that finalizes results once the caller
+// has driven the clock to quiescence. The split lets several drivers — each
+// on its own clock — run as shards of a vtime.ShardedClock, with one Run
+// call on the sharded clock driving them all.
+func (d *Driver) Start(jobs []Job) func() ([]Result, error) {
 	results := make([]Result, len(jobs))
 	var firstErr error
 	remaining := len(jobs)
@@ -118,19 +131,19 @@ func (d *Driver) Run(jobs []Job) ([]Result, error) {
 			results[i] = Result{Code: job.App.Code}
 			d.Clock.After(vtime.FromSeconds(job.StartDelaySec), start)
 		} else {
-			start(d.Clock.Now())
+			// Defer to the first event so Start itself fires nothing.
+			d.Clock.After(0, start)
 		}
 	}
-	if n := d.Clock.Run(50_000_000); n >= 50_000_000 {
-		return nil, fmt.Errorf("run: simulation did not converge")
+	return func() ([]Result, error) {
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		if remaining != 0 {
+			return nil, fmt.Errorf("run: %d applications never completed", remaining)
+		}
+		return results, nil
 	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	if remaining != 0 {
-		return nil, fmt.Errorf("run: %d applications never completed", remaining)
-	}
-	return results, nil
 }
 
 // runApp walks one application's state machine: setup → H2D → reps ×

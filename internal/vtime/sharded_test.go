@@ -1,0 +1,189 @@
+package vtime
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// shardTrace drives a randomized multi-shard workload — local events,
+// in-window self-rescheduling, and cross-shard sends with a fixed lookahead —
+// and records each shard's firing sequence plus every cross delivery. The
+// returned traces must be byte-identical at any Workers setting: that is the
+// sharded clock's whole contract.
+func shardTrace(t *testing.T, seed int64, shards, workers int) []string {
+	t.Helper()
+	const (
+		window    = 100 * Nanosecond
+		lookahead = 100 * Nanosecond // >= window: conservative invariant holds
+	)
+	sc := NewSharded(shards, window)
+	sc.Workers = workers
+
+	traces := make([][]string, shards)
+	var mu sync.Mutex // cross deliveries append to the TARGET shard's trace
+	record := func(shard int, s string) {
+		mu.Lock()
+		traces[shard] = append(traces[shard], s)
+		mu.Unlock()
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < shards; i++ {
+		i := i
+		r := rand.New(rand.NewSource(seed + int64(i)*7919))
+		var hop func(now Time, depth int)
+		hop = func(now Time, depth int) {
+			record(i, fmt.Sprintf("s%d local@%d depth%d", i, now, depth))
+			if depth >= 6 {
+				return
+			}
+			// In-window self-reschedule: stays shard-local.
+			sc.Shard(i).After(Duration(1+r.Intn(30)), func(n2 Time) { hop(n2, depth+1) })
+			if r.Intn(2) == 0 {
+				tgt := (i + 1 + r.Intn(shards-1)) % shards
+				at := now.Add(lookahead + Duration(r.Intn(50)))
+				sc.CrossAt(i, tgt, at, func(n2 Time) {
+					record(tgt, fmt.Sprintf("s%d cross-from-%d@%d", tgt, i, n2))
+				})
+			}
+		}
+		for k := 0; k < 4; k++ {
+			at := Time(rng.Intn(200))
+			sc.Shard(i).At(at, func(n Time) { hop(n, 0) })
+		}
+	}
+	if fired := sc.Run(1_000_000); fired >= 1_000_000 {
+		t.Fatal("sharded run did not converge")
+	}
+	out := make([]string, shards)
+	for i, tr := range traces {
+		for _, line := range tr {
+			out[i] += line + "\n"
+		}
+	}
+	return out
+}
+
+// TestShardedMatchesSerial is the determinism contract: per-shard firing
+// sequences (including cross-shard deliveries) are identical whether the
+// windows execute serially or on a worker pool. Run under -race in CI.
+func TestShardedMatchesSerial(t *testing.T) {
+	for _, seed := range []int64{1, 2, 42} {
+		serial := shardTrace(t, seed, 5, 1)
+		for _, workers := range []int{2, 5, 8} {
+			parallel := shardTrace(t, seed, 5, workers)
+			for i := range serial {
+				if serial[i] != parallel[i] {
+					t.Fatalf("seed %d workers %d: shard %d diverged from serial:\n--- serial ---\n%s--- parallel ---\n%s",
+						seed, workers, i, serial[i], parallel[i])
+				}
+			}
+		}
+	}
+}
+
+// TestShardedCrossMergeOrder pins the barrier merge order: two shards
+// cross-scheduling onto a third at the same timestamp are delivered in
+// origin-shard order, regardless of which goroutine finished first.
+func TestShardedCrossMergeOrder(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		sc := NewSharded(3, 10)
+		sc.Workers = workers
+		var order []int
+		var mu sync.Mutex
+		for _, origin := range []int{1, 0} { // deliberately scheduled out of order
+			origin := origin
+			sc.Shard(origin).At(0, func(now Time) {
+				sc.CrossAt(origin, 2, 100, func(Time) {
+					mu.Lock()
+					order = append(order, origin)
+					mu.Unlock()
+				})
+			})
+		}
+		sc.Run(0)
+		if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+			t.Fatalf("workers %d: same-time cross events delivered in order %v, want [0 1]", workers, order)
+		}
+	}
+}
+
+// TestShardedCrossInsideWindowPanics enforces the conservative invariant: a
+// cross-shard event landing inside the executing window is a caller bug
+// (window wider than the actual lookahead) and must panic, not silently
+// reorder.
+func TestShardedCrossInsideWindowPanics(t *testing.T) {
+	sc := NewSharded(2, 1000)
+	sc.Workers = 1 // panic must surface on the Run goroutine to be recoverable
+	sc.Shard(0).At(0, func(now Time) {
+		sc.CrossAt(0, 1, now.Add(10), func(Time) {}) // 10 < window 1000
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("in-window cross-shard schedule did not panic")
+		}
+	}()
+	sc.Run(0)
+}
+
+// TestShardedCrossOutsideRunIsImmediate covers setup-time scheduling: with
+// no window executing, CrossAt applies directly to the target shard.
+func TestShardedCrossOutsideRunIsImmediate(t *testing.T) {
+	sc := NewSharded(2, 10)
+	fired := false
+	sc.CrossAt(0, 1, 5, func(Time) { fired = true })
+	if sc.Shard(1).Pending() != 1 {
+		t.Fatal("setup-time CrossAt did not enqueue on the target shard")
+	}
+	sc.Run(0)
+	if !fired {
+		t.Fatal("setup-time cross event never fired")
+	}
+}
+
+// TestShardedQuiescence checks Run's return value and the low-water mark.
+func TestShardedQuiescence(t *testing.T) {
+	sc := NewSharded(3, 50)
+	for i := 0; i < 3; i++ {
+		i := i
+		sc.Shard(i).At(Time(10*i), func(Time) {})
+	}
+	if n := sc.Run(0); n != 3 {
+		t.Fatalf("Run fired %d events, want 3", n)
+	}
+	if sc.Fired() != 3 || sc.Pending() != 0 {
+		t.Fatalf("Fired=%d Pending=%d after quiescence", sc.Fired(), sc.Pending())
+	}
+	if n := sc.Run(0); n != 0 {
+		t.Fatalf("second Run fired %d events on a drained clock", n)
+	}
+}
+
+// TestShardedUnboundedWindow covers w <= 0: independent shards drain fully
+// in a single window.
+func TestShardedUnboundedWindow(t *testing.T) {
+	sc := NewSharded(4, 0)
+	sc.Workers = 4
+	count := make([]int, 4)
+	for i := range count {
+		i := i
+		var again func(Time)
+		n := 0
+		again = func(Time) {
+			n++
+			count[i] = n
+			if n < 100 {
+				sc.Shard(i).After(Duration(i+1), again)
+			}
+		}
+		sc.Shard(i).At(0, again)
+	}
+	sc.Run(0)
+	for i, n := range count {
+		if n != 100 {
+			t.Fatalf("shard %d fired %d events, want 100", i, n)
+		}
+	}
+}

@@ -54,6 +54,15 @@ func (t Time) Add(d Duration) Time { return t + Time(d) }
 
 // Event is a scheduled callback. The callback runs exactly once, at its
 // scheduled time, unless cancelled first.
+//
+// Ownership: the *Event returned by At/After belongs to the caller only
+// while the event is pending. Once its callback has returned, or once
+// Cancel on it has returned, the clock may recycle the allocation for a
+// future event — retaining the pointer past that moment (in particular,
+// cancelling it again later) is a bug. Calling Cancel from inside the
+// event's own callback — "cancelling the currently-firing event" — is the
+// one documented exception: it is a safe no-op (the event already fired and
+// the flag is reset before the allocation is reused).
 type Event struct {
 	at     Time
 	seq    uint64 // tie-break: FIFO among same-time events
@@ -67,6 +76,13 @@ func (e *Event) Time() Time { return e.at }
 
 // Cancelled reports whether Cancel was called on the event.
 func (e *Event) Cancelled() bool { return e.cancel }
+
+// Pending reports whether the event is still queued — false once it has
+// fired (including during its own callback) or been cancelled. Callers that
+// hold an event across other events' callbacks (the engine's completion and
+// checkpoint events) use it to drop references to fired events before the
+// clock recycles them.
+func (e *Event) Pending() bool { return e.index >= 0 }
 
 type eventHeap []*Event
 
@@ -105,7 +121,16 @@ type Clock struct {
 	seq    uint64
 	events eventHeap
 	fired  uint64
+	// free recycles Event allocations: the engine cancels and reschedules
+	// completion/checkpoint events on every recompute, and without reuse
+	// that churn dominates the event loop's allocation profile.
+	free []*Event
 }
+
+// freeListCap bounds the recycled-event pool; beyond it events are left to
+// the garbage collector (the steady-state working set is tiny — pending
+// events per simulation number in the tens).
+const freeListCap = 1024
 
 // NewClock returns a clock positioned at time zero with an empty event queue.
 func NewClock() *Clock {
@@ -130,10 +155,31 @@ func (c *Clock) At(at Time, fn func(now Time)) *Event {
 	if at < c.now {
 		panic(fmt.Sprintf("vtime: scheduling event at %v before now %v", at, c.now))
 	}
-	e := &Event{at: at, seq: c.seq, fn: fn}
+	var e *Event
+	if n := len(c.free); n > 0 {
+		e = c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		*e = Event{at: at, seq: c.seq, fn: fn}
+	} else {
+		e = &Event{at: at, seq: c.seq, fn: fn}
+	}
 	c.seq++
 	heap.Push(&c.events, e)
 	return e
+}
+
+// recycle returns a detached event (popped or heap-removed) to the free
+// list. The callback is dropped immediately so captured state is collectable;
+// At fully resets the struct on reissue, so a stale cancel flag — including
+// one set by the documented no-op Cancel of the currently-firing event —
+// cannot leak into the allocation's next life.
+func (c *Clock) recycle(e *Event) {
+	e.fn = nil
+	e.index = -1
+	if len(c.free) < freeListCap {
+		c.free = append(c.free, e)
+	}
 }
 
 // After schedules fn to run d after the current time.
@@ -144,8 +190,10 @@ func (c *Clock) After(d Duration, fn func(now Time)) *Event {
 	return c.At(c.now.Add(d), fn)
 }
 
-// Cancel removes a scheduled event. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// Cancel removes a scheduled event and recycles its allocation — after it
+// returns the pointer must not be used again. Cancelling an
+// already-cancelled event, or the currently-firing event from inside its
+// own callback, is a no-op (see the Event ownership rule).
 func (c *Clock) Cancel(e *Event) {
 	if e == nil || e.cancel || e.index < 0 {
 		if e != nil {
@@ -155,7 +203,7 @@ func (c *Clock) Cancel(e *Event) {
 	}
 	e.cancel = true
 	heap.Remove(&c.events, e.index)
-	e.index = -1
+	c.recycle(e)
 }
 
 // Step fires the next pending event, advancing the clock to its timestamp.
@@ -164,11 +212,16 @@ func (c *Clock) Step() bool {
 	for len(c.events) > 0 {
 		e := heap.Pop(&c.events).(*Event)
 		if e.cancel {
+			c.recycle(e)
 			continue
 		}
 		c.now = e.at
 		c.fired++
 		e.fn(c.now)
+		// Recycle only after the callback returns: a Cancel of the firing
+		// event from inside its own callback must find the original, not a
+		// reissued allocation.
+		c.recycle(e)
 		return true
 	}
 	return false
@@ -194,7 +247,7 @@ func (c *Clock) RunUntil(deadline Time) {
 		// Peek.
 		next := c.events[0]
 		if next.cancel {
-			heap.Pop(&c.events)
+			c.recycle(heap.Pop(&c.events).(*Event))
 			continue
 		}
 		if next.at > deadline {
@@ -212,7 +265,7 @@ func (c *Clock) RunUntil(deadline Time) {
 func (c *Clock) NextEventTime() Time {
 	for len(c.events) > 0 {
 		if c.events[0].cancel {
-			heap.Pop(&c.events)
+			c.recycle(heap.Pop(&c.events).(*Event))
 			continue
 		}
 		return c.events[0].at

@@ -270,6 +270,64 @@ func TestPropertyCancelSubset(t *testing.T) {
 	}
 }
 
+// TestCancelCurrentlyFiringIsNoOp is the regression test for the documented
+// no-op: an event callback that cancels its own event (directly or through a
+// component that still holds the pointer, as the engine's recompute does for
+// the completion event that just fired) must not disturb the clock, and the
+// recycled allocation must not carry the stale cancel flag into its next
+// issue.
+func TestCancelCurrentlyFiringIsNoOp(t *testing.T) {
+	c := NewClock()
+	var self *Event
+	after := false
+	self = c.At(10, func(Time) {
+		c.Cancel(self) // the currently-firing event: documented no-op
+		c.Cancel(self) // twice, for good measure
+	})
+	c.At(20, func(Time) { after = true })
+	c.Run(0)
+	if !after {
+		t.Fatal("event after a self-cancelling callback did not fire")
+	}
+	// The recycled allocation must fire normally on reissue.
+	refired := false
+	e := c.At(30, func(Time) { refired = true })
+	if e != self {
+		// Not required, but the free list makes it overwhelmingly likely;
+		// the property under test is only that reissue works either way.
+		t.Logf("allocation not reused (free list returned a different event)")
+	}
+	c.Run(0)
+	if !refired {
+		t.Fatal("reissued event did not fire (stale cancel flag leaked through the free list)")
+	}
+}
+
+// TestEventFreeListReuses pins the allocation-reuse behaviour the engine's
+// cancel-and-reschedule churn depends on: a fired or cancelled event's
+// allocation is handed back by the next At.
+func TestEventFreeListReuses(t *testing.T) {
+	c := NewClock()
+	e1 := c.At(10, func(Time) {})
+	c.Run(0)
+	e2 := c.At(20, func(Time) {})
+	if e1 != e2 {
+		t.Fatal("fired event allocation was not reused by the next At")
+	}
+	c.Cancel(e2)
+	e3 := c.At(30, func(Time) {})
+	if e3 != e2 {
+		t.Fatal("cancelled event allocation was not reused by the next At")
+	}
+	fired := false
+	c.Cancel(e3)
+	e4 := c.At(40, func(Time) { fired = true })
+	c.Run(0)
+	if !fired || e4.Pending() {
+		t.Fatalf("reissued event misbehaved: fired=%v pending=%v", fired, e4.Pending())
+	}
+}
+
 func BenchmarkClockScheduleAndFire(b *testing.B) {
 	c := NewClock()
 	b.ReportAllocs()
