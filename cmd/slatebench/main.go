@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|fig1|…|fig7|ablation|staticmerge|triples|cloud|extpairs|sensitivity|faults|overload|crashchaos|fleetchaos|rollingchaos|parbench|modelbench|dispatch|simbench")
+	exp := flag.String("exp", "all", "experiment: all|fig1|…|fig7|ablation|staticmerge|triples|cloud|extpairs|sensitivity|faults|overload|crashchaos|fleetchaos|rollingchaos|parbench|modelbench|dispatch|simbench|fleetload")
 	loop := flag.Float64("loop", 3.0, "solo kernel loop target in seconds (paper used ~30)")
 	seed := flag.Int64("seed", 1, "trace-model and chaos-driver seed (same seed = same tables)")
 	chaosSessions := flag.Int("chaos-sessions", 12, "hostile client sessions per faults chaos run")
@@ -39,6 +39,8 @@ func main() {
 	modelBenchOut := flag.String("model-bench-out", "BENCH_model.json", "file the modelbench experiment writes its record to")
 	dispatchBenchOut := flag.String("dispatch-bench-out", "BENCH_dispatch.json", "file the dispatch experiment writes its record to")
 	simBenchOut := flag.String("sim-bench-out", "BENCH_sim.json", "file the simbench experiment writes its record to")
+	fleetBenchOut := flag.String("fleet-bench-out", "BENCH_fleet.json", "file the fleetload experiment writes its record to")
+	fleetSessions := flag.Int("fleet-sessions", 100_000, "concurrent sessions per fleetload leg (CI smoke uses a reduced count)")
 	flag.Parse()
 
 	var dev *gpu.Device
@@ -82,6 +84,17 @@ func main() {
 		// the heaviest cell twice (cold serial, cold sharded).
 		if err := runSimbench(dev, *loop, *seed, *simWorkers, *simBenchOut); err != nil {
 			fmt.Fprintf(os.Stderr, "slatebench: simbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if selected == "fleetload" {
+		// Benchmark mode: not part of -exp all, because it deliberately runs
+		// the 100k-session storm twice (baseline leg, degraded leg) twice
+		// over (the byte-identical double run).
+		if err := runFleetLoad(*seed, *fleetSessions, *fleetBenchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "slatebench: fleetload: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -51,6 +51,16 @@ func adoptedEvent(from string, as *framework.AdoptStats) string {
 	)
 }
 
+// loadshedEvent reports the daemon-wide overload shed configured at
+// startup: past max_pending accepted-unfinished launches the daemon refuses
+// admission with BACKPRESSURE — except for a session already shed
+// continuously for aging_bound, which is granted one admission so shedding
+// can never starve it. Expired-deadline work is shed with EXPIRED instead
+// of executing.
+func loadshedEvent(maxPending int, aging time.Duration) string {
+	return fleet.Event("loadshed", "max_pending", fleet.Fmt(maxPending), "aging_bound", aging.String())
+}
+
 // listeningEvent marks the daemon open for business.
 func listeningEvent(addr string, budget int) string {
 	return fleet.Event("listening", "addr", addr, "budget", fleet.Fmt(budget))

@@ -46,6 +46,8 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long drain waits for sessions before force-closing them")
 	stateDir := flag.String("state-dir", "", "directory for the durable journal + checkpoint (empty = volatile daemon)")
 	adoptState := flag.String("adopt-state", "", "dead or drained peer's state dir to adopt at startup (requires -state-dir); its sessions resume here")
+	maxPending := flag.Int("max-pending", 0, "daemon-wide accepted-unfinished launch cap; past it admission sheds with BACKPRESSURE (0 = unlimited)")
+	agingBound := flag.Duration("aging-bound", 0, "how long a session may be shed continuously before it is granted one admission over the cap (0 = scheduler default)")
 	flag.Parse()
 
 	if *adoptState != "" && *stateDir == "" {
@@ -62,6 +64,11 @@ func main() {
 	defer os.Remove(*addr)
 
 	srv := framework.NewDaemon(*budget)
+	if *maxPending > 0 {
+		srv.MaxTotalPending = *maxPending
+		srv.AgingBound = *agingBound
+		fmt.Println(loadshedEvent(*maxPending, *agingBound))
+	}
 	if *stateDir != "" {
 		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "slated: state dir: %v\n", err)

@@ -108,11 +108,21 @@ var (
 	// ErrSessionLost: the daemon restarted without durable state for this
 	// session; the run continues degraded in a fresh session.
 	ErrSessionLost = client.ErrSessionLost
+	// ErrExpired: a launch's propagated deadline passed before it executed;
+	// the daemon shed it (at admission or at the queue head) without
+	// running it.
+	ErrExpired = client.ErrExpired
 )
 
 // WithTimeout bounds every command round trip; expired calls fail with
 // ErrTimeout instead of blocking forever.
 func WithTimeout(d time.Duration) ClientOption { return client.WithTimeout(d) }
+
+// WithLaunchDeadline stamps every launch with an absolute execution
+// deadline (now + d, re-stamped per retry attempt) that rides the wire to
+// the daemon: work that cannot start in time is shed with ErrExpired at
+// admission or at the queue head instead of executing uselessly late.
+func WithLaunchDeadline(d time.Duration) ClientOption { return client.WithLaunchDeadline(d) }
 
 // WithBackpressureRetry retries backpressured launches with capped jittered
 // backoff, failing fast with ErrCircuitOpen once the breaker trips.

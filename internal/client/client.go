@@ -61,6 +61,11 @@ var (
 	// client must connect to a member running its own version. Not
 	// retryable on the same daemon.
 	ErrVersionSkew = daemon.ErrVersionSkew
+	// ErrExpired: the launch's propagated deadline passed before the daemon
+	// executed it (shed at admission or at the queue head). The launch did
+	// NOT run. Not retried by the backpressure loop — the client's own
+	// timeout budget for the op is what expired.
+	ErrExpired = daemon.ErrExpired
 )
 
 // opError is a failed command: the op, the daemon's message, and the typed
@@ -112,6 +117,10 @@ type Client struct {
 
 	// timeout bounds each command round trip (0 = wait forever).
 	timeout time.Duration
+	// launchDeadline, when set, rides each stamped launch as an absolute
+	// wire deadline so the daemon sheds the work (CodeExpired) instead of
+	// executing it once the deadline passes unserved.
+	launchDeadline time.Duration
 	// sess is the daemon-assigned session ID from the hello reply; it tags
 	// spec deposits so the daemon can purge orphans on disconnect.
 	sess uint64
@@ -358,6 +367,18 @@ func WithTimeout(d time.Duration) Option {
 	return func(c *Client) { c.timeout = d }
 }
 
+// WithLaunchDeadline propagates a per-launch deadline onto the wire: every
+// stamped launch carries now+d as an absolute deadline, and a daemon that
+// has not started the launch by then sheds it with ErrExpired (at
+// admission, or at the queue head) instead of executing work nobody will
+// use. Distinct from WithTimeout, which bounds only the ack round trip:
+// launches are acked at accept and execute asynchronously, so the deadline
+// — not the timeout — is what bounds their queue wait. The shed surfaces
+// at the next Synchronize as a non-sticky ErrExpired.
+func WithLaunchDeadline(d time.Duration) Option {
+	return func(c *Client) { c.launchDeadline = d }
+}
+
 // New wraps a transport connection and performs the hello handshake.
 func New(nc net.Conn, proc string, opts ...Option) (*Client, error) {
 	c := &Client{
@@ -533,6 +554,13 @@ func (c *Client) doCall(req *ipc.Request, stamp bool) (*ipc.Reply, error) {
 		} else {
 			c.nextOp++
 			req.OpID = c.nextOp
+		}
+		// The per-op deadline rides the frame so the daemon can shed the
+		// launch once nobody will use its result. Stamped fresh per
+		// attempt, like the op ID: a backpressure retry restarts the
+		// caller's wait, so it restarts the deadline too.
+		if c.launchDeadline > 0 {
+			req.Deadline = time.Now().Add(c.launchDeadline).UnixNano()
 		}
 	}
 	c.seq++
@@ -738,6 +766,8 @@ func sentinelFor(code ipc.ErrCode) error {
 		return ErrDuplicateOp
 	case ipc.CodeVersionSkew:
 		return ErrVersionSkew
+	case ipc.CodeExpired:
+		return ErrExpired
 	default:
 		return nil
 	}

@@ -116,6 +116,7 @@ func (dp *dispatcher) loop() {
 			if r.err != nil {
 				r.it.ss.recordLaunch(r.err)
 			}
+			dp.s.totalPending.Add(-1)
 			r.it.ss.pending.Add(-1)
 			r.it.wg.Done()
 		}

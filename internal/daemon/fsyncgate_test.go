@@ -1,0 +1,94 @@
+package daemon_test
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"slate/internal/client"
+	"slate/internal/daemon"
+	"slate/internal/fault"
+	"slate/internal/kern"
+	"slate/internal/leakcheck"
+)
+
+// Daemon-level fsyncgate: when the journal's disk fails under a launch
+// accept (write error, short write, or failed fsync), the daemon is
+// fail-stop — the client never receives an ack for that launch, the
+// daemon reports Crashed, and a restart over the same directory settles
+// the re-sent launch to exactly one execution whether or not the accept
+// record survived on disk.
+func TestDaemonFsyncGate(t *testing.T) {
+	sites := []string{
+		fault.SiteJournalWriteErr,
+		fault.SiteJournalWriteShort,
+		fault.SiteJournalSyncErr,
+	}
+	for i, site := range sites {
+		t.Run(site, func(t *testing.T) {
+			gBase := leakcheck.Snapshot()
+			dir := t.TempDir()
+			name := fmt.Sprintf("fg%d", i)
+			src := fmt.Sprintf("__global__ void %s(float *x, int n) { int i = blockIdx.x; if (i < n) x[i] = 1.0f; }", name)
+
+			// Incarnation 1: the disk fault arms past the session-open
+			// append (hit 0) so the handshake lands durably and only the
+			// launch accept dies.
+			srv1, dial1 := daemon.NewLocal(2)
+			crasher := fault.NewCrasher(site, 1)
+			if _, err := srv1.EnableDurability(daemon.Durability{
+				Dir: dir, NoSync: true, Crash: crasher.Hook(),
+			}); err != nil {
+				t.Fatal(err)
+			}
+			cli, err := client.New(dial1(), "fsyncgate", client.WithTimeout(5*time.Second))
+			if err != nil {
+				t.Fatalf("handshake: %v", err)
+			}
+
+			_, _, lerr := cli.LaunchSourceDegraded(src, name, kern.D1(4), kern.D1(32), 4)
+			if lerr == nil {
+				t.Fatalf("launch over a failed %s was acked; no ack may follow a failed write/fsync", site)
+			}
+			if !crasher.Fired() {
+				t.Fatalf("disk-fault site %s never fired; launch failed with %v", site, lerr)
+			}
+			if !srv1.Crashed() {
+				t.Fatalf("daemon survived a %s journal fault; the policy is fail-stop", site)
+			}
+			if runs := srv1.Exec.Runs("src:" + name); runs != 0 {
+				t.Fatalf("unjournaled launch executed %d times in the crashed incarnation", runs)
+			}
+			waitIdle(t, srv1)
+			_ = srv1.CloseDurability()
+
+			// Incarnation 2: recovery absorbs whatever the fault left
+			// (nothing, a torn tail, or a complete unsynced record), the
+			// client resumes and re-sends its pending launch, and the
+			// kernel runs exactly once — replayed from a durable accept
+			// (fsync.err) or freshly admitted (write.err, write.short).
+			srv2, dial2 := daemon.NewLocal(2)
+			if _, err := srv2.EnableDurability(daemon.Durability{Dir: dir, NoSync: true}); err != nil {
+				t.Fatalf("recovery after %s: %v", site, err)
+			}
+			defer srv2.CloseDurability()
+			recovered, err := cli.Resume(func() (net.Conn, error) { return dial2(), nil }, client.RetryConfig{Attempts: 3})
+			if err != nil {
+				t.Fatalf("resume: %v", err)
+			}
+			if !recovered {
+				t.Fatal("resume reported state lost; the session-open record was durable")
+			}
+			if err := cli.Synchronize(); err != nil {
+				t.Fatalf("post-resume sync: %v", err)
+			}
+			if runs := srv2.Exec.Runs("src:" + name); runs != 1 {
+				t.Fatalf("kernel ran %d times after recovery from %s, want exactly 1", runs, site)
+			}
+			cli.Close()
+			waitIdle(t, srv2)
+			leakcheck.Check(t, gBase)
+		})
+	}
+}

@@ -646,7 +646,11 @@ func (s *Server) Kill() { s.crash() }
 // the checkpoint before the lock is released. A fired crash site kills the
 // daemon (conns close, no ack escapes) and surfaces fault.ErrCrash to the
 // caller; apply does not run — the record may be durable, but recovery
-// replay rebuilds its effect.
+// replay rebuilds its effect. Any OTHER append failure — a write error, a
+// short write, a failed fsync — kills the daemon too: the policy is
+// fail-stop, because a record whose durability is unknown must never be
+// followed by an ack (fsyncgate), and a journal that can no longer write
+// cannot uphold write-ahead for anything that follows.
 func (s *Server) journalAppend(rec *journal.Record, apply func()) error {
 	if s.durable == nil {
 		return nil
@@ -655,9 +659,7 @@ func (s *Server) journalAppend(rec *journal.Record, apply func()) error {
 	d.compactMu.Lock()
 	defer d.compactMu.Unlock()
 	if err := d.w.Append(rec); err != nil {
-		if errors.Is(err, fault.ErrCrash) {
-			s.crash()
-		}
+		s.crash()
 		return err
 	}
 	if apply != nil {
@@ -869,7 +871,9 @@ func (s *Server) completeLaunch(st *resumeState, opID uint64, err error) {
 // same compaction lock. The on-disk bytes are identical to len(recs)
 // sequential Appends, so recovery replay, adoption, and migration consume
 // batched records with no format awareness. A fired crash site kills the
-// daemon and surfaces fault.ErrCrash exactly like the single-record path.
+// daemon and surfaces fault.ErrCrash exactly like the single-record path;
+// any other failure (write error, short write, failed fsync) is fail-stop
+// the same way — no item of a group whose commit failed may ever be acked.
 func (s *Server) journalAppendBatch(recs []*journal.Record, apply func()) error {
 	if s.durable == nil || len(recs) == 0 {
 		return nil
@@ -878,9 +882,7 @@ func (s *Server) journalAppendBatch(recs []*journal.Record, apply func()) error 
 	d.compactMu.Lock()
 	defer d.compactMu.Unlock()
 	if err := d.w.AppendBatch(recs); err != nil {
-		if errors.Is(err, fault.ErrCrash) {
-			s.crash()
-		}
+		s.crash()
 		return err
 	}
 	if apply != nil {

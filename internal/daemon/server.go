@@ -12,6 +12,7 @@ import (
 	"slate/internal/ipc"
 	"slate/internal/kern"
 	"slate/internal/nvrtc"
+	"slate/internal/sched"
 )
 
 // Admission-control errors, mapped onto the wire as typed reply codes so
@@ -29,7 +30,17 @@ var (
 	// from the daemon's: mixed-version fleets must refuse skew, not trade
 	// frames the other side misreads.
 	ErrVersionSkew = errors.New("daemon: protocol version skew")
+	// ErrExpired sheds a launch whose client-propagated deadline had
+	// already passed — at admission or at the queue head. The launch did
+	// not execute; nobody was waiting for it anyway.
+	ErrExpired = errors.New("daemon: deadline expired before execution")
 )
+
+// expired reports whether a propagated per-op deadline (Unix nanoseconds,
+// 0 = none) has already passed.
+func expired(deadline int64) bool {
+	return deadline != 0 && time.Now().UnixNano() > deadline
+}
 
 // SpecTable exchanges executable kernel specs between in-process clients
 // and the daemon: closures cannot cross the wire, so the client deposits
@@ -134,12 +145,31 @@ type Server struct {
 	// mixed-version fleet fails handshakes loudly instead of corrupting
 	// session state. Set before serving.
 	ProtocolVersion uint32
+	// MaxTotalPending bounds the daemon's accepted-but-unfinished launches
+	// ACROSS all sessions (0 = unbounded): beyond it new launches are shed
+	// with ErrBackpressure regardless of per-session headroom — overload
+	// load-shedding for fleets packing many lightweight sessions onto one
+	// member. A session shed continuously for longer than AgingBound is
+	// granted an admission override, so shedding can never starve an aged
+	// session (the scheduler's aging invariant, extended daemon-wide).
+	MaxTotalPending int
+	// AgingBound is the overload-shed starvation bound; 0 selects the
+	// scheduler's default aging bound so the daemon-wide invariant matches
+	// the per-queue one.
+	AgingBound time.Duration
 
 	mu       sync.Mutex
 	sessions int
 	nextSess uint64
 	draining bool
 	conns    map[net.Conn]struct{}
+
+	// totalPending counts accepted-but-unfinished launches daemon-wide (the
+	// overload-shed measure); pingSeq monotonically stamps ping load reports
+	// so hedged probe conns delivering replies out of order cannot feed a
+	// router stale loads.
+	totalPending atomic.Int64
+	pingSeq      atomic.Uint64
 
 	// durable is the crash-safe state layer (EnableDurability); nil keeps
 	// the daemon volatile, exactly as before.
@@ -252,6 +282,10 @@ type session struct {
 	mu     sync.Mutex
 	launch error // first failed launch, reported at Synchronize/Close
 	sticky bool  // a kernel panicked or timed out: the error poisons the session
+	// shedSince marks when the daemon-wide overload shed first rejected
+	// this session (zero = not being shed); once the wait exceeds
+	// AgingBound the session is admitted over the cap.
+	shedSince time.Time
 }
 
 // recordLaunch notes an asynchronous launch failure. Kernel panics and
@@ -323,9 +357,48 @@ func fail(rep *ipc.Reply, err error) {
 		rep.Code = ipc.CodeDraining
 	case errors.Is(err, ErrVersionSkew):
 		rep.Code = ipc.CodeVersionSkew
+	case errors.Is(err, ErrExpired):
+		rep.Code = ipc.CodeExpired
 	default:
 		rep.Code = ipc.CodeGeneric
 	}
+}
+
+// admitTotal applies the daemon-wide overload bound: once the daemon as a
+// whole holds MaxTotalPending accepted-but-unfinished launches, new
+// launches are shed with ErrBackpressure regardless of per-session
+// headroom — EXCEPT for a session the shed has been rejecting continuously
+// for longer than AgingBound, which is granted one admission over the cap.
+// That override is the scheduler's aging bound (sched.DefaultAgingBound)
+// extended daemon-wide: under a sustained overload burst every session
+// still makes progress at least once per bound, so shedding can never
+// starve anyone.
+func (s *Server) admitTotal(ss *session) error {
+	if s.MaxTotalPending <= 0 {
+		return nil
+	}
+	if s.totalPending.Load() < int64(s.MaxTotalPending) {
+		ss.mu.Lock()
+		ss.shedSince = time.Time{}
+		ss.mu.Unlock()
+		return nil
+	}
+	bound := s.AgingBound
+	if bound <= 0 {
+		bound = time.Duration(sched.DefaultAgingBound)
+	}
+	now := time.Now()
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.shedSince.IsZero() {
+		ss.shedSince = now
+	} else if now.Sub(ss.shedSince) >= bound {
+		// Aged past the bound: admit over the cap and restart the clock.
+		ss.shedSince = time.Time{}
+		return nil
+	}
+	return fmt.Errorf("%w: daemon overloaded (%d total pending, max %d)",
+		ErrBackpressure, s.totalPending.Load(), s.MaxTotalPending)
 }
 
 // ServeConn runs one client session to completion. Whatever way the session
@@ -380,9 +453,11 @@ func (s *Server) ServeConn(nc net.Conn) {
 	enqueue := func(stream int, run func() error) {
 		prev, next := streams.push(stream)
 		ss.pending.Add(1)
+		s.totalPending.Add(1)
 		pending.Add(1)
 		go func() {
 			defer pending.Done()
+			defer s.totalPending.Add(-1)
 			defer ss.pending.Add(-1)
 			defer close(next)
 			<-prev // in-order within the stream
@@ -391,16 +466,21 @@ func (s *Server) ServeConn(nc net.Conn) {
 			}
 		}()
 	}
-	// admitLaunch gates new launches on drain mode and the session's
-	// pending-launch quota.
-	admitLaunch := func() error {
+	// admitLaunch gates new launches on drain mode, the propagated per-op
+	// deadline (already-expired work is shed before any quota is spent),
+	// the session's pending-launch quota, and the daemon-wide overload
+	// bound.
+	admitLaunch := func(deadline int64) error {
 		if s.Draining() {
 			return ErrDraining
+		}
+		if expired(deadline) {
+			return fmt.Errorf("%w: deadline passed before admission", ErrExpired)
 		}
 		if n := ss.pending.Load(); s.MaxSessionPending > 0 && n >= int64(s.MaxSessionPending) {
 			return fmt.Errorf("%w: %d launches pending (max %d)", ErrBackpressure, n, s.MaxSessionPending)
 		}
-		return nil
+		return s.admitTotal(ss)
 	}
 
 	for {
@@ -548,7 +628,7 @@ func (s *Server) ServeConn(nc net.Conn) {
 				fail(rep, err)
 				break
 			}
-			if err := admitLaunch(); err != nil {
+			if err := admitLaunch(req.Deadline); err != nil {
 				fail(rep, err)
 				break
 			}
@@ -560,9 +640,16 @@ func (s *Server) ServeConn(nc net.Conn) {
 			if err := s.acceptLaunch(ss.resume, req, rep, false); err != nil {
 				return // journal died pre-ack: the accept never happened
 			}
-			task, opID, st := req.TaskSize, req.OpID, ss.resume
+			task, opID, st, deadline := req.TaskSize, req.OpID, ss.resume, req.Deadline
 			enqueue(req.Stream, func() error {
-				err := s.Exec.Run(spec, task)
+				var err error
+				if expired(deadline) {
+					// Queue-head shed: the client's deadline passed while the
+					// launch waited its turn — spend nothing executing it.
+					err = fmt.Errorf("%w: deadline passed at queue head", ErrExpired)
+				} else {
+					err = s.Exec.Run(spec, task)
+				}
 				s.completeLaunch(st, opID, err)
 				return err
 			})
@@ -574,7 +661,7 @@ func (s *Server) ServeConn(nc net.Conn) {
 				fail(rep, err)
 				break
 			}
-			if err := admitLaunch(); err != nil {
+			if err := admitLaunch(req.Deadline); err != nil {
 				fail(rep, err)
 				break
 			}
@@ -585,9 +672,14 @@ func (s *Server) ServeConn(nc net.Conn) {
 			if err := s.acceptLaunch(ss.resume, req, rep, true); err != nil {
 				return
 			}
-			opID, st := req.OpID, ss.resume
+			opID, st, deadline := req.OpID, ss.resume, req.Deadline
 			enqueue(req.Stream, func() error {
-				err := run()
+				var err error
+				if expired(deadline) {
+					err = fmt.Errorf("%w: deadline passed at queue head", ErrExpired)
+				} else {
+					err = run()
+				}
 				s.completeLaunch(st, opID, err)
 				return err
 			})
@@ -603,8 +695,12 @@ func (s *Server) ServeConn(nc net.Conn) {
 			// daemon's load. The probing connection itself was counted on
 			// arrival, so subtract it — placement wants real sessions only.
 			// A draining daemon still answers (with the typed refusal) so a
-			// monitor can tell "draining" from "dead".
+			// monitor can tell "draining" from "dead". The load carries a
+			// monotonic sequence: hedged probe conns can deliver replies out
+			// of order, and the router must never let a stale reading
+			// overwrite a fresher one.
 			rep.Load = int64(s.Sessions()) - 1
+			rep.LoadSeq = s.pingSeq.Add(1)
 			if s.Draining() {
 				fail(rep, ErrDraining)
 			}
@@ -806,9 +902,19 @@ func (s *Server) handleLaunchBatch(ss *session, streams *streamTracker, wg *sync
 			fail(rep, ErrDraining)
 			return false
 		}
+		if expired(req.Deadline) {
+			// The whole batch rode one frame under one deadline: shed it
+			// entirely before any quota is spent.
+			fail(rep, fmt.Errorf("%w: deadline passed before admission", ErrExpired))
+			return false
+		}
 		if have := ss.pending.Load(); s.MaxSessionPending > 0 && have+int64(len(fresh)) > int64(s.MaxSessionPending) {
 			fail(rep, fmt.Errorf("%w: %d pending + %d batched (max %d)",
 				ErrBackpressure, have, len(fresh), s.MaxSessionPending))
+			return false
+		}
+		if err := s.admitTotal(ss); err != nil {
+			fail(rep, err)
 			return false
 		}
 	}
@@ -851,8 +957,22 @@ func (s *Server) handleLaunchBatch(ss *session, streams *streamTracker, wg *sync
 		it := &req.Batch[p.idx]
 		prev, next := streams.push(it.Stream)
 		ss.pending.Add(1)
+		s.totalPending.Add(1)
 		wg.Add(1)
-		disp.push(dispatchItem{prev: prev, next: next, run: p.run, opID: it.OpID, st: st, ss: ss, wg: wg})
+		run := p.run
+		if dl := req.Deadline; dl != 0 {
+			inner := run
+			run = func() error {
+				if expired(dl) {
+					// Queue-head shed inside the dispatch loop: the item's
+					// completion is still journaled (with CodeExpired), it
+					// just never executes.
+					return fmt.Errorf("%w: deadline passed at queue head", ErrExpired)
+				}
+				return inner()
+			}
+		}
+		disp.push(dispatchItem{prev: prev, next: next, run: run, opID: it.OpID, st: st, ss: ss, wg: wg})
 	}
 	rep.Acks = acks
 	return false

@@ -34,13 +34,34 @@ const (
 	// acked. The re-sent batch must be answered entirely from the dedup
 	// window without a second execution.
 	SiteJournalBatchPost = "journal.batch.post"
+
+	// Disk-fault sites: the disk fails while the process lives. The
+	// journal's policy is fail-stop — any of these marks the writer dead
+	// and the daemon kills itself before an ack can escape, so their
+	// recovery contract is identical to a crash at the same point.
+
+	// SiteJournalWriteErr: the write(2) itself errors before any byte of
+	// the frame reaches the file — the record is NOT durable, nothing was
+	// acked, and the writer is dead. Replay sees a clean tail.
+	SiteJournalWriteErr = "journal.write.err"
+	// SiteJournalWriteShort: the write lands only a torn prefix of the
+	// frame (a short write on a full disk) — NOT durable, not acked,
+	// writer dead. Replay must truncate the torn tail.
+	SiteJournalWriteShort = "journal.write.short"
+	// SiteJournalSyncErr: the frame is fully written but fsync fails — the
+	// record MAY be durable, but a failed fsync must never be followed by
+	// an ack (fsyncgate), so the writer dies with the ack unsent. If the
+	// bytes survived, recovery replays the launch exactly once; the
+	// re-sending client is answered from the dedup window.
+	SiteJournalSyncErr = "journal.fsync.err"
 )
 
 // CrashSites lists every named crash site, in a stable order, for harnesses
 // that iterate the whole matrix.
 func CrashSites() []string {
 	return []string{SiteJournalAppendPre, SiteJournalAppendPost, SiteCheckpointMid, SiteProfileRenameMid,
-		SiteJournalBatchMid, SiteJournalBatchPost}
+		SiteJournalBatchMid, SiteJournalBatchPost,
+		SiteJournalWriteErr, SiteJournalWriteShort, SiteJournalSyncErr}
 }
 
 // ErrCrash is the typed cause every simulated crash returns. A component

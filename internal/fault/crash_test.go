@@ -63,8 +63,8 @@ func TestNilCrasherNeverFires(t *testing.T) {
 // traces.
 func TestCrashSiteMatrix(t *testing.T) {
 	sites := CrashSites()
-	if len(sites) != 6 {
-		t.Fatalf("%d crash sites, want 6", len(sites))
+	if len(sites) != 9 {
+		t.Fatalf("%d crash sites, want 9", len(sites))
 	}
 	seen := map[string]bool{}
 	for _, s := range sites {

@@ -1,0 +1,183 @@
+package fault
+
+import (
+	"errors"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// ErrDegraded tags every transport failure the degrade injector
+// manufactures — a flaky NIC dropping a frame mid-op — so tests can tell a
+// gray member's flakiness from organic errors.
+var ErrDegraded = errors.New("fault: degraded link dropped the op")
+
+// Degrade sites: each draws from its own deterministic counter stream.
+const (
+	// SiteDegradeStall delays a read on a degraded member's link.
+	SiteDegradeStall = "degrade.op.stall"
+	// SiteDegradeDrop tears a write on a degraded member's link: a partial
+	// frame lands, then the conn dies.
+	SiteDegradeDrop = "degrade.op.drop"
+)
+
+// DegradeConfig shapes a gray failure: how often ops stall, for how long,
+// and how often the link flakily drops one.
+type DegradeConfig struct {
+	// Seed selects the deterministic decision stream.
+	Seed int64
+	// StallProb stalls a transport read with this probability.
+	StallProb float64
+	// StallMin/StallMax bound the injected per-op stall (defaults 5ms/40ms).
+	StallMin, StallMax time.Duration
+	// DropProb tears a transport write (partial frame, then the conn dies)
+	// with this probability — the flaky half of a gray member.
+	DropProb float64
+}
+
+// Degrade makes one member persistently slow and jittery WITHOUT killing
+// it: while active, every connection dialed through Wrap suffers seeded
+// per-op stalls and occasional partial-write drops. The member still
+// answers pings and still makes progress — the gray-failure mode a
+// silence-based phi detector cannot see, and the one the fleet's
+// latency-accrual SlowDetector exists to catch. Recover() turns the
+// degradation off again so re-admission can be exercised.
+type Degrade struct {
+	cfg DegradeConfig
+	inj *Injector
+
+	mu sync.Mutex
+	on bool
+}
+
+// NewDegrade builds an inactive degrade injector.
+func NewDegrade(cfg DegradeConfig) *Degrade {
+	if cfg.StallMin <= 0 {
+		cfg.StallMin = 5 * time.Millisecond
+	}
+	if cfg.StallMax < cfg.StallMin {
+		cfg.StallMax = 8 * cfg.StallMin
+	}
+	return &Degrade{cfg: cfg, inj: New(Config{Seed: cfg.Seed})}
+}
+
+// Degrade turns the gray failure on: subsequent ops on wrapped conns stall
+// and drop per the config.
+func (d *Degrade) Degrade() {
+	d.mu.Lock()
+	d.on = true
+	d.mu.Unlock()
+}
+
+// Recover turns the gray failure off; already-dropped conns stay dead
+// (recovering hardware does not resurrect torn TCP streams).
+func (d *Degrade) Recover() {
+	d.mu.Lock()
+	d.on = false
+	d.mu.Unlock()
+}
+
+// Active reports whether the member is currently degraded.
+func (d *Degrade) Active() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.on
+}
+
+// Events returns every stall/drop fired so far, in firing order.
+func (d *Degrade) Events() []Event { return d.inj.Events() }
+
+// Stalls counts the per-op stalls injected so far.
+func (d *Degrade) Stalls() int { return d.countKind("stall") }
+
+// Drops counts the flaky partial drops injected so far.
+func (d *Degrade) Drops() int { return d.countKind("drop") }
+
+func (d *Degrade) countKind(kind string) int {
+	n := 0
+	for _, e := range d.inj.Events() {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Wrap composes the degradation over a member's dialer (typically already
+// wrapped by a Partition): while active, returned conns stall reads and
+// occasionally tear writes.
+func (d *Degrade) Wrap(dial func() (net.Conn, error)) func() (net.Conn, error) {
+	return func() (net.Conn, error) {
+		c, err := dial()
+		if err != nil {
+			return nil, err
+		}
+		return &degradedConn{Conn: c, d: d}, nil
+	}
+}
+
+// degradedConn injects the per-op stalls and drops. Like fault.Conn, an
+// injected stall honors the caller's read deadline — a degraded member
+// slows callers down, it must not defeat their timeouts.
+type degradedConn struct {
+	net.Conn
+	d *Degrade
+
+	mu           sync.Mutex
+	readDeadline time.Time
+}
+
+func (c *degradedConn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
+func (c *degradedConn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+// Read delivers bytes after a possible injected stall. A stall that would
+// cross the read deadline sleeps up to it and returns
+// os.ErrDeadlineExceeded, exactly like a peer that answered too late.
+func (c *degradedConn) Read(p []byte) (int, error) {
+	d := c.d
+	if d.Active() && d.inj.fire(SiteDegradeStall, d.cfg.StallProb, "stall") {
+		v, _ := d.inj.roll(SiteDegradeStall + ".len")
+		stall := d.cfg.StallMin + time.Duration(v*float64(d.cfg.StallMax-d.cfg.StallMin))
+		c.mu.Lock()
+		deadline := c.readDeadline
+		c.mu.Unlock()
+		if !deadline.IsZero() {
+			remain := time.Until(deadline)
+			if stall >= remain {
+				if remain > 0 {
+					time.Sleep(remain)
+				}
+				return 0, os.ErrDeadlineExceeded
+			}
+		}
+		time.Sleep(stall)
+	}
+	return c.Conn.Read(p)
+}
+
+// Write sends bytes, or flakily drops the op: a torn prefix lands, the
+// conn dies, and the caller sees ErrDegraded — the client must redial and
+// replay, exactly as with a crashing peer.
+func (c *degradedConn) Write(p []byte) (int, error) {
+	d := c.d
+	if d.Active() && d.inj.fire(SiteDegradeDrop, d.cfg.DropProb, "drop") {
+		if len(p) > 1 {
+			_, _ = c.Conn.Write(p[:len(p)/2])
+		}
+		c.Conn.Close()
+		return 0, ErrDegraded
+	}
+	return c.Conn.Write(p)
+}

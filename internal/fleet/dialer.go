@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -171,6 +172,116 @@ func (d *Dialer) probe(m *Member) error {
 		return fmt.Errorf("fleet: probe %s: %s", m.Name, rep.Err)
 	}
 	return nil
+}
+
+// HedgedCall races ONE idempotent request across up to 1+MaxHedges healthy
+// members on the existing hedged-dial machinery: the preferred member is
+// tried first, the next candidate joins after Hedge of silence, and the
+// first reply wins. Losing attempts are canceled — their connections are
+// closed the moment a winner lands, and their late outcomes neither settle
+// the breaker nor feed the latency accrual (a cancellation artifact is not
+// evidence). Only for idempotent ops (ping, locate, the resume/attach
+// handshake): a hedged op may execute on several members, so it must be
+// harmless everywhere but the winner. mk builds a fresh request per attempt
+// (each attempt has its own connection and sequence space).
+func (d *Dialer) HedgedCall(prefer string, mk func() *ipc.Request) (*ipc.Reply, string, error) {
+	cands := d.candidates(prefer)
+	if len(cands) == 0 {
+		return nil, "", fmt.Errorf("fleet: hedged call: %w", ErrFleetUnavailable)
+	}
+	type callRes struct {
+		m   *Member
+		rep *ipc.Reply
+		rtt time.Duration
+		err error
+	}
+	resCh := make(chan callRes, len(cands))
+	var mu sync.Mutex
+	var open []net.Conn
+	canceled := false
+	idx, active := 0, 0
+	launch := func() {
+		m := cands[idx]
+		idx++
+		active++
+		go func() {
+			start := time.Now()
+			nc, err := m.Dial()()
+			if err != nil {
+				resCh <- callRes{m: m, err: err}
+				return
+			}
+			mu.Lock()
+			if canceled {
+				mu.Unlock()
+				nc.Close()
+				resCh <- callRes{m: m, err: errors.New("fleet: hedge canceled")}
+				return
+			}
+			open = append(open, nc)
+			mu.Unlock()
+			conn := ipc.NewConn(nc)
+			defer conn.Close()
+			_ = nc.SetReadDeadline(start.Add(d.ProbeTimeout))
+			if err := conn.SendRequest(mk()); err != nil {
+				resCh <- callRes{m: m, err: err}
+				return
+			}
+			rep, err := conn.RecvReply()
+			if err != nil {
+				resCh <- callRes{m: m, err: err}
+				return
+			}
+			if rep.Err != "" && rep.Code != ipc.CodeDraining {
+				resCh <- callRes{m: m, err: errors.New(rep.Err)}
+				return
+			}
+			resCh <- callRes{m: m, rep: rep, rtt: time.Since(start)}
+		}()
+	}
+	launch()
+	timer := time.NewTimer(d.Hedge)
+	defer timer.Stop()
+	var lastErr error
+	for active > 0 {
+		select {
+		case r := <-resCh:
+			active--
+			if r.err == nil {
+				// Winner: cancel the losers and feed the real round-trip
+				// into the winner's latency accrual.
+				mu.Lock()
+				canceled = true
+				for _, c := range open {
+					c.Close()
+				}
+				mu.Unlock()
+				d.settle(r.m.Name, true)
+				d.sup.observeRTT(r.m, r.rtt)
+				return r.rep, r.m.Name, nil
+			}
+			lastErr = r.err
+			d.settle(r.m.Name, false)
+			if idx < len(cands) {
+				launch()
+				timer.Reset(d.Hedge)
+			}
+		case <-timer.C:
+			if idx < len(cands) {
+				launch()
+			}
+		}
+	}
+	return nil, "", fmt.Errorf("fleet: hedged call: %v: %w", lastErr, ErrFleetUnavailable)
+}
+
+// HedgedPing races a heartbeat ping across healthy members and returns the
+// winner's reply (load, load sequence) and name — the latency-tolerant way
+// to read fleet load when one member may be gray.
+func (d *Dialer) HedgedPing(prefer string) (*ipc.Reply, string, error) {
+	return d.HedgedCall(prefer, func() *ipc.Request {
+		return &ipc.Request{Op: ipc.OpPing, Seq: 1}
+	})
 }
 
 func (d *Dialer) open(name string, now time.Time) bool {

@@ -84,6 +84,23 @@ type Config struct {
 	// Window / MinStd tune the detectors (0 → detector defaults).
 	Window int
 	MinStd time.Duration
+	// SlowFactor marks a member Slow-Suspect when its accrued latency score
+	// exceeds SlowFactor × the healthy fleet's median (default 4).
+	SlowFactor float64
+	// SlowQuantile is the tail quantile the latency accrual scores
+	// (default 0.9).
+	SlowQuantile float64
+	// SlowWindow bounds each member's RTT sample window (default 32).
+	SlowWindow int
+	// SlowMinSamples guards slow scoring until a member's window holds this
+	// many round-trips (default 8).
+	SlowMinSamples int
+	// SlowFloor is the absolute latency below which no member is ejected as
+	// slow, however fast its peers are (default 2ms).
+	SlowFloor time.Duration
+	// SlowRecover is how many consecutive fast probes re-admit a
+	// Slow-Suspect (default 3).
+	SlowRecover int
 	// AutoFailover re-homes a Down member's sessions automatically.
 	AutoFailover bool
 	// RoundRobin places new sessions in fixed rotation instead of
@@ -108,6 +125,24 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DownPhi <= 0 {
 		c.DownPhi = 8
+	}
+	if c.SlowFactor <= 0 {
+		c.SlowFactor = DefaultSlowFactor
+	}
+	if c.SlowQuantile <= 0 || c.SlowQuantile > 1 {
+		c.SlowQuantile = DefaultSlowQuantile
+	}
+	if c.SlowWindow <= 0 {
+		c.SlowWindow = DefaultSlowWindow
+	}
+	if c.SlowMinSamples <= 0 {
+		c.SlowMinSamples = DefaultSlowMinSamples
+	}
+	if c.SlowFloor <= 0 {
+		c.SlowFloor = DefaultSlowFloor
+	}
+	if c.SlowRecover <= 0 {
+		c.SlowRecover = DefaultSlowRecover
 	}
 	return c
 }
@@ -152,6 +187,19 @@ type Member struct {
 	state  MemberState
 	load   int64
 	primed bool
+
+	// Gray-failure tracking (guarded by sup.mu). lat accrues real op
+	// round-trips; slow marks the member ejected from placement as a
+	// Slow-Suspect; slowOK counts consecutive fast probes toward
+	// re-admission; loadSeq is the highest heartbeat load sequence seen, so
+	// a reply that raced a newer one over a hedged probe conn cannot roll
+	// the load figure backwards. deg, when set, degrades every dialed conn
+	// (gray-failure injection).
+	lat     *SlowDetector
+	slow    bool
+	slowOK  int
+	loadSeq uint64
+	deg     *fault.Degrade
 }
 
 // server returns the member's current daemon instance; dials and failovers
@@ -191,9 +239,59 @@ func (m *Member) Load() int64 {
 }
 
 // Dial returns the member's client transport dialer, routed through its
-// partition injector: while the member is cut, dials fail (or blackhole).
+// partition injector (while the member is cut, dials fail or blackhole) and
+// — when a degrade injector is installed — through per-op stall/drop
+// injection, the gray-failure mode the SlowDetector exists to catch.
 func (m *Member) Dial() func() (net.Conn, error) {
-	return m.part.Dial(m.rawDial)
+	m.sup.mu.Lock()
+	deg := m.deg
+	m.sup.mu.Unlock()
+	base := m.part.Dial(m.rawDial)
+	if deg != nil {
+		return deg.Wrap(base)
+	}
+	return base
+}
+
+// SetDegrade installs (or, with nil, removes) a degrade injector on the
+// member's dial chain. The injector composes OVER the partition wrapper:
+// a dialed conn first clears the partition, then suffers the degradation.
+func (m *Member) SetDegrade(d *fault.Degrade) {
+	m.sup.mu.Lock()
+	m.deg = d
+	m.sup.mu.Unlock()
+}
+
+// DegradeMember installs and activates a gray failure on the named member:
+// it stays up and answers pings, but every op through its link stalls and
+// flakes per the injector's config.
+func (s *Supervisor) DegradeMember(name string, d *fault.Degrade) error {
+	m := s.MemberByName(name)
+	if m == nil {
+		return fmt.Errorf("fleet: unknown member %q", name)
+	}
+	m.SetDegrade(d)
+	d.Degrade()
+	s.emit("degrade", "member", name, "action", "on")
+	return nil
+}
+
+// RecoverMember deactivates the named member's gray failure (the injector
+// stays installed but inert, so a later DegradeMember reuses its seeded
+// decision stream).
+func (s *Supervisor) RecoverMember(name string) error {
+	m := s.MemberByName(name)
+	if m == nil {
+		return fmt.Errorf("fleet: unknown member %q", name)
+	}
+	s.mu.Lock()
+	d := m.deg
+	s.mu.Unlock()
+	if d != nil {
+		d.Recover()
+	}
+	s.emit("degrade", "member", name, "action", "off")
+	return nil
 }
 
 // Supervisor hosts the fleet: members, their failure detectors, the
@@ -206,6 +304,8 @@ type Supervisor struct {
 	byName  map[string]*Member
 	rehome  map[uint64]string // session token → member name after failover
 	rr      int
+	slowThr float64 // last slowCheck threshold (seconds); recovery trials
+	// compare individual probe RTTs against it
 
 	stopCh chan struct{}
 	wg     sync.WaitGroup
@@ -254,6 +354,7 @@ func (s *Supervisor) AddMember(spec MemberSpec) (*Member, error) {
 		sup: s, srv: srv, budget: spec.Budget,
 		part:  fault.NewPartition(s.cfg.PartitionMode),
 		det:   NewDetector(s.cfg.Window, s.cfg.MinStd),
+		lat:   NewSlowDetector(s.cfg.SlowWindow),
 		state: StateUp,
 	}
 	if spec.Durability != nil {
@@ -302,32 +403,44 @@ func (s *Supervisor) emit(kind string, kv ...string) {
 	}
 }
 
+// pingResult is one heartbeat round trip: the member's reported load, the
+// daemon-side monotonic sequence it was stamped with (0 = unstamped), and
+// the real round-trip time feeding the latency accrual.
+type pingResult struct {
+	load    int64
+	loadSeq uint64
+	rtt     time.Duration
+}
+
 // ping sends one heartbeat to a member over a throwaway connection,
-// returning the member's reported load. Bounded by PingTimeout: a
-// blackholed member surfaces a deadline error, a dead one a closed pipe.
-func (s *Supervisor) ping(m *Member) (int64, error) {
+// returning the member's reported load and the round-trip time. Bounded by
+// PingTimeout: a blackholed member surfaces a deadline error, a dead one a
+// closed pipe.
+func (s *Supervisor) ping(m *Member) (pingResult, error) {
+	start := time.Now()
 	nc, err := m.Dial()()
 	if err != nil {
-		return 0, err
+		return pingResult{}, err
 	}
 	conn := ipc.NewConn(nc)
 	defer conn.Close()
-	_ = nc.SetReadDeadline(time.Now().Add(s.cfg.PingTimeout))
+	_ = nc.SetReadDeadline(start.Add(s.cfg.PingTimeout))
 	if err := conn.SendRequest(&ipc.Request{Op: ipc.OpPing, Seq: 1}); err != nil {
-		return 0, err
+		return pingResult{}, err
 	}
 	rep, err := conn.RecvReply()
 	if err != nil {
-		return 0, err
+		return pingResult{}, err
 	}
+	res := pingResult{load: rep.Load, loadSeq: rep.LoadSeq, rtt: time.Since(start)}
 	if rep.Code == ipc.CodeDraining {
 		// Alive but refusing: healthy for detection, closed for placement.
-		return rep.Load, nil
+		return res, nil
 	}
 	if rep.Err != "" {
-		return 0, errors.New(rep.Err)
+		return pingResult{}, errors.New(rep.Err)
 	}
-	return rep.Load, nil
+	return res, nil
 }
 
 // Tick runs one heartbeat round at the given instant: ping every tracked
@@ -351,8 +464,11 @@ func (s *Supervisor) Tick(now time.Time) {
 		}
 		s.mu.Unlock()
 
-		load, err := s.ping(m) // real I/O: outside the lock
+		res, err := s.ping(m) // real I/O: outside the lock
 
+		if err == nil {
+			s.observeRTT(m, res.rtt)
+		}
 		s.mu.Lock()
 		if m.state == StateDown || m.state == StateDraining {
 			s.mu.Unlock() // lost a race with KillMember/Drain mid-ping
@@ -360,7 +476,13 @@ func (s *Supervisor) Tick(now time.Time) {
 		}
 		if err == nil {
 			m.det.Heartbeat(now)
-			m.load = load
+			// Staleness guard: a reply stamped with an older sequence than
+			// one already applied (raced over a hedged probe conn) must not
+			// roll the load figure backwards. Unstamped (0) always applies.
+			if res.loadSeq == 0 || res.loadSeq > m.loadSeq {
+				m.load = res.load
+				m.loadSeq = res.loadSeq
+			}
 			recovered := m.state == StateSuspect
 			m.state = StateUp
 			s.mu.Unlock()
@@ -387,6 +509,7 @@ func (s *Supervisor) Tick(now time.Time) {
 			}
 		}
 	}
+	s.slowCheck()
 	if s.cfg.AutoFailover {
 		for _, m := range downs {
 			_ = s.Failover(m.Name)
@@ -599,17 +722,26 @@ func tombstone(dir string) error {
 	return nil
 }
 
-// Route picks a member for a new session. Suspect, down, and draining
-// members are skipped. RoundRobin rotates deterministically; otherwise the
-// least-loaded member wins (load over capacity), preferring a matching
-// device profile on ties.
+// Route picks a member for a new session. Suspect, down, draining, and
+// Slow-Suspect members are skipped (the quorum floor in slowCheck bounds
+// how many may be slow at once; if losses still emptied the fast set, a
+// slow-but-alive member beats no member at all). RoundRobin rotates
+// deterministically; otherwise the least-loaded member wins (load over
+// capacity), preferring a matching device profile on ties.
 func (s *Supervisor) Route(profileHint string) (*Member, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var cands []*Member
 	for _, m := range s.members {
-		if m.state == StateUp {
+		if m.state == StateUp && !m.slow {
 			cands = append(cands, m)
+		}
+	}
+	if len(cands) == 0 {
+		for _, m := range s.members {
+			if m.state == StateUp {
+				cands = append(cands, m)
+			}
 		}
 	}
 	if len(cands) == 0 {

@@ -177,6 +177,13 @@ func (s *Supervisor) restartMember(m *Member, version uint32) error {
 	m.det = NewDetector(s.cfg.Window, s.cfg.MinStd)
 	m.primed = false
 	m.load = 0
+	// The new incarnation's ping sequence restarts at 1, and its latency
+	// history is its own: reset the staleness guard and the slow accrual so
+	// the old daemon's figures cannot shadow the fresh one's.
+	m.loadSeq = 0
+	m.lat = NewSlowDetector(s.cfg.SlowWindow)
+	m.slow = false
+	m.slowOK = 0
 	// state stays as-is (draining/down) until the health gate promotes it.
 	s.mu.Unlock()
 	return nil

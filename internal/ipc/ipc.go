@@ -60,6 +60,12 @@ const (
 	// loudly instead of exchanging frames the other side misreads. The
 	// client should redial a member running its own version.
 	CodeVersionSkew
+	// CodeExpired sheds a launch whose propagated deadline had already
+	// passed when the daemon was about to spend work on it — at admission,
+	// or at the queue head just before execution. The launch did NOT run
+	// (and never will); retrying it verbatim is pointless because the
+	// client's own deadline has passed too.
+	CodeExpired
 )
 
 // ProtocolVersion is the wire protocol generation this build speaks. Clients
@@ -172,6 +178,12 @@ type Request struct {
 	// OpResume so the daemon can refuse version skew before any session
 	// state is touched. Zero = legacy client (accepted).
 	Version uint32
+	// Deadline is the client's per-op deadline in Unix nanoseconds (0 =
+	// none). It rides the frame so the daemon can shed already-expired
+	// work — at admission and again at the queue head — with CodeExpired
+	// instead of executing launches nobody is waiting for. Gob decodes the
+	// absent field as zero, so legacy clients are unaffected.
+	Deadline int64
 }
 
 // Reply is one daemon→client response.
@@ -210,6 +222,11 @@ type Reply struct {
 	// Load is the daemon's current session count (ping), excluding the
 	// probing connection itself; the fleet router uses it for placement.
 	Load int64
+	// LoadSeq is a daemon-side monotonic stamp on Load (ping). Hedged probe
+	// conns can deliver ping replies out of order; the fleet router keeps
+	// only the highest-sequence load report per member so a stale reading
+	// never overwrites a fresher one. Zero = legacy daemon (always applied).
+	LoadSeq uint64
 	// Acks carries the per-item outcomes of an OpLaunchBatch, in the batch's
 	// submission order. Reply-level Err/Code describe batch-level refusals
 	// (draining, poisoned session); per-item accept/reject verdicts live here.

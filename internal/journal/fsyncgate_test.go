@@ -1,0 +1,176 @@
+package journal
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"slate/internal/fault"
+)
+
+// The fsyncgate regression suite: at each disk-fault site (write error,
+// short write, fsync error) the policy is fail-stop — the append returns an
+// error before any ack can escape, and the writer is dead afterwards. The
+// on-disk aftermath differs per site and replay must handle each shape:
+// write.err leaves nothing of the frame, write.short leaves a torn prefix
+// that replay truncates, fsync.err leaves a complete-but-unsynced frame
+// that replay MAY deliver (harmless: the client never saw an ack, so a
+// resend settles to exactly one execution either way).
+
+// replayKernels drains the journal and returns the surviving kernels plus
+// the stats, failing the test on a replay error.
+func replayKernels(t *testing.T, path string) ([]string, ReplayStats) {
+	t.Helper()
+	var got []string
+	stats, err := Replay(path, func(r *Record) error {
+		got = append(got, r.Kernel)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, stats
+}
+
+// armedWriter opens a journal with a crasher armed at the n-th hit of site
+// and appends one clean record first so every scenario has a durable
+// prefix to protect.
+func armedWriter(t *testing.T, site string, n uint64) (*Writer, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "j.slate")
+	w, err := OpenWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.CrashHook = fault.NewCrasher(site, n).Hook()
+	if err := w.Append(rec(1, 1, "prefix")); err != nil {
+		t.Fatal(err)
+	}
+	return w, path
+}
+
+// A write error is fail-stop: the failed append reports the crash, nothing
+// of the frame reaches the disk, the writer refuses all later work, and
+// replay is clean (no torn tail to cut).
+func TestFsyncGateWriteErr(t *testing.T) {
+	w, path := armedWriter(t, fault.SiteJournalWriteErr, 1)
+	if err := w.Append(rec(1, 2, "lost")); !errors.Is(err, fault.ErrCrash) {
+		t.Fatalf("armed append = %v, want ErrCrash", err)
+	}
+	if err := w.Append(rec(1, 3, "late")); !errors.Is(err, fault.ErrCrash) {
+		t.Fatalf("post-fault append = %v, want ErrCrash (fail-stop)", err)
+	}
+	w.Close()
+	got, stats := replayKernels(t, path)
+	if len(got) != 1 || got[0] != "prefix" {
+		t.Fatalf("replayed %v, want only the prefix record", got)
+	}
+	if stats.Truncated {
+		t.Fatalf("stats = %+v, want no truncation: a write error leaves no torn bytes", stats)
+	}
+}
+
+// A short write is fail-stop with a torn prefix on disk: replay truncates
+// the tail once, never delivers the torn record, and a second replay over
+// the repaired file is clean.
+func TestFsyncGateWriteShort(t *testing.T) {
+	w, path := armedWriter(t, fault.SiteJournalWriteShort, 1)
+	if err := w.Append(rec(1, 2, "torn")); !errors.Is(err, fault.ErrCrash) {
+		t.Fatalf("armed append = %v, want ErrCrash", err)
+	}
+	if err := w.Append(rec(1, 3, "late")); !errors.Is(err, fault.ErrCrash) {
+		t.Fatalf("post-fault append = %v, want ErrCrash (fail-stop)", err)
+	}
+	w.Close()
+	got, stats := replayKernels(t, path)
+	if len(got) != 1 || got[0] != "prefix" {
+		t.Fatalf("replayed %v, want only the prefix record", got)
+	}
+	if !stats.Truncated || stats.TruncatedBytes == 0 {
+		t.Fatalf("stats = %+v, want a cut torn tail", stats)
+	}
+	got, stats = replayKernels(t, path)
+	if len(got) != 1 || stats.Truncated {
+		t.Fatalf("second replay: got=%v stats=%+v, want clean idempotent replay", got, stats)
+	}
+}
+
+// A failed fsync after a complete write is the fsyncgate case proper: the
+// record may well be durable (the bytes were written), but the error MUST
+// reach the caller before any ack — the writer dies without acking, and a
+// replay that delivers the record is correct precisely because no client
+// was told it succeeded.
+func TestFsyncGateSyncErr(t *testing.T) {
+	w, path := armedWriter(t, fault.SiteJournalSyncErr, 1)
+	if err := w.Append(rec(1, 2, "unsynced")); !errors.Is(err, fault.ErrCrash) {
+		t.Fatalf("armed append = %v, want ErrCrash: a failed fsync must surface before the ack", err)
+	}
+	if err := w.Append(rec(1, 3, "late")); !errors.Is(err, fault.ErrCrash) {
+		t.Fatalf("post-fault append = %v, want ErrCrash (fail-stop)", err)
+	}
+	w.Close()
+	got, stats := replayKernels(t, path)
+	if len(got) != 2 || got[1] != "unsynced" {
+		t.Fatalf("replayed %v, want the fully-written (unsynced, unacked) record delivered", got)
+	}
+	if stats.Truncated {
+		t.Fatalf("stats = %+v, want no truncation: the frame was complete", stats)
+	}
+}
+
+// The group-commit path hits the same three sites once per batch; the
+// aftermath scales to the whole group: write.err loses the batch cleanly,
+// write.short tears the group buffer, fsync.err leaves the whole batch
+// written-but-unsynced with no item acked.
+func TestFsyncGateBatch(t *testing.T) {
+	batch := func(base uint64, kernels ...string) []*Record {
+		recs := make([]*Record, len(kernels))
+		for i, k := range kernels {
+			recs[i] = rec(1, base+uint64(i), k)
+		}
+		return recs
+	}
+	cases := []struct {
+		site      string
+		want      []string
+		truncated bool
+	}{
+		{fault.SiteJournalWriteErr, []string{"a", "b"}, false},
+		// Half the 3-frame group buffer lands: the first frame ("c") is
+		// whole — replay may deliver it (unacked), the torn second is cut.
+		{fault.SiteJournalWriteShort, []string{"a", "b", "c"}, true},
+		{fault.SiteJournalSyncErr, []string{"a", "b", "c", "d", "e"}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.site, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "j.slate")
+			w, err := OpenWriter(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.CrashHook = fault.NewCrasher(tc.site, 1).Hook()
+			if err := w.AppendBatch(batch(1, "a", "b")); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.AppendBatch(batch(3, "c", "d", "e")); !errors.Is(err, fault.ErrCrash) {
+				t.Fatalf("armed batch = %v, want ErrCrash", err)
+			}
+			if err := w.AppendBatch(batch(6, "late")); !errors.Is(err, fault.ErrCrash) {
+				t.Fatalf("post-fault batch = %v, want ErrCrash (fail-stop)", err)
+			}
+			w.Close()
+			got, stats := replayKernels(t, path)
+			if len(got) != len(tc.want) {
+				t.Fatalf("replayed %v, want %v", got, tc.want)
+			}
+			for i := range tc.want {
+				if got[i] != tc.want[i] {
+					t.Fatalf("replayed %v, want %v", got, tc.want)
+				}
+			}
+			if stats.Truncated != tc.truncated {
+				t.Fatalf("stats = %+v, want truncated=%v", stats, tc.truncated)
+			}
+		})
+	}
+}

@@ -187,6 +187,14 @@ func (w *Writer) Path() string { return w.path }
 // the pre site tears the frame mid-write (the record is not durable); at the
 // post site the record is durable but the caller must die before acking.
 // Either way the writer is dead afterwards: the simulated process is gone.
+//
+// The hook also fires at the disk-fault sites, where the process lives but
+// the disk fails; the policy is fail-stop, so the writer is equally dead
+// afterwards. At journal.write.err nothing reaches the file; at
+// journal.write.short a torn prefix lands (a short write); at
+// journal.fsync.err the frame is fully written but never synced — the
+// record MAY be durable, and because the error propagates before any ack,
+// a re-sending client settles it to exactly one execution either way.
 func (w *Writer) Append(rec *Record) error {
 	payload, err := json.Marshal(rec)
 	if err != nil {
@@ -205,12 +213,33 @@ func (w *Writer) Append(rec *Record) error {
 			w.dead = true
 			return err
 		}
+		if err := w.CrashHook(fault.SiteJournalWriteErr); err != nil {
+			// The write errors outright: no byte lands, fail-stop.
+			w.dead = true
+			return err
+		}
+		if err := w.CrashHook(fault.SiteJournalWriteShort); err != nil {
+			// Short write: a torn prefix lands, fail-stop.
+			_, _ = w.f.Write(frame[:len(frame)/2])
+			w.dead = true
+			return err
+		}
 	}
 	if _, err := w.f.Write(frame); err != nil {
+		w.dead = true
 		return fmt.Errorf("journal: append: %w", err)
+	}
+	if w.CrashHook != nil {
+		if err := w.CrashHook(fault.SiteJournalSyncErr); err != nil {
+			// fsync fails after a complete write: the record may or may not
+			// be durable, and no ack may follow — fail-stop (fsyncgate).
+			w.dead = true
+			return err
+		}
 	}
 	if !w.NoSync {
 		if err := w.f.Sync(); err != nil {
+			w.dead = true
 			return fmt.Errorf("journal: sync: %w", err)
 		}
 	}
@@ -269,12 +298,33 @@ func (w *Writer) AppendBatch(recs []*Record) error {
 			w.dead = true
 			return err
 		}
+		if err := w.CrashHook(fault.SiteJournalWriteErr); err != nil {
+			// The group write errors outright: no byte lands, fail-stop.
+			w.dead = true
+			return err
+		}
+		if err := w.CrashHook(fault.SiteJournalWriteShort); err != nil {
+			// Short write of the group buffer: a torn prefix lands, fail-stop.
+			_, _ = w.f.Write(buf[:len(buf)/2])
+			w.dead = true
+			return err
+		}
 	}
 	if _, err := w.f.Write(buf); err != nil {
+		w.dead = true
 		return fmt.Errorf("journal: batch append: %w", err)
+	}
+	if w.CrashHook != nil {
+		if err := w.CrashHook(fault.SiteJournalSyncErr); err != nil {
+			// Group fsync fails after a complete write: no item may be
+			// acked — fail-stop (fsyncgate).
+			w.dead = true
+			return err
+		}
 	}
 	if !w.NoSync {
 		if err := w.f.Sync(); err != nil {
+			w.dead = true
 			return fmt.Errorf("journal: batch sync: %w", err)
 		}
 	}

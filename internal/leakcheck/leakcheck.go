@@ -1,0 +1,81 @@
+// Package leakcheck is a test-teardown goroutine-leak harness: snapshot the
+// goroutine count before the scenario, and at teardown wait (bounded) for
+// the count to fall back to the baseline. Daemon and fleet tests spin up
+// session goroutines, dispatch loops, monitor tickers, and hedged probes;
+// a teardown that "passes" while leaving any of them behind hides exactly
+// the slow leak that kills a 100k-session fleet run. On failure the full
+// stack dump is attached, so the leaked goroutine is named, not guessed at.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// DefaultGrace bounds how long Check waits for goroutines to unwind:
+// teardown is asynchronous (conns close, loops notice, goroutines exit), so
+// the check polls instead of asserting an instantaneous count.
+const DefaultGrace = 2 * time.Second
+
+// Snapshot records the current goroutine count — call before starting the
+// scenario under test.
+func Snapshot() int { return runtime.NumGoroutine() }
+
+// TB is the subset of testing.TB the checker needs (avoids importing
+// testing into non-test binaries like slatebench, which reuses the same
+// harness for its teardown audits).
+type TB interface {
+	Helper()
+	Errorf(format string, args ...interface{})
+}
+
+// Check waits up to DefaultGrace for the goroutine count to return to the
+// baseline, then fails the test with a full stack dump naming the leaked
+// goroutines.
+func Check(tb TB, base int) {
+	tb.Helper()
+	CheckWithin(tb, base, DefaultGrace)
+}
+
+// CheckWithin is Check with an explicit grace budget.
+func CheckWithin(tb TB, base int, grace time.Duration) {
+	tb.Helper()
+	if err := Wait(base, grace); err != nil {
+		tb.Errorf("%v", err)
+	}
+}
+
+// Wait polls until the goroutine count is at or below base, returning nil,
+// or until grace expires, returning an error carrying the count delta and
+// the full goroutine stack dump. Exposed (error-returning, testing-free)
+// so non-test binaries can run the same audit.
+func Wait(base int, grace time.Duration) error {
+	deadline := time.Now().Add(grace)
+	var n int
+	for {
+		n = runtime.NumGoroutine()
+		if n <= base {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("leakcheck: %d goroutines leaked (%d now, %d at baseline); stacks:\n%s",
+		n-base, n, base, Stacks())
+}
+
+// Stacks returns the full goroutine stack dump — the same text a SIGQUIT
+// would print, sized up until it fits.
+func Stacks() string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			return string(buf[:n])
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+}

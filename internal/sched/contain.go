@@ -17,6 +17,14 @@ import (
 // software-scheduling intervention the paper's block-granular dispatch makes
 // possible and the hardware leftover policy cannot offer (§III-§IV).
 
+// DefaultAgingBound is the queue-aging bound EnableContainment installs
+// when none is configured: how long a waiter may be passed over before the
+// scheduler prioritizes it. It is exported because the daemon's fleet-wide
+// overload shed reuses the same bound (as wall-clock time) so "shedding
+// never starves an aged session" is the scheduler's own no-starvation
+// invariant, extended daemon- and fleet-wide.
+const DefaultAgingBound = 100 * vtime.Millisecond
+
 // ContainConfig tunes the containment machinery. Zero fields take the
 // documented defaults.
 type ContainConfig struct {
@@ -36,7 +44,7 @@ type ContainConfig struct {
 	// AgingBound is how long a queued kernel may wait before it is
 	// prioritized: no arrival or younger queue entry may jump ahead of an
 	// aged waiter, and the next idle window is reserved for it
-	// (default 100ms of virtual time).
+	// (default DefaultAgingBound of virtual time).
 	AgingBound vtime.Duration
 	// MaxStrikes is the eviction count at which a kernel's profile is
 	// quarantined (default 2). One further strike after quarantine abandons
@@ -58,7 +66,7 @@ func (c ContainConfig) withDefaults() ContainConfig {
 		c.MinBudget = 5 * vtime.Millisecond
 	}
 	if c.AgingBound <= 0 {
-		c.AgingBound = 100 * vtime.Millisecond
+		c.AgingBound = DefaultAgingBound
 	}
 	if c.MaxStrikes <= 0 {
 		c.MaxStrikes = 2
